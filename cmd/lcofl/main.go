@@ -1,0 +1,457 @@
+// Command lcofl is the experiment driver for the L-CoFL reproduction.
+//
+// Usage:
+//
+//	lcofl run -figure fig5 [-vehicles 100] [-rounds 15] [-rows 2500] [-seed 1] [-out fig5.tsv]
+//	lcofl all [-outdir results] [flags]
+//	lcofl demo [-vehicles 40] [-malicious 0.3]
+//	lcofl serve -addr :9444 [-vehicles 20] [-rounds 10] [-seed 1]
+//	lcofl vehicle -addr host:9444 -id 3 [-malicious] [-seed 1]
+//
+// "run" regenerates one paper figure's data as TSV; "all" writes every
+// figure to a directory; "demo" walks one verified round verbosely;
+// "serve"/"vehicle" run the genuinely distributed deployment over TCP
+// (both sides derive the dataset deterministically from the shared seed,
+// so no data file needs to be exchanged).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/node"
+	"repro/internal/plot"
+	"repro/internal/traffic"
+	"repro/internal/transport"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "all":
+		err = cmdAll(os.Args[2:])
+	case "demo":
+		err = cmdDemo(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "vehicle":
+		err = cmdVehicle(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lcofl: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lcofl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `lcofl — Lagrange Coded Federated Learning reproduction driver
+
+commands:
+  run      regenerate one figure (fig2..fig9) as TSV
+  all      regenerate every figure into a directory
+  demo     walk one verified round verbosely
+  serve    run a fusion centre over TCP (-checkpoint saves the model)
+  vehicle  run one vehicle over TCP
+  predict  load a model checkpoint and score a dataset
+`)
+}
+
+func addOptionFlags(fs *flag.FlagSet) *experiments.Options {
+	o := &experiments.Options{}
+	fs.IntVar(&o.Vehicles, "vehicles", 0, "fleet size V (0 = paper default 100)")
+	fs.IntVar(&o.Rounds, "rounds", 0, "global rounds per run (0 = default 15)")
+	fs.IntVar(&o.Rows, "rows", 0, "synthetic dataset rows (0 = default 2500)")
+	fs.Int64Var(&o.Seed, "seed", 1, "master seed")
+	return o
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	o := addOptionFlags(fs)
+	figure := fs.String("figure", "", "figure to regenerate (fig2..fig9, ext-*)")
+	out := fs.String("out", "", "output file (default stdout)")
+	repeat := fs.Int("repeat", 1, "repeat over this many consecutive seeds and report mean ± std")
+	asPlot := fs.Bool("plot", false, "render an ASCII chart instead of TSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *figure == "" {
+		return fmt.Errorf("run: -figure is required")
+	}
+	driver, err := experiments.ByName(*figure)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var fig *experiments.Figure
+	if *repeat > 1 {
+		seeds := make([]int64, *repeat)
+		for i := range seeds {
+			seeds[i] = o.Seed + int64(i)
+		}
+		fig, err = experiments.Repeat(driver, *o, seeds)
+	} else {
+		fig, err = driver(*o)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "lcofl: %s computed in %s\n", *figure, time.Since(start).Round(time.Millisecond))
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if *asPlot {
+		return plot.RenderFigure(w, fig, plot.Options{})
+	}
+	return fig.WriteTSV(w)
+}
+
+func cmdAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	o := addOptionFlags(fs)
+	outdir := fs.String("outdir", "results", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		return err
+	}
+	figs, err := experiments.All(*o)
+	if err != nil {
+		return err
+	}
+	for _, fig := range figs {
+		path := filepath.Join(*outdir, fig.Name+".tsv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fig.WriteTSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "lcofl: wrote %s\n", path)
+	}
+	return nil
+}
+
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	vehicles := fs.Int("vehicles", 40, "fleet size")
+	malicious := fs.Float64("malicious", 0.3, "malicious fraction")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Printf("L-CoFL demo: %d vehicles, %.0f%% malicious\n\n", *vehicles, *malicious*100)
+
+	ds, err := traffic.Generate(traffic.GenConfig{Rows: 1500, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	train, test, err := ds.Split(0.8, *seed+1)
+	if err != nil {
+		return err
+	}
+	refDS, err := traffic.Generate(traffic.GenConfig{Rows: 16 * 8, Seed: *seed + 2})
+	if err != nil {
+		return err
+	}
+	refX := refDS.Features()
+	parts, err := train.PartitionIID(*vehicles, *seed+3)
+	if err != nil {
+		return err
+	}
+	exact := approx.SymmetricSigmoid()
+	p, err := approx.LeastSquares{SamplePoints: 21}.Fit(exact.F, -2, 2, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Step 1  activation approximated by least squares (degree 1): %v\n", p)
+
+	cfg := fl.Config{
+		InputSize: traffic.NumFeatures, LocalEpochs: 5, LocalRate: 0.2,
+		DistillEpochs: 30, DistillRate: 0.2, ServerStep: 0.5, Seed: *seed + 4,
+	}
+	sys, err := fl.NewSystem(cfg, parts, refX, approx.FromPolynomial("demo", p))
+	if err != nil {
+		return err
+	}
+	scheme, err := core.NewScheme(refX, core.SchemeConfig{
+		NumVehicles: *vehicles, NumBatches: 16, Degree: 1, Seed: *seed + 5,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("        recover threshold K=%d, E-security budget %d of %d vehicles (eq. 6)\n",
+		scheme.RecoverThreshold(), scheme.MaxMalicious(), *vehicles)
+	fmt.Printf("        verification: %d slots x 2 symbols + %d learning estimates per vehicle\n\n",
+		scheme.Slots(), len(refX))
+
+	plan, err := adversary.NewPlan(*vehicles, *malicious, adversary.ConstantLie{Value: 5}, *seed+6)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Step 2  %d vehicles turned malicious (constant-lie): %v\n", plan.Count(), plan.IDs())
+	if plan.Count() > scheme.MaxMalicious() {
+		fmt.Printf("        WARNING: %d malicious exceeds the eq. 6 budget of %d — decoding will refuse and rounds degrade to the median fallback\n", plan.Count(), scheme.MaxMalicious())
+	}
+	fmt.Println()
+
+	for r := 0; r < 10; r++ {
+		if _, err := sys.RunRound(scheme, plan, nil); err != nil {
+			return err
+		}
+		acc, err := sys.Accuracy(test.Samples)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Step 3  round %2d: decode failures %d/%d, flagged %2d vehicles, test accuracy %.3f\n",
+			r+1, scheme.DecodeFailures, scheme.Slots(), len(scheme.SuspectedMalicious()), acc)
+	}
+	fmt.Printf("\nFlagged vehicles: %v\n", scheme.SuspectedMalicious())
+	fmt.Println("All malicious vehicles identified by the Reed-Solomon verification channel;")
+	fmt.Println("their estimation results never entered the shared model update.")
+	return nil
+}
+
+// chooseBatches picks M so the degree-1 recover threshold K = M fits the
+// fleet with room for errors (eq. 6).
+func chooseBatches(vehicles int) int {
+	switch {
+	case vehicles >= 32:
+		return 16
+	case vehicles >= 16:
+		return 8
+	default:
+		return 4
+	}
+}
+
+// distributedSetup derives the deterministic scenario both sides of the
+// TCP deployment share.
+func distributedSetup(vehicles int, seed int64) ([][]float64, *traffic.Dataset, [][]float64, []float64, error) {
+	ds, err := traffic.Generate(traffic.GenConfig{Rows: 2000, Seed: seed})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	train, test, err := ds.Split(0.8, seed+1)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	refDS, err := traffic.Generate(traffic.GenConfig{Rows: chooseBatches(vehicles) * 8, Seed: seed + 2})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return refDS.Features(), train, test.Features(), test.Labels(), nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":9444", "listen address")
+	vehicles := fs.Int("vehicles", 20, "expected fleet size")
+	rounds := fs.Int("rounds", 10, "global rounds")
+	seed := fs.Int64("seed", 1, "shared scenario seed")
+	checkpoint := fs.String("checkpoint", "", "write the final shared model as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	refX, _, testX, testY, err := distributedSetup(*vehicles, *seed)
+	if err != nil {
+		return err
+	}
+	exact := approx.SymmetricSigmoid()
+	p, err := approx.LeastSquares{SamplePoints: 21}.Fit(exact.F, -2, 2, 1)
+	if err != nil {
+		return err
+	}
+	srv, err := node.NewServer(node.ServerConfig{
+		FL: fl.Config{
+			InputSize: traffic.NumFeatures, LocalEpochs: 5, LocalRate: 0.2,
+			DistillEpochs: 30, DistillRate: 0.2, ServerStep: 0.5, Seed: *seed + 4,
+		},
+		Scheme: core.SchemeConfig{
+			NumVehicles: *vehicles, NumBatches: chooseBatches(*vehicles), Degree: 1, Seed: *seed + 5,
+		},
+		RefX:             refX,
+		ActivationCoeffs: p,
+		Rounds:           *rounds,
+	})
+	if err != nil {
+		return err
+	}
+	l, err := transport.ListenTCP(*addr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	fmt.Printf("lcofl serve: listening on %s for %d vehicles\n", l.Addr(), *vehicles)
+	conns := make([]transport.Conn, 0, *vehicles)
+	for len(conns) < *vehicles {
+		c, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		conns = append(conns, c)
+		fmt.Printf("lcofl serve: %d/%d vehicles connected\n", len(conns), *vehicles)
+	}
+	report, err := srv.Run(conns)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lcofl serve: completed %d rounds, flagged %v, stragglers %d\n",
+		report.Rounds, report.SuspectedMalicious, report.Stragglers)
+	correct := 0
+	for i, x := range testX {
+		pi, err := srv.Shared().EstimateClamped(x)
+		if err != nil {
+			return err
+		}
+		if (pi > 0.5) == (testY[i] == 1) {
+			correct++
+		}
+	}
+	fmt.Printf("lcofl serve: final shared-model test accuracy %.3f\n", float64(correct)/float64(len(testX)))
+	if *checkpoint != "" {
+		data, err := json.MarshalIndent(srv.Shared().Snapshot(), "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*checkpoint, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("lcofl serve: wrote model checkpoint to %s\n", *checkpoint)
+	}
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	modelPath := fs.String("model", "", "model checkpoint (JSON from serve -checkpoint)")
+	csvPath := fs.String("csv", "", "dataset CSV (from trafficgen); default: fresh synthetic data")
+	rows := fs.Int("rows", 200, "synthetic rows when no -csv is given")
+	seed := fs.Int64("seed", 99, "synthetic data seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelPath == "" {
+		return fmt.Errorf("predict: -model is required")
+	}
+	data, err := os.ReadFile(*modelPath)
+	if err != nil {
+		return err
+	}
+	model, err := nn.UnmarshalNetworkJSON(data)
+	if err != nil {
+		return err
+	}
+	var ds *traffic.Dataset
+	if *csvPath != "" {
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ds, err = traffic.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		ds, err = traffic.Generate(traffic.GenConfig{Rows: *rows, Seed: *seed})
+		if err != nil {
+			return err
+		}
+	}
+	correct := 0
+	fmt.Println("row\testimate\tlabel")
+	for i, s := range ds.Samples {
+		pi, err := model.EstimateClamped(s.X)
+		if err != nil {
+			return err
+		}
+		if (pi > 0.5) == (s.Y == 1) {
+			correct++
+		}
+		if i < 20 {
+			fmt.Printf("%d\t%.3f\t%g\n", i, pi, s.Y)
+		}
+	}
+	if ds.Len() > 20 {
+		fmt.Printf("… (%d more rows)\n", ds.Len()-20)
+	}
+	fmt.Printf("accuracy: %.3f over %d rows\n", float64(correct)/float64(ds.Len()), ds.Len())
+	return nil
+}
+
+func cmdVehicle(args []string) error {
+	fs := flag.NewFlagSet("vehicle", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9444", "fusion centre address")
+	id := fs.Int("id", 0, "vehicle ID (0..V-1)")
+	vehicles := fs.Int("vehicles", 20, "fleet size (must match the server)")
+	seed := fs.Int64("seed", 1, "shared scenario seed")
+	malicious := fs.Bool("malicious", false, "lie on every upload")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, train, _, _, err := distributedSetup(*vehicles, *seed)
+	if err != nil {
+		return err
+	}
+	parts, err := train.PartitionIID(*vehicles, *seed+3)
+	if err != nil {
+		return err
+	}
+	if *id < 0 || *id >= len(parts) {
+		return fmt.Errorf("vehicle: id %d outside fleet of %d", *id, len(parts))
+	}
+	conn, err := transport.DialTCP(*addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	cc := node.ClientConfig{VehicleID: *id, Data: parts[*id], Seed: *seed + 100 + int64(*id)}
+	if *malicious {
+		cc.Corrupt = adversary.ConstantLie{Value: 5}
+		fmt.Printf("lcofl vehicle %d: running MALICIOUSLY\n", *id)
+	}
+	fmt.Printf("lcofl vehicle %d: connected to %s with %d local samples\n", *id, *addr, len(parts[*id]))
+	if err := node.RunVehicle(conn, cc); err != nil {
+		return err
+	}
+	fmt.Printf("lcofl vehicle %d: session finished\n", *id)
+	return nil
+}

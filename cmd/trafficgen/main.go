@@ -1,0 +1,43 @@
+// Command trafficgen generates the synthetic São Paulo-style urban-traffic
+// dataset (see internal/traffic and DESIGN.md §2) as CSV.
+//
+// Usage:
+//
+//	trafficgen [-rows 2500] [-seed 1] [-noise 0.05] [-out traffic.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/traffic"
+)
+
+func main() {
+	rows := flag.Int("rows", 2500, "number of samples")
+	seed := flag.Int64("seed", 1, "generator seed")
+	noise := flag.Float64("noise", 0, "latent noise std (0 = default 0.05)")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	ds, err := traffic.Generate(traffic.GenConfig{Rows: *rows, Seed: *seed, NoiseStd: *noise})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trafficgen:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trafficgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.WriteCSV(w); err != nil {
+		fmt.Fprintln(os.Stderr, "trafficgen:", err)
+		os.Exit(1)
+	}
+}

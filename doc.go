@@ -1,0 +1,10 @@
+// Package repro is the root of the L-CoFL reproduction: a from-scratch Go
+// implementation of "Lagrange Coded Federated Learning (L-CoFL) Model for
+// Internet of Vehicles" (ICDCS 2022).
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory), runnable examples under examples/, and the experiment CLI
+// under cmd/lcofl. The root package only anchors the module and the
+// benchmark harness (bench_test.go), which regenerates every figure of
+// the paper's evaluation as a testing.B benchmark.
+package repro

@@ -1,0 +1,118 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/poly"
+)
+
+func TestRemezBeatsOtherMethods(t *testing.T) {
+	// Minimax is optimal in sup norm: it must not lose to least squares
+	// or Chebyshev truncation at equal degree (ties within tolerance).
+	act := SymmetricSigmoid()
+	for _, deg := range []int{1, 3, 5} {
+		rp, err := Remez{}.Fit(act.F, -2, 2, deg)
+		if err != nil {
+			t.Fatalf("degree %d: %v", deg, err)
+		}
+		re := rp.MaxErrorOn(act.F, -2, 2, 4000)
+		for _, m := range []Method{LeastSquares{SamplePoints: 41}, Chebyshev{}} {
+			op, err := m.Fit(act.F, -2, 2, deg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oe := op.MaxErrorOn(act.F, -2, 2, 4000)
+			if re > oe*(1+1e-6) {
+				t.Errorf("degree %d: remez %g worse than %s %g", deg, re, m.Name(), oe)
+			}
+		}
+	}
+}
+
+func TestRemezEquioscillation(t *testing.T) {
+	// Chebyshev's theorem: the optimal error equioscillates with deg+2
+	// alternating extrema of (numerically) equal magnitude.
+	f := math.Exp
+	const deg = 4
+	p, err := Remez{}.Fit(f, -1, 1, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const grid = 8000
+	var extrema []float64
+	prevSign := 0
+	bestAbs := -1.0
+	var bestVal float64
+	flush := func() {
+		if prevSign != 0 {
+			extrema = append(extrema, bestVal)
+		}
+	}
+	for i := 0; i <= grid; i++ {
+		x := -1 + 2*float64(i)/grid
+		e := p.Eval(x) - f(x)
+		s := 0
+		if e > 0 {
+			s = 1
+		} else if e < 0 {
+			s = -1
+		}
+		if s == 0 {
+			continue
+		}
+		if s != prevSign {
+			flush()
+			prevSign = s
+			bestAbs = -1
+		}
+		if ae := math.Abs(e); ae > bestAbs {
+			bestAbs = ae
+			bestVal = e
+		}
+	}
+	flush()
+	if len(extrema) < deg+2 {
+		t.Fatalf("only %d alternations, want >= %d", len(extrema), deg+2)
+	}
+	// Magnitudes of the first deg+2 alternations agree within 1%.
+	var lo, hi float64 = math.Inf(1), 0
+	for _, e := range extrema[:deg+2] {
+		ae := math.Abs(e)
+		lo = math.Min(lo, ae)
+		hi = math.Max(hi, ae)
+	}
+	if (hi-lo)/hi > 0.01 {
+		t.Errorf("extrema magnitudes not levelled: [%g, %g]", lo, hi)
+	}
+}
+
+func TestRemezRecoversPolynomial(t *testing.T) {
+	target := poly.NewReal(0.3, -1.2, 0, 0.7)
+	p, err := Remez{}.Fit(target.Eval, -1, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := p.MaxErrorOn(target.Eval, -1, 2, 1000); e > 1e-9 {
+		t.Errorf("exact-degree fit error %g", e)
+	}
+}
+
+func TestRemezValidation(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if _, err := (Remez{}).Fit(f, 1, -1, 2); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	if _, err := (Remez{}).Fit(f, -1, 1, 0); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := (Remez{GridPoints: 4}).Fit(f, -1, 1, 3); err == nil {
+		t.Error("coarse grid accepted")
+	}
+}
+
+func TestRemezName(t *testing.T) {
+	if (Remez{}).Name() != "remez" {
+		t.Error("name changed")
+	}
+}

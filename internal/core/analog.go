@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fl"
+	"repro/internal/lagrange"
+	"repro/internal/nn"
+	"repro/internal/reedsolomon"
+)
+
+// AnalogScheme is the real-valued variant of L-CoFL, kept as a studied
+// ablation against the exact-field Scheme (DESIGN.md §1): vehicles encode
+// the reference batches over ℝ with the eq. 9 Chebyshev geometry and
+// evaluate their LOCALLY-TRAINED polynomial models on the encoded slots;
+// the fusion centre reconstructs the composed polynomial per slot with
+// the robust (trimmed-least-squares) Reed–Solomon decoder and reads the
+// per-batch estimation targets off the nodes (eq. 7).
+//
+// Unlike the exact Scheme there is no separate verification channel: the
+// decoded polynomial itself is the aggregate, so local data influences
+// the targets directly through the decoded estimations. The price is the
+// analog-decoding regime: honest results are evaluations of one
+// polynomial only up to local-model heterogeneity, so decoding needs a
+// residual threshold separating that heterogeneity from gross lies, and
+// the noise is amplified at the node read-off. Use the exact Scheme in
+// production; use this to study the analog trade-off (the
+// BenchmarkAblationExactVsRealDecode axis).
+type AnalogScheme struct {
+	cfg     SchemeConfig
+	coder   *lagrange.RealCoder
+	batches [][][]float64 // [M][S][F]
+	slots   int
+	k       int
+	// Threshold is the decoder's inlier residual cutoff; it must sit
+	// above the honest heterogeneity level and below the lie magnitude.
+	Threshold float64
+
+	// DecodeFailures counts slots whose decode exceeded the error budget
+	// in the last Aggregate.
+	DecodeFailures int
+}
+
+// NewAnalogScheme builds the real-valued scheme. The threshold defaults
+// to 0.25; tune it to the expected honest heterogeneity.
+func NewAnalogScheme(refX [][]float64, cfg SchemeConfig, threshold float64) (*AnalogScheme, error) {
+	if cfg.NumVehicles < 1 {
+		return nil, fmt.Errorf("core: need at least one vehicle, got %d", cfg.NumVehicles)
+	}
+	if cfg.NumBatches < 2 {
+		return nil, fmt.Errorf("core: need at least two batches, got %d", cfg.NumBatches)
+	}
+	if cfg.Degree < 1 {
+		return nil, fmt.Errorf("core: degree %d must be >= 1", cfg.Degree)
+	}
+	if len(refX) == 0 || len(refX)%cfg.NumBatches != 0 {
+		return nil, fmt.Errorf("core: reference size %d is not a positive multiple of M=%d", len(refX), cfg.NumBatches)
+	}
+	k := cfg.Degree*(cfg.NumBatches-1) + 1
+	if k > cfg.NumVehicles {
+		return nil, fmt.Errorf("core: recover threshold K=%d exceeds V=%d", k, cfg.NumVehicles)
+	}
+	if threshold <= 0 {
+		threshold = 0.25
+	}
+	// Chebyshev-distributed nodes and (slightly contracted) points: the
+	// extreme points bracket the extreme nodes so node read-off is
+	// interpolation, and the eq. 9 redundancy D stays near the Lebesgue
+	// constant (see Scheme for the full rationale).
+	nodes := lagrange.ChebyshevNodes(cfg.NumBatches, -1, 1)
+	var coder *lagrange.RealCoder
+	var err error
+	for _, scale := range []float64{1, 0.99991, 0.99983, 0.99977} {
+		points := lagrange.ChebyshevNodes(cfg.NumVehicles, -scale, scale)
+		if points[cfg.NumVehicles-1] <= nodes[cfg.NumBatches-1] {
+			continue
+		}
+		coder, err = lagrange.NewRealCoder(nodes, points)
+		if err == nil {
+			break
+		}
+	}
+	if coder == nil {
+		if err == nil {
+			err = fmt.Errorf("vehicle points cannot bracket the batch nodes (V=%d, M=%d)", cfg.NumVehicles, cfg.NumBatches)
+		}
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s := len(refX) / cfg.NumBatches
+	batches := make([][][]float64, cfg.NumBatches)
+	for m := range batches {
+		batches[m] = make([][]float64, s)
+		for j := 0; j < s; j++ {
+			batches[m][j] = append([]float64(nil), refX[m*s+j]...)
+		}
+	}
+	return &AnalogScheme{
+		cfg:       cfg,
+		coder:     coder,
+		batches:   batches,
+		slots:     s,
+		k:         k,
+		Threshold: threshold,
+	}, nil
+}
+
+// Name implements fl.Scheme.
+func (s *AnalogScheme) Name() string { return "l-cofl-analog" }
+
+// RecoverThreshold returns K = d·(M−1)+1 of eq. 6.
+func (s *AnalogScheme) RecoverThreshold() int { return s.k }
+
+// MaxMalicious returns the E-security budget ⌊(V−K)/2⌋ (eq. 6).
+func (s *AnalogScheme) MaxMalicious() int {
+	return reedsolomon.MaxErrors(s.cfg.NumVehicles, s.k)
+}
+
+// Redundancy returns the eq. 9 bound D = max_i Σ_m |p_m(ρ_i)|.
+func (s *AnalogScheme) Redundancy() float64 { return s.coder.Redundancy() }
+
+// Slots returns S, the per-vehicle upload size.
+func (s *AnalogScheme) Slots() int { return s.slots }
+
+// BeginRound implements fl.Scheme; the analog variant has no separate
+// verification model.
+func (s *AnalogScheme) BeginRound(*nn.Network) error { return nil }
+
+// Upload implements fl.Scheme: vehicle i encodes the reference batches at
+// its point ρ_i (eqs. 4, 8) and estimates every encoded slot with its
+// locally-trained model. Estimates are NOT clamped: the decoder needs raw
+// polynomial evaluations.
+func (s *AnalogScheme) Upload(vehicleID int, model *nn.Network) ([]float64, error) {
+	if vehicleID < 0 || vehicleID >= s.cfg.NumVehicles {
+		return nil, fmt.Errorf("core: vehicle ID %d outside [0, %d)", vehicleID, s.cfg.NumVehicles)
+	}
+	w := s.coder.WorkerWeights(vehicleID)
+	features := len(s.batches[0][0])
+	out := make([]float64, s.slots)
+	enc := make([]float64, features)
+	for j := 0; j < s.slots; j++ {
+		for f := range enc {
+			enc[f] = 0
+		}
+		for m := range s.batches {
+			wm := w[m]
+			row := s.batches[m][j]
+			for f, v := range row {
+				enc[f] += wm * v
+			}
+		}
+		pi, err := model.Estimate(enc)
+		if err != nil {
+			return nil, fmt.Errorf("core: vehicle %d slot %d: %w", vehicleID, j, err)
+		}
+		out[j] = pi
+	}
+	return out, nil
+}
+
+// Aggregate implements fl.Scheme: per slot, reconstruct the composed
+// polynomial with the robust real decoder and read the per-batch targets
+// off the nodes. A slot whose decode fails (heterogeneity above the
+// threshold, or lies beyond the eq. 6 budget) degrades to the median of
+// the received values.
+func (s *AnalogScheme) Aggregate(uploads [][]float64) ([]float64, error) {
+	if len(uploads) != s.cfg.NumVehicles {
+		return nil, fmt.Errorf("core: got %d uploads, want %d", len(uploads), s.cfg.NumVehicles)
+	}
+	s.DecodeFailures = 0
+	m := s.coder.NumBatches()
+	targets := make([]float64, m*s.slots)
+	points := s.coder.Points()
+	nodes := s.coder.Nodes()
+	for j := 0; j < s.slots; j++ {
+		var xs, ys []float64
+		for i, up := range uploads {
+			if up == nil {
+				continue
+			}
+			if len(up) != s.slots {
+				return nil, fmt.Errorf("core: vehicle %d uploaded %d slots, want %d", i, len(up), s.slots)
+			}
+			if fl.IsDropped(up[j]) {
+				continue
+			}
+			xs = append(xs, points[i])
+			ys = append(ys, up[j])
+		}
+		if len(xs) < s.k {
+			s.DecodeFailures++
+			fillMedian(targets, ys, m, s.slots, j)
+			continue
+		}
+		res, err := reedsolomon.DecodeRealRobust(xs, ys, s.k, reedsolomon.RealOptions{
+			InlierThreshold: s.Threshold,
+		})
+		if err != nil {
+			s.DecodeFailures++
+			fillMedian(targets, ys, m, s.slots, j)
+			continue
+		}
+		for b, node := range nodes {
+			targets[b*s.slots+j] = clampTarget(res.Poly.Eval(node))
+		}
+	}
+	return targets, nil
+}
+
+// fillMedian writes the slot's median (or Dropped when empty) to every
+// batch target of slot j.
+func fillMedian(targets, ys []float64, m, slots, j int) {
+	v := fl.Dropped
+	if len(ys) > 0 {
+		v = median(ys)
+	}
+	for b := 0; b < m; b++ {
+		targets[b*slots+j] = v
+	}
+}
+
+// clampTarget bounds decoded node values: estimation results are
+// probabilities, and real-valued decoding can overshoot under noise.
+func clampTarget(v float64) float64 {
+	if math.IsNaN(v) {
+		return fl.Dropped
+	}
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// verify interface compliance.
+var _ fl.Scheme = (*AnalogScheme)(nil)

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fl"
+	"repro/internal/nn"
+)
+
+func analogUploads(t *testing.T, s *AnalogScheme, models []*nn.Network) [][]float64 {
+	t.Helper()
+	ups := make([][]float64, s.cfg.NumVehicles)
+	for i := range ups {
+		up, err := s.Upload(i, models[i%len(models)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ups[i] = up
+	}
+	return ups
+}
+
+func TestAnalogSchemeValidation(t *testing.T) {
+	ref := refFeatures(t, 32)
+	if _, err := NewAnalogScheme(ref, SchemeConfig{NumVehicles: 0, NumBatches: 4, Degree: 1}, 0); err == nil {
+		t.Error("zero vehicles accepted")
+	}
+	if _, err := NewAnalogScheme(ref, SchemeConfig{NumVehicles: 10, NumBatches: 1, Degree: 1}, 0); err == nil {
+		t.Error("one batch accepted")
+	}
+	if _, err := NewAnalogScheme(ref, SchemeConfig{NumVehicles: 10, NumBatches: 4, Degree: 0}, 0); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := NewAnalogScheme(nil, SchemeConfig{NumVehicles: 10, NumBatches: 4, Degree: 1}, 0); err == nil {
+		t.Error("empty reference accepted")
+	}
+	if _, err := NewAnalogScheme(ref, SchemeConfig{NumVehicles: 5, NumBatches: 4, Degree: 3}, 0); err == nil {
+		t.Error("K > V accepted")
+	}
+	s, err := NewAnalogScheme(ref, SchemeConfig{NumVehicles: 20, NumBatches: 4, Degree: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Threshold != 0.25 {
+		t.Errorf("default threshold = %g", s.Threshold)
+	}
+	if s.Redundancy() < 1 || s.Redundancy() > 5 {
+		t.Errorf("redundancy = %g outside the Chebyshev-geometry range", s.Redundancy())
+	}
+}
+
+func TestAnalogSchemeIdenticalModels(t *testing.T) {
+	// With identical honest models the decoded targets match the direct
+	// evaluation of the model on the raw reference samples — the analog
+	// variant's exactness regime.
+	ref := refFeatures(t, 16*3)
+	s, err := NewAnalogScheme(ref, SchemeConfig{NumVehicles: 60, NumBatches: 16, Degree: 2}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := polyActivationModel(t, 2, 3)
+	targets, err := s.Aggregate(analogUploads(t, s, []*nn.Network{model}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DecodeFailures != 0 {
+		t.Fatalf("%d decode failures on identical honest models", s.DecodeFailures)
+	}
+	for j, x := range ref {
+		want, err := model.EstimateClamped(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(targets[j]-want) > 1e-6 {
+			t.Fatalf("target[%d] = %g, want %g", j, targets[j], want)
+		}
+	}
+}
+
+func TestAnalogSchemeCorrectsGrossLies(t *testing.T) {
+	ref := refFeatures(t, 16*2)
+	s, err := NewAnalogScheme(ref, SchemeConfig{NumVehicles: 100, NumBatches: 16, Degree: 2}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := polyActivationModel(t, 2, 4)
+	ups := analogUploads(t, s, []*nn.Network{model})
+	rng := rand.New(rand.NewSource(5))
+	for _, id := range rng.Perm(100)[:30] { // budget is 34 at degree 2
+		for j := range ups[id] {
+			ups[id][j] = 5 + rng.Float64()*10
+		}
+	}
+	targets, err := s.Aggregate(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DecodeFailures != 0 {
+		t.Fatalf("%d decode failures within budget", s.DecodeFailures)
+	}
+	for j, x := range ref {
+		want, err := model.EstimateClamped(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(targets[j]-want) > 1e-4 {
+			t.Fatalf("target[%d] = %g, want %g (lies leaked into analog decode)", j, targets[j], want)
+		}
+	}
+}
+
+func TestAnalogSchemeToleratesMildHeterogeneity(t *testing.T) {
+	// The analog regime: honest models perturbed well below the threshold
+	// still decode; targets stay close to the mean model's estimations.
+	ref := refFeatures(t, 8*2)
+	const v = 40
+	s, err := NewAnalogScheme(ref, SchemeConfig{NumVehicles: v, NumBatches: 8, Degree: 1}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := polyActivationModel(t, 1, 8)
+	rng := rand.New(rand.NewSource(9))
+	models := make([]*nn.Network, v)
+	for i := range models {
+		models[i] = base.Clone()
+		params := models[i].Params()
+		for p := range params {
+			params[p] += 0.01 * rng.NormFloat64()
+		}
+		if err := models[i].SetParams(params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ups := make([][]float64, v)
+	for i := range ups {
+		up, err := s.Upload(i, models[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ups[i] = up
+	}
+	targets, err := s.Aggregate(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DecodeFailures != 0 {
+		t.Fatalf("%d decode failures under mild heterogeneity", s.DecodeFailures)
+	}
+	for j, x := range ref {
+		want, err := base.EstimateClamped(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(targets[j]-want) > 0.15 {
+			t.Fatalf("target[%d] = %g, want ≈ %g", j, targets[j], want)
+		}
+	}
+}
+
+func TestAnalogSchemeFallbackBeyondBudget(t *testing.T) {
+	ref := refFeatures(t, 8)
+	s, err := NewAnalogScheme(ref, SchemeConfig{NumVehicles: 20, NumBatches: 8, Degree: 2}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxMalicious() != 2 {
+		t.Fatalf("budget = %d", s.MaxMalicious())
+	}
+	model := polyActivationModel(t, 2, 6)
+	ups := analogUploads(t, s, []*nn.Network{model})
+	rng := rand.New(rand.NewSource(7))
+	for _, id := range rng.Perm(20)[:9] {
+		for j := range ups[id] {
+			ups[id][j] = 50
+		}
+	}
+	targets, err := s.Aggregate(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DecodeFailures == 0 {
+		t.Error("expected decode failures beyond the budget")
+	}
+	for j, target := range targets {
+		if fl.IsDropped(target) {
+			continue
+		}
+		if target < -1 || target > 2 {
+			t.Errorf("fallback target[%d] = %g escaped the honest range", j, target)
+		}
+	}
+}
+
+func TestAnalogSchemeUploadValidation(t *testing.T) {
+	ref := refFeatures(t, 8*2) // two slots, so a one-slot upload is invalid
+	s, err := NewAnalogScheme(ref, SchemeConfig{NumVehicles: 10, NumBatches: 8, Degree: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := polyActivationModel(t, 1, 10)
+	if err := s.BeginRound(nil); err != nil {
+		t.Errorf("BeginRound should be a no-op: %v", err)
+	}
+	if _, err := s.Upload(-1, model); err == nil {
+		t.Error("negative ID accepted")
+	}
+	if _, err := s.Upload(10, model); err == nil {
+		t.Error("out-of-range ID accepted")
+	}
+	if _, err := s.Aggregate(make([][]float64, 3)); err == nil {
+		t.Error("wrong upload count accepted")
+	}
+	bad := make([][]float64, 10)
+	bad[0] = []float64{1}
+	if _, err := s.Aggregate(bad); err == nil {
+		t.Error("wrong slot count accepted")
+	}
+}

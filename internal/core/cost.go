@@ -1,0 +1,53 @@
+package core
+
+// Cost models the computing cost/redundancy of one L-CoFL round
+// following Proposition 1 and the Fig. 9 accounting: element selection is
+// O(M + V), each vehicle's encoding is O(M²), the one-off approximation is
+// O(k·deg²), and Reed–Solomon decoding is O((K + 2E)³) with K the recover
+// threshold and E the number of erroneous results (two extra evaluations
+// per erroneous result).
+type Cost struct {
+	// V, M, Degree, ApproxPoints, Errors are the scenario parameters:
+	// vehicles, batches, approximation degree, sample points k used by
+	// the approximation method, and erroneous results E.
+	V, M, Degree, ApproxPoints, Errors int
+}
+
+// ElementSelection returns the fusion centre's element-generation cost
+// O(M + V).
+func (c Cost) ElementSelection() float64 { return float64(c.M + c.V) }
+
+// EncodingPerVehicle returns one vehicle's Lagrange-encoding cost O(M²).
+func (c Cost) EncodingPerVehicle() float64 { return float64(c.M * c.M) }
+
+// ApproximationPerVehicle returns the one-off polynomial-approximation
+// cost k·deg² (paper's Proposition 1 example for least squares, Taylor
+// and Chebyshev).
+func (c Cost) ApproximationPerVehicle() float64 {
+	return float64(c.ApproxPoints * c.Degree * c.Degree)
+}
+
+// RecoverThreshold returns K = Degree·(M−1) + 1.
+func (c Cost) RecoverThreshold() int { return c.Degree*(c.M-1) + 1 }
+
+// Decoding returns the fusion centre's Reed–Solomon decoding cost
+// O((K + 2E)³), capped at V³ since the decoder never uses more than V
+// evaluations (Proposition 1).
+func (c Cost) Decoding() float64 {
+	n := c.RecoverThreshold() + 2*c.Errors
+	if n > c.V {
+		n = c.V
+	}
+	return float64(n) * float64(n) * float64(n)
+}
+
+// Total returns the round cost O(V·(M² + A) + M + V³) of Proposition 1
+// with the actual decoding size substituted.
+func (c Cost) Total() float64 {
+	return float64(c.V)*(c.EncodingPerVehicle()+c.ApproximationPerVehicle()) +
+		c.ElementSelection() + c.Decoding()
+}
+
+// PerDataPiece normalises Total by the M batches — Fig. 9 reports the
+// average computing cost of each piece of data.
+func (c Cost) PerDataPiece() float64 { return c.Total() / float64(c.M) }

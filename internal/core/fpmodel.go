@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/field"
+	"repro/internal/fixedpoint"
+	"repro/internal/poly"
+)
+
+// fpModel is a single-nonlinear-layer model quantised into GF(p):
+// estimation = act(w·x + b) evaluated entirely in fixed-point field
+// arithmetic. Because every operation is exact field arithmetic, two
+// parties evaluating the same fpModel on the same encoded input produce
+// bit-identical results — the property the L-CoFL verification channel
+// relies on.
+//
+// Scale management: weights, inputs and activation coefficients carry
+// frac fractional bits each. The pre-activation z = w·x + b carries
+// 2·frac (bias pre-scaled accordingly), z^t carries 2t·frac, and each term
+// c_t·z^t is padded with powers of the fixed-point unit so every term —
+// and therefore the output — carries (2·deg+1)·frac bits.
+type fpModel struct {
+	codec *fixedpoint.Codec
+	w     []field.Element
+	b     field.Element // at scale 2·frac
+	act   []field.Element
+	deg   int
+}
+
+// maxFracBitsFor returns the largest usable fractional resolution for a
+// given activation degree, leaving ~10 bits of magnitude headroom under
+// the 60-bit symmetric field range.
+func maxFracBitsFor(degree int) uint {
+	return uint(50 / (2*degree + 1))
+}
+
+// newFPModel quantises the model. The activation polynomial's degree sets
+// the composed-degree budget; deg is the configured ceiling.
+func newFPModel(codec *fixedpoint.Codec, w []float64, b float64, act poly.Real, deg int) (*fpModel, error) {
+	if act.Degree() > deg {
+		return nil, fmt.Errorf("core: activation degree %d exceeds configured %d", act.Degree(), deg)
+	}
+	if act.Degree() < 1 {
+		return nil, fmt.Errorf("core: activation must be a non-constant polynomial")
+	}
+	if bits := (2*uint(deg) + 1) * codec.FracBits(); bits > 50 {
+		return nil, fmt.Errorf("core: %d fractional bits at degree %d need %d bits, exceeding field headroom (max FracBits %d)",
+			codec.FracBits(), deg, bits, maxFracBitsFor(deg))
+	}
+	m := &fpModel{codec: codec, deg: deg}
+	var err error
+	if m.w, err = codec.EncodeVec(w); err != nil {
+		return nil, fmt.Errorf("core: weights: %w", err)
+	}
+	// The bias joins the pre-activation sum at 2·frac bits.
+	if m.b, err = codec.Encode(b * math.Ldexp(1, int(codec.FracBits()))); err != nil {
+		return nil, fmt.Errorf("core: bias: %w", err)
+	}
+	m.act = make([]field.Element, act.Degree()+1)
+	for i := range m.act {
+		e, err := codec.Encode(act.Coeff(i))
+		if err != nil {
+			return nil, fmt.Errorf("core: activation coeff %d: %w", i, err)
+		}
+		m.act[i] = e
+	}
+	return m, nil
+}
+
+// Eval computes act(w·x + b) for a quantised input vector. The result
+// carries (2·deg+1)·frac fractional bits.
+func (m *fpModel) Eval(x []field.Element) field.Element {
+	z := field.Dot(m.w, x).Add(m.b) // scale 2·frac
+	unit := field.New(1 << m.codec.FracBits())
+	out := field.Zero
+	zPow := field.One // z^0, dimensionless
+	for t := 0; t <= m.deg; t++ {
+		var c field.Element
+		if t < len(m.act) {
+			c = m.act[t]
+		}
+		// term = c·z^t·unit^{2(deg−t)}: frac + 2t·frac + 2(deg−t)·frac
+		// = (2·deg+1)·frac for every t.
+		term := c.Mul(zPow)
+		for pad := 0; pad < 2*(m.deg-t); pad++ {
+			term = term.Mul(unit)
+		}
+		out = out.Add(term)
+		zPow = zPow.Mul(z)
+	}
+	return out
+}
+
+// Decode converts an Eval result back to a real number.
+func (m *fpModel) Decode(e field.Element) float64 {
+	return m.codec.DecodeScaled(e, 2*uint(m.deg)+1)
+}
+
+// symbolToFloats splits a field element into two exactly-representable
+// float64 halves for transport over the float-valued upload vector
+// (61-bit symbols do not fit a 53-bit mantissa). Any corruption of either
+// half reassembles into a different field element, which the exact
+// Reed–Solomon decoder then flags — corruption semantics are preserved.
+func symbolToFloats(e field.Element) (hi, lo float64) {
+	v := e.Uint64()
+	return float64(v >> 32), float64(v & 0xffffffff)
+}
+
+// floatsToSymbol reassembles a symbol, deterministically mapping corrupted
+// (non-integral or out-of-range) halves to some canonical field element so
+// the decoder sees a concrete — wrong — symbol rather than an error.
+func floatsToSymbol(hi, lo float64) field.Element {
+	toU32 := func(f float64) uint64 {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0x5a5a5a5a // arbitrary garbage marker
+		}
+		r := math.Abs(math.Round(f))
+		return uint64(r) & 0xffffffff
+	}
+	return field.New(toU32(hi)<<32 | toU32(lo))
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/field"
+	"repro/internal/poly"
+)
+
+func inferenceFixture(t *testing.T, v, m, degree int, frac uint) (*Inference, []float64, float64, poly.Real, [][]float64) {
+	t.Helper()
+	inf, err := NewInference(InferenceConfig{
+		NumVehicles: v, NumBatches: m, FracBits: frac, Seed: 1,
+	}, degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := approx.SymmetricSigmoid()
+	p, err := approx.LeastSquares{SamplePoints: 21}.Fit(act.F, -2, 2, degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const features = 16
+	w := make([]float64, features)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.3
+	}
+	b := 0.1
+	batches := make([][]float64, m)
+	for i := range batches {
+		batches[i] = make([]float64, features)
+		for j := range batches[i] {
+			batches[i][j] = rng.Float64()*2 - 1
+		}
+	}
+	return inf, w, b, p, batches
+}
+
+func TestInferenceValidation(t *testing.T) {
+	if _, err := NewInference(InferenceConfig{NumVehicles: 0, NumBatches: 4, FracBits: 7}, 2); err == nil {
+		t.Error("zero vehicles accepted")
+	}
+	if _, err := NewInference(InferenceConfig{NumVehicles: 10, NumBatches: 1, FracBits: 7}, 2); err == nil {
+		t.Error("one batch accepted")
+	}
+	if _, err := NewInference(InferenceConfig{NumVehicles: 10, NumBatches: 4, FracBits: 7}, 0); err == nil {
+		t.Error("degree 0 accepted")
+	}
+	if _, err := NewInference(InferenceConfig{NumVehicles: 5, NumBatches: 8, FracBits: 7}, 3); err == nil {
+		t.Error("K > V accepted")
+	}
+	// Headroom: degree 3 needs (2·3+1)·frac ≤ 50 → frac ≤ 7.
+	if _, err := NewInference(InferenceConfig{NumVehicles: 100, NumBatches: 16, FracBits: 8}, 3); err == nil {
+		t.Error("overflowing FracBits accepted")
+	}
+	if _, err := NewInference(InferenceConfig{NumVehicles: 100, NumBatches: 16, FracBits: 0}, 3); err == nil {
+		t.Error("zero FracBits accepted")
+	}
+}
+
+func TestInferenceHonestMatchesPlaintext(t *testing.T) {
+	inf, w, b, act, batches := inferenceFixture(t, 60, 8, 3, 7)
+	res, err := inf.Run(w, b, act, batches, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ErrorPositions) != 0 {
+		t.Errorf("honest run flagged errors %v", res.ErrorPositions)
+	}
+	for m, batch := range batches {
+		want, err := inf.PlaintextModel(w, b, act, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BatchOutputs[m] != want {
+			t.Fatalf("batch %d decoded %g, plaintext %g — must be bit-exact", m, res.BatchOutputs[m], want)
+		}
+	}
+}
+
+func TestInferenceQuantisationAccuracy(t *testing.T) {
+	// The decoded fixed-point output must track the float64 computation
+	// within quantisation error.
+	inf, w, b, act, batches := inferenceFixture(t, 60, 8, 3, 7)
+	res, err := inf.Run(w, b, act, batches, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, batch := range batches {
+		var z float64
+		for j := range w {
+			z += w[j] * batch[j]
+		}
+		z += b
+		want := act.Eval(z)
+		if math.Abs(res.BatchOutputs[m]-want) > 0.05 {
+			t.Errorf("batch %d decoded %g, float64 %g", m, res.BatchOutputs[m], want)
+		}
+	}
+}
+
+func TestInferenceCorrectsMalicious(t *testing.T) {
+	inf, w, b, act, batches := inferenceFixture(t, 100, 16, 3, 7)
+	if inf.RecoverThreshold() != 46 || inf.MaxMalicious() != 27 {
+		t.Fatalf("paper-scale thresholds wrong: K=%d E=%d", inf.RecoverThreshold(), inf.MaxMalicious())
+	}
+	honest, err := inf.Run(w, b, act, batches, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	corrupt := map[int]field.Element{}
+	for _, id := range rng.Perm(100)[:27] { // exactly the E budget
+		corrupt[id] = field.Rand(rng)
+	}
+	res, err := inf.Run(w, b, act, batches, corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range batches {
+		if res.BatchOutputs[m] != honest.BatchOutputs[m] {
+			t.Fatalf("batch %d output changed under attack: %g vs %g", m, res.BatchOutputs[m], honest.BatchOutputs[m])
+		}
+	}
+	if len(res.ErrorPositions) != len(corrupt) {
+		t.Fatalf("identified %d errors, want %d", len(res.ErrorPositions), len(corrupt))
+	}
+	for _, pos := range res.ErrorPositions {
+		if _, planted := corrupt[pos]; !planted {
+			t.Errorf("false positive error position %d", pos)
+		}
+	}
+}
+
+func TestInferenceBeyondBudgetFails(t *testing.T) {
+	inf, w, b, act, batches := inferenceFixture(t, 40, 8, 2, 9)
+	// K = 15, E = 12; corrupt 13.
+	rng := rand.New(rand.NewSource(4))
+	corrupt := map[int]field.Element{}
+	for _, id := range rng.Perm(40)[:13] {
+		corrupt[id] = field.Rand(rng)
+	}
+	if _, err := inf.Run(w, b, act, batches, corrupt); err == nil {
+		t.Error("decoding beyond the budget succeeded silently")
+	}
+}
+
+func TestInferenceRunValidation(t *testing.T) {
+	inf, w, b, act, batches := inferenceFixture(t, 30, 8, 2, 9)
+	if _, err := inf.Run(w, b, act, batches[:3], nil); err == nil {
+		t.Error("wrong batch count accepted")
+	}
+	ragged := make([][]float64, 8)
+	for i := range ragged {
+		ragged[i] = make([]float64, 3)
+	}
+	if _, err := inf.Run(w, b, act, ragged, nil); err == nil {
+		t.Error("ragged batches accepted")
+	}
+	if _, err := inf.Run(w, b, act, batches, map[int]field.Element{99: 1}); err == nil {
+		t.Error("out-of-range corrupt ID accepted")
+	}
+	tooHigh := poly.NewReal(0, 1, 0, 0, 1) // degree 4 > configured 2
+	if _, err := inf.Run(w, b, tooHigh, batches, nil); err == nil {
+		t.Error("over-degree activation accepted")
+	}
+}
+
+func TestInferenceDeterministic(t *testing.T) {
+	infA, w, b, act, batches := inferenceFixture(t, 30, 8, 2, 9)
+	infB, _, _, _, _ := inferenceFixture(t, 30, 8, 2, 9)
+	ra, err := infA.Run(w, b, act, batches, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := infB.Run(w, b, act, batches, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range ra.BatchOutputs {
+		if ra.BatchOutputs[m] != rb.BatchOutputs[m] {
+			t.Fatal("same seed produced different inference")
+		}
+	}
+}
+
+func TestInferencePrivacyRoundTrip(t *testing.T) {
+	// With T=2 privacy padding the recover threshold grows but decoding
+	// still returns the exact plaintext outputs.
+	inf, err := NewInference(InferenceConfig{
+		NumVehicles: 60, NumBatches: 8, PrivacyT: 2, FracBits: 9, Seed: 11,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K = 2·(8+2−1)+1 = 19, E = (60−19)/2 = 20.
+	if inf.RecoverThreshold() != 19 {
+		t.Fatalf("K = %d, want 19", inf.RecoverThreshold())
+	}
+	if inf.MaxMalicious() != 20 {
+		t.Fatalf("E = %d, want 20", inf.MaxMalicious())
+	}
+	_, w, b, act, batches := inferenceFixture(t, 60, 8, 2, 9)
+	rng := rand.New(rand.NewSource(12))
+	corrupt := map[int]field.Element{}
+	for _, id := range rng.Perm(60)[:20] {
+		corrupt[id] = field.Rand(rng)
+	}
+	res, err := inf.Run(w, b, act, batches, corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, batch := range batches {
+		want, err := inf.PlaintextModel(w, b, act, batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.BatchOutputs[m] != want {
+			t.Fatalf("batch %d decoded %g, plaintext %g", m, res.BatchOutputs[m], want)
+		}
+	}
+	if len(res.ErrorPositions) != len(corrupt) {
+		t.Fatalf("identified %d errors, want %d", len(res.ErrorPositions), len(corrupt))
+	}
+}
+
+func TestInferencePrivacyMasksShares(t *testing.T) {
+	// The same data encoded twice under T=1 must yield different shares:
+	// the padding randomness masks every individual share. Without
+	// privacy the shares are a deterministic function of the data.
+	mk := func(privacy int) *Inference {
+		inf, err := NewInference(InferenceConfig{
+			NumVehicles: 30, NumBatches: 4, PrivacyT: privacy, FracBits: 9, Seed: 13,
+		}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inf
+	}
+	data := make([][]float64, 4)
+	for i := range data {
+		data[i] = make([]float64, 6)
+		for j := range data[i] {
+			data[i][j] = float64(i*6+j) / 30
+		}
+	}
+	priv := mk(1)
+	a, err := priv.Shares(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := priv.Shares(data) // fresh padding randomness
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for v := range a {
+		for f := range a[v] {
+			if a[v][f] != b[v][f] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("privacy padding did not re-randomise the shares")
+	}
+	plain := mk(0)
+	c, err := plain.Shares(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := plain.Shares(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range c {
+		for f := range c[v] {
+			if c[v][f] != d[v][f] {
+				t.Fatal("unpadded shares must be deterministic")
+			}
+		}
+	}
+}
+
+func TestInferencePrivacyValidation(t *testing.T) {
+	if _, err := NewInference(InferenceConfig{NumVehicles: 30, NumBatches: 4, PrivacyT: -1, FracBits: 9}, 2); err == nil {
+		t.Error("negative T accepted")
+	}
+	// T pushes K beyond V: K = 2·(4+20−1)+1 = 47 > 30.
+	if _, err := NewInference(InferenceConfig{NumVehicles: 30, NumBatches: 4, PrivacyT: 20, FracBits: 9}, 2); err == nil {
+		t.Error("K > V with privacy accepted")
+	}
+}

@@ -1,0 +1,611 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/approx"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/traffic"
+)
+
+// polyActivationModel builds a single-layer network with a least-squares
+// polynomial activation of the given degree, as L-CoFL prescribes.
+func polyActivationModel(t *testing.T, degree int, seed int64) *nn.Network {
+	t.Helper()
+	act := approx.SymmetricSigmoid()
+	p, err := approx.LeastSquares{SamplePoints: 21}.Fit(act.F, -2, 2, degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := nn.New(nn.Config{
+		LayerSizes: []int{traffic.NumFeatures, 1},
+		Activation: approx.FromPolynomial("ls", p),
+		Seed:       seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func refFeatures(t *testing.T, rows int) [][]float64 {
+	t.Helper()
+	ds, err := traffic.Generate(traffic.GenConfig{Rows: rows, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Features()
+}
+
+func TestNewSchemeValidation(t *testing.T) {
+	ref := refFeatures(t, 32)
+	cases := []struct {
+		name string
+		cfg  SchemeConfig
+		ref  [][]float64
+	}{
+		{"zero vehicles", SchemeConfig{NumVehicles: 0, NumBatches: 4, Degree: 1}, ref},
+		{"one batch", SchemeConfig{NumVehicles: 10, NumBatches: 1, Degree: 1}, ref},
+		{"zero degree", SchemeConfig{NumVehicles: 10, NumBatches: 4, Degree: 0}, ref},
+		{"ref not multiple", SchemeConfig{NumVehicles: 10, NumBatches: 5, Degree: 1}, ref},
+		{"empty ref", SchemeConfig{NumVehicles: 10, NumBatches: 4, Degree: 1}, nil},
+		{"K exceeds V", SchemeConfig{NumVehicles: 5, NumBatches: 4, Degree: 3}, ref},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewScheme(tc.ref, tc.cfg); err == nil {
+				t.Errorf("accepted invalid config %+v", tc.cfg)
+			}
+		})
+	}
+}
+
+func TestSchemeThresholdArithmetic(t *testing.T) {
+	// The paper-scale sanity check from DESIGN.md: V=100, M=16.
+	ref := refFeatures(t, 16*4)
+	tests := []struct{ degree, wantK, wantE int }{
+		{1, 16, 42},
+		{2, 31, 34},
+		{3, 46, 27},
+	}
+	for _, tt := range tests {
+		s, err := NewScheme(ref, SchemeConfig{NumVehicles: 100, NumBatches: 16, Degree: tt.degree})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.RecoverThreshold() != tt.wantK {
+			t.Errorf("degree %d: K = %d, want %d", tt.degree, s.RecoverThreshold(), tt.wantK)
+		}
+		if s.MaxMalicious() != tt.wantE {
+			t.Errorf("degree %d: E = %d, want %d", tt.degree, s.MaxMalicious(), tt.wantE)
+		}
+	}
+}
+
+func TestSchemeUploadLenAndFracBits(t *testing.T) {
+	ref := refFeatures(t, 16*2)
+	s, err := NewScheme(ref, SchemeConfig{NumVehicles: 100, NumBatches: 16, Degree: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.UploadLen(); got != 2*s.Slots()+len(ref) {
+		t.Errorf("UploadLen = %d", got)
+	}
+	// Degree 1 allows (2·1+1)·frac ≤ 50 → frac 16 (the cap).
+	if got := s.FracBits(); got != 16 {
+		t.Errorf("default FracBits = %d, want 16", got)
+	}
+	s3, err := NewScheme(ref, SchemeConfig{NumVehicles: 100, NumBatches: 16, Degree: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.FracBits(); got != 7 {
+		t.Errorf("degree-3 default FracBits = %d, want 7", got)
+	}
+}
+
+// roundUploads runs BeginRound with the shared model and collects every
+// vehicle's upload using the given local models (shared model reused when
+// locals is nil).
+func roundUploads(t *testing.T, s *Scheme, shared *nn.Network, locals []*nn.Network) [][]float64 {
+	t.Helper()
+	if err := s.BeginRound(shared); err != nil {
+		t.Fatal(err)
+	}
+	ups := make([][]float64, s.cfg.NumVehicles)
+	for i := range ups {
+		local := shared
+		if locals != nil {
+			local = locals[i]
+		}
+		up, err := s.Upload(i, local)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ups[i] = up
+	}
+	return ups
+}
+
+func TestSchemeHonestRoundTrip(t *testing.T) {
+	// All-honest: every vehicle is verified and targets equal the mean of
+	// the local estimations — here exactly the shared model's estimation.
+	ref := refFeatures(t, 16*3)
+	s, err := NewScheme(ref, SchemeConfig{NumVehicles: 60, NumBatches: 16, Degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := polyActivationModel(t, 2, 3)
+	targets, err := s.Aggregate(roundUploads(t, s, model, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DecodeFailures != 0 {
+		t.Fatalf("%d decode failures on honest uploads", s.DecodeFailures)
+	}
+	if got := s.SuspectedMalicious(); len(got) != 0 {
+		t.Fatalf("honest round flagged %v", got)
+	}
+	for j, x := range ref {
+		want, err := model.EstimateClamped(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(targets[j]-want) > 1e-12 {
+			t.Fatalf("target[%d] = %g, want %g", j, targets[j], want)
+		}
+	}
+}
+
+func TestSchemeCorrectsMaliciousUploads(t *testing.T) {
+	ref := refFeatures(t, 16*3)
+	s, err := NewScheme(ref, SchemeConfig{NumVehicles: 100, NumBatches: 16, Degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := polyActivationModel(t, 2, 4)
+	ups := roundUploads(t, s, model, nil)
+
+	// Corrupt 30 vehicles wholesale (budget is 34 at degree 2).
+	rng := rand.New(rand.NewSource(5))
+	bad := rng.Perm(100)[:30]
+	for _, id := range bad {
+		for j := range ups[id] {
+			ups[id][j] = 5 + rng.Float64()*10
+		}
+	}
+	targets, err := s.Aggregate(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DecodeFailures != 0 {
+		t.Fatalf("%d decode failures within budget", s.DecodeFailures)
+	}
+	// Targets must equal the honest estimation exactly: the malicious
+	// vehicles are identified on the verification channel and their
+	// learning estimations never enter the average.
+	for j, x := range ref {
+		want, err := model.EstimateClamped(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(targets[j]-want) > 1e-12 {
+			t.Fatalf("target[%d] = %g, want %g (malicious influence leaked)", j, targets[j], want)
+		}
+	}
+	// The decoder must finger exactly the planted vehicles.
+	suspected := map[int]bool{}
+	for _, id := range s.SuspectedMalicious() {
+		suspected[id] = true
+	}
+	for _, id := range bad {
+		if !suspected[id] {
+			t.Errorf("malicious vehicle %d not flagged", id)
+		}
+	}
+	if len(suspected) != len(bad) {
+		t.Errorf("flagged %d vehicles, want %d", len(suspected), len(bad))
+	}
+}
+
+func TestSchemeHeterogeneousLocals(t *testing.T) {
+	// Locally-trained models differ between vehicles; the verification
+	// channel still uses the common shared model, so decoding stays exact
+	// and targets equal the mean of the heterogeneous local estimations.
+	ref := refFeatures(t, 8*2)
+	const v = 30
+	s, err := NewScheme(ref, SchemeConfig{NumVehicles: v, NumBatches: 8, Degree: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := polyActivationModel(t, 1, 8)
+	locals := make([]*nn.Network, v)
+	rng := rand.New(rand.NewSource(9))
+	for i := range locals {
+		locals[i] = shared.Clone()
+		params := locals[i].Params()
+		for p := range params {
+			params[p] += 0.3 * rng.NormFloat64() // strong heterogeneity
+		}
+		if err := locals[i].SetParams(params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	targets, err := s.Aggregate(roundUploads(t, s, shared, locals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DecodeFailures != 0 {
+		t.Fatalf("%d decode failures despite exact verification channel", s.DecodeFailures)
+	}
+	for j, x := range ref {
+		var want float64
+		for _, l := range locals {
+			pi, err := l.EstimateClamped(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want += pi / float64(v)
+		}
+		if math.Abs(targets[j]-want) > 1e-12 {
+			t.Fatalf("target[%d] = %g, want mean %g", j, targets[j], want)
+		}
+	}
+}
+
+func TestSchemeBeyondBudgetFallsBack(t *testing.T) {
+	ref := refFeatures(t, 8*2)
+	// V=20, M=8, degree 2 → K=15, E budget = 2.
+	s, err := NewScheme(ref, SchemeConfig{NumVehicles: 20, NumBatches: 8, Degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxMalicious() != 2 {
+		t.Fatalf("budget = %d, want 2", s.MaxMalicious())
+	}
+	model := polyActivationModel(t, 2, 6)
+	ups := roundUploads(t, s, model, nil)
+	rng := rand.New(rand.NewSource(7))
+	for _, id := range rng.Perm(20)[:9] { // way beyond budget
+		for j := range ups[id] {
+			ups[id][j] = 50 + rng.Float64()
+		}
+	}
+	targets, err := s.Aggregate(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DecodeFailures == 0 {
+		t.Error("expected decode failures beyond the budget")
+	}
+	// The median fallback must stay in the honest range: 11 of 20 honest.
+	for j, x := range ref {
+		want, err := model.EstimateClamped(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(targets[j]-want) > 0.5 {
+			t.Errorf("fallback target[%d] = %g, honest %g", j, targets[j], want)
+		}
+	}
+}
+
+func TestSchemeDroppedUploads(t *testing.T) {
+	ref := refFeatures(t, 8*2)
+	s, err := NewScheme(ref, SchemeConfig{NumVehicles: 30, NumBatches: 8, Degree: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := polyActivationModel(t, 1, 8)
+	ups := roundUploads(t, s, model, nil)
+	// Drop 10 vehicles entirely plus scattered scalars: K=8, the 20
+	// surviving vehicles still verify and aggregate.
+	for i := 0; i < 10; i++ {
+		ups[i] = nil
+	}
+	ups[15][0] = fl.Dropped             // half of a verification symbol
+	ups[16][2*s.Slots()+1] = fl.Dropped // learning scalar
+	targets, err := s.Aggregate(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DecodeFailures != 0 {
+		t.Fatalf("%d decode failures with 20 survivors and K=8", s.DecodeFailures)
+	}
+	for j, x := range ref {
+		want, err := model.EstimateClamped(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(targets[j]-want) > 1e-12 {
+			t.Fatalf("target[%d] = %g, want %g", j, targets[j], want)
+		}
+	}
+}
+
+func TestSchemeAllSlotsUndecodable(t *testing.T) {
+	ref := refFeatures(t, 8)
+	s, err := NewScheme(ref, SchemeConfig{NumVehicles: 16, NumBatches: 8, Degree: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := polyActivationModel(t, 2, 9)
+	ups := roundUploads(t, s, model, nil)
+	for i := 2; i < 16; i++ { // only 2 survivors < K=15
+		ups[i] = nil
+	}
+	targets, err := s.Aggregate(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DecodeFailures != s.Slots() {
+		t.Fatalf("DecodeFailures = %d, want %d", s.DecodeFailures, s.Slots())
+	}
+	// Fallback median over the two surviving honest vehicles.
+	for j, x := range ref {
+		want, err := model.EstimateClamped(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(targets[j]-want) > 1e-12 {
+			t.Fatalf("fallback target[%d] = %g, want %g", j, targets[j], want)
+		}
+	}
+}
+
+func TestSchemeUploadValidation(t *testing.T) {
+	ref := refFeatures(t, 8)
+	s, err := NewScheme(ref, SchemeConfig{NumVehicles: 10, NumBatches: 8, Degree: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := polyActivationModel(t, 1, 10)
+	if _, err := s.Upload(0, model); err == nil {
+		t.Error("Upload before BeginRound accepted")
+	}
+	if err := s.BeginRound(nil); err == nil {
+		t.Error("nil shared model accepted")
+	}
+	if err := s.BeginRound(model); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Upload(-1, model); err == nil {
+		t.Error("negative ID accepted")
+	}
+	if _, err := s.Upload(10, model); err == nil {
+		t.Error("out-of-range ID accepted")
+	}
+	if _, err := s.Aggregate(make([][]float64, 3)); err == nil {
+		t.Error("wrong upload count accepted")
+	}
+	bad := make([][]float64, 10)
+	bad[0] = []float64{1, 2, 3} // wrong upload width
+	if _, err := s.Aggregate(bad); err == nil {
+		t.Error("wrong upload width accepted")
+	}
+}
+
+func TestSchemeInFullSystem(t *testing.T) {
+	// End-to-end: L-CoFL plugged into the fl round loop with 30%
+	// malicious vehicles must keep learning — the Fig. 4 scenario.
+	ds, err := traffic.Generate(traffic.GenConfig{Rows: 2500, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test, err := ds.Split(0.8, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refAll := refFeatures(t, 16*8)
+	const vehicles = 100
+	parts, err := train.PartitionIID(vehicles, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := approx.SymmetricSigmoid()
+	p, err := approx.LeastSquares{SamplePoints: 21}.Fit(act.F, -2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fl.Config{
+		InputSize:     traffic.NumFeatures,
+		LocalEpochs:   5,
+		LocalRate:     0.2,
+		DistillEpochs: 30,
+		DistillRate:   0.2,
+		ServerStep:    0.5,
+		Seed:          14,
+	}
+	mkSystem := func() *fl.System {
+		sys, err := fl.NewSystem(cfg, parts, refAll, approx.FromPolynomial("ls-1", p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	sysCoded, sysHonest, sysPlainAttacked := mkSystem(), mkSystem(), mkSystem()
+	scheme, err := NewScheme(refAll, SchemeConfig{
+		NumVehicles: vehicles, NumBatches: 16, Degree: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainH, err := fl.NewPlainScheme(refAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainA, err := fl.NewPlainScheme(refAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := mustPlan(t, vehicles, 0.3)
+	const rounds = 12
+	var accCoded, accHonest, accAttacked float64
+	for r := 0; r < rounds; r++ {
+		if _, err := sysCoded.RunRound(scheme, plan, nil); err != nil {
+			t.Fatal(err)
+		}
+		if scheme.DecodeFailures != 0 {
+			t.Fatalf("round %d: %d decode failures", r, scheme.DecodeFailures)
+		}
+		if got := len(scheme.SuspectedMalicious()); got != plan.Count() {
+			t.Fatalf("round %d: flagged %d vehicles, want %d", r, got, plan.Count())
+		}
+		if _, err := sysHonest.RunRound(plainH, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sysPlainAttacked.RunRound(plainA, plan, nil); err != nil {
+			t.Fatal(err)
+		}
+		if r >= rounds-5 {
+			a, err := sysCoded.Accuracy(test.Samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := sysHonest.Accuracy(test.Samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := sysPlainAttacked.Accuracy(test.Samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			accCoded += a / 5
+			accHonest += b / 5
+			accAttacked += c / 5
+		}
+	}
+	// The paper's Fig. 5 claim: L-CoFL under attack tracks the ideal
+	// (accurate) FL model, while plain FL is poisoned.
+	if rel := math.Abs(accCoded - accHonest); rel > 0.08 {
+		t.Errorf("L-CoFL relative error %.3f vs ideal (coded %.3f, honest %.3f), want <= 0.08",
+			rel, accCoded, accHonest)
+	}
+	if accCoded < accAttacked+0.1 {
+		t.Errorf("L-CoFL (%.3f) does not clearly beat attacked plain FL (%.3f)", accCoded, accAttacked)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := Cost{V: 100, M: 16, Degree: 3, ApproxPoints: 21, Errors: 10}
+	if c.RecoverThreshold() != 46 {
+		t.Errorf("K = %d", c.RecoverThreshold())
+	}
+	if got := c.EncodingPerVehicle(); got != 256 {
+		t.Errorf("encoding = %g", got)
+	}
+	if got := c.ApproximationPerVehicle(); got != 21*9 {
+		t.Errorf("approx = %g", got)
+	}
+	// Decoding cost grows with errors (two evaluations each).
+	lo := Cost{V: 100, M: 16, Degree: 3, ApproxPoints: 21, Errors: 0}.Decoding()
+	hi := c.Decoding()
+	if hi <= lo {
+		t.Errorf("decoding cost %g did not grow with errors (base %g)", hi, lo)
+	}
+	// Cap at V³.
+	huge := Cost{V: 100, M: 16, Degree: 3, ApproxPoints: 21, Errors: 1000}
+	if got := huge.Decoding(); got != 1e6 {
+		t.Errorf("capped decoding = %g, want 1e6", got)
+	}
+	if c.Total() <= 0 || c.PerDataPiece() != c.Total()/16 {
+		t.Error("total/per-piece accounting inconsistent")
+	}
+	// Fig. 9 shape: cost increases with degree and with malicious rate.
+	prev := 0.0
+	for d := 1; d <= 4; d++ {
+		cur := Cost{V: 100, M: 16, Degree: d, ApproxPoints: 21, Errors: 10}.PerDataPiece()
+		if cur <= prev {
+			t.Errorf("cost at degree %d (%g) not above degree %d (%g)", d, cur, d-1, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestTrimToMultiple(t *testing.T) {
+	rows := make([][]float64, 10)
+	if got := TrimToMultiple(rows, 4); len(got) != 8 {
+		t.Errorf("trim = %d, want 8", len(got))
+	}
+	if got := TrimToMultiple(rows, 0); got != nil {
+		t.Error("m=0 should return nil")
+	}
+	if got := TrimToMultiple(rows, 3); len(got) != 9 {
+		t.Errorf("trim = %d, want 9", len(got))
+	}
+}
+
+func mustPlan(t *testing.T, v int, frac float64) *adversary.Plan {
+	t.Helper()
+	p, err := adversary.NewPlan(v, frac, adversary.ConstantLie{Value: 5}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPropertySchemeIdentifiesAnyMaliciousSubset(t *testing.T) {
+	// For ANY malicious subset within the eq. 6 budget and ANY gross
+	// corruption values, the verification channel identifies exactly the
+	// planted vehicles and the targets equal the honest aggregate.
+	ref := refFeatures(t, 8*2)
+	const v, m, degree = 40, 8, 2 // K=15, E budget 12
+	s, err := NewScheme(ref, SchemeConfig{NumVehicles: v, NumBatches: m, Degree: degree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := polyActivationModel(t, degree, 11)
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 15; trial++ {
+		ups := roundUploads(t, s, model, nil)
+		e := rng.Intn(s.MaxMalicious() + 1)
+		planted := map[int]bool{}
+		for _, id := range rng.Perm(v)[:e] {
+			planted[id] = true
+			for j := range ups[id] {
+				// Mixed corruption styles; each provably changes the
+				// transported verification symbol (the halves are
+				// non-negative integers, so an affine bump or +1 always
+				// lands on a different value). A corruption that leaves
+				// the symbol bit-identical is not a lie.
+				switch rng.Intn(3) {
+				case 0:
+					ups[id][j] = rng.Float64() * 100
+				case 1:
+					ups[id][j] = ups[id][j]*2 + 7
+				default:
+					ups[id][j] += 1
+				}
+			}
+		}
+		targets, err := s.Aggregate(ups)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.DecodeFailures != 0 {
+			t.Fatalf("trial %d (e=%d): %d decode failures", trial, e, s.DecodeFailures)
+		}
+		flagged := s.SuspectedMalicious()
+		if len(flagged) != e {
+			t.Fatalf("trial %d: flagged %d, want %d", trial, len(flagged), e)
+		}
+		for _, id := range flagged {
+			if !planted[id] {
+				t.Fatalf("trial %d: false positive %d", trial, id)
+			}
+		}
+		for j, x := range ref {
+			want, err := model.EstimateClamped(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(targets[j]-want) > 1e-12 {
+				t.Fatalf("trial %d: target[%d] leaked", trial, j)
+			}
+		}
+	}
+}

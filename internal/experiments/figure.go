@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Figure is one reproduced table of series: Columns names the fields,
+// Rows holds the numbers the paper plots.
+type Figure struct {
+	// Name identifies the figure ("fig2", …).
+	Name string
+	// Title is a one-line description.
+	Title string
+	// Columns names the row fields.
+	Columns []string
+	// Rows holds the data, one slice per row, len == len(Columns).
+	Rows [][]float64
+	// Notes carries free-form observations recorded while running.
+	Notes []string
+}
+
+// AddRow appends a row, validating its width.
+func (f *Figure) AddRow(vals ...float64) error {
+	if len(vals) != len(f.Columns) {
+		return fmt.Errorf("experiments: %s row has %d values, want %d", f.Name, len(vals), len(f.Columns))
+	}
+	f.Rows = append(f.Rows, vals)
+	return nil
+}
+
+// AddNote records an observation emitted with the figure.
+func (f *Figure) AddNote(format string, args ...any) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteTSV renders the figure as a tab-separated table with a header
+// comment — the format EXPERIMENTS.md quotes.
+func (f *Figure) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", f.Name, f.Title); err != nil {
+		return err
+	}
+	for _, n := range f.Notes {
+		if _, err := fmt.Fprintf(w, "# note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(f.Columns, "\t")); err != nil {
+		return err
+	}
+	for _, row := range f.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = strconv.FormatFloat(v, 'g', 6, 64)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Repeat runs a figure driver across several seeds and aggregates the
+// cells: the returned figure carries, for every data column of the
+// underlying figure, a mean column and a sample-std column. Single-seed
+// figures answer "what happened"; repeated figures answer "is the shape
+// stable" — EXPERIMENTS.md quotes the repeated form where round-level
+// noise matters.
+//
+// The first column of the underlying figure is treated as the axis and
+// must be identical across seeds (drivers derive it from the
+// configuration, not the data).
+func Repeat(driver func(Options) (*Figure, error), o Options, seeds []int64) (*Figure, error) {
+	if driver == nil {
+		return nil, fmt.Errorf("experiments: driver required")
+	}
+	if len(seeds) < 2 {
+		return nil, fmt.Errorf("experiments: need at least two seeds, got %d", len(seeds))
+	}
+	var figs []*Figure
+	for _, seed := range seeds {
+		run := o
+		run.Seed = seed
+		fig, err := driver(run)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
+		}
+		figs = append(figs, fig)
+	}
+	base := figs[0]
+	for i, f := range figs[1:] {
+		if len(f.Rows) != len(base.Rows) || len(f.Columns) != len(base.Columns) {
+			return nil, fmt.Errorf("experiments: seed %d produced shape %dx%d, want %dx%d",
+				seeds[i+1], len(f.Rows), len(f.Columns), len(base.Rows), len(base.Columns))
+		}
+		for r := range f.Rows {
+			if f.Rows[r][0] != base.Rows[r][0] {
+				return nil, fmt.Errorf("experiments: seed %d axis mismatch at row %d", seeds[i+1], r)
+			}
+		}
+	}
+
+	out := &Figure{
+		Name:    base.Name + "-repeated",
+		Title:   fmt.Sprintf("%s (mean ± std over %d seeds)", base.Title, len(seeds)),
+		Columns: []string{base.Columns[0]},
+	}
+	for _, c := range base.Columns[1:] {
+		out.Columns = append(out.Columns, c+"_mean", c+"_std")
+	}
+	for r := range base.Rows {
+		row := []float64{base.Rows[r][0]}
+		for c := 1; c < len(base.Columns); c++ {
+			vals := make([]float64, 0, len(figs))
+			for _, f := range figs {
+				vals = append(vals, f.Rows[r][c])
+			}
+			s := metrics.Summarize(vals)
+			row = append(row, s.Mean, s.Std)
+		}
+		if err := out.AddRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	out.AddNote("seeds: %v", seeds)
+	return out, nil
+}

@@ -1,0 +1,308 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§VI, Figs. 2–9). Each figure has a driver returning a Figure table
+// whose rows are the series the paper plots; cmd/lcofl renders them as
+// TSV. DESIGN.md §4 maps figures to drivers.
+//
+// A Scenario pins one simulation configuration — dataset, fleet size,
+// malicious fraction, activation degree, channel — and Run executes one
+// comparison model over it. All models share seeds, data partition and
+// hyperparameters, so differences between runs isolate the aggregation
+// scheme, exactly as the paper's comparison intends.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/approx"
+	"repro/internal/channel"
+	"repro/internal/codedfl"
+	"repro/internal/core"
+	"repro/internal/fl"
+	"repro/internal/iov"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/traffic"
+)
+
+// Variant names one comparison model from the paper's evaluation.
+type Variant string
+
+// The comparison models of §VI.
+const (
+	// Accurate is the ideal reference: plain FL without malicious
+	// vehicles (the paper's "most ideal model").
+	Accurate Variant = "accurate-fl"
+	// PlainFL is the unprotected baseline with the exact activation.
+	PlainFL Variant = "plain-fl"
+	// ApproxOnly approximates the activation but aggregates plainly —
+	// no Reed–Solomon protection.
+	ApproxOnly Variant = "approx-only-fl"
+	// LCoFL is the paper's contribution.
+	LCoFL Variant = "l-cofl"
+	// CodedFL24 is the Dhakal et al. [32] random-linear baseline with its
+	// fixed 24-vehicle fleet (Fig. 2).
+	CodedFL24 Variant = "coded-fl-24"
+)
+
+// Scenario pins one simulation configuration.
+type Scenario struct {
+	// Vehicles is V (the paper's default is 100).
+	Vehicles int
+	// Rounds is the number of global training rounds.
+	Rounds int
+	// Rows sizes the synthetic dataset.
+	Rows int
+	// RefRows sizes the fusion centre's reference set (must be a
+	// multiple of Batches).
+	RefRows int
+	// Batches is M (paper: 16).
+	Batches int
+	// Degree is the activation-approximation degree d.
+	Degree int
+	// MaliciousFraction of the fleet lies (0 disables the adversary).
+	MaliciousFraction float64
+	// Behavior is the malicious behaviour (default ConstantLie 5).
+	Behavior adversary.Behavior
+	// Channel models the uplink (nil = perfect).
+	Channel channel.Model
+	// PlainInputNoise adds feature noise to the PlainFL variant's local
+	// data — the paper's Fig. 3 note ("we add a random value to input
+	// data of plain FL model") so the ideal model's error stays visible.
+	PlainInputNoise float64
+	// Mobility drives the IoV mobility simulation (package iov): vehicles
+	// move every round and out-of-coverage vehicles become stragglers
+	// whose uploads never arrive.
+	Mobility bool
+	// NonIIDSkew > 0 partitions local data by time-of-day instead of IID
+	// (traffic.PartitionNonIID); 1 = fully time-sorted windows.
+	NonIIDSkew float64
+	// Seed drives every random choice.
+	Seed int64
+
+	// LocalEpochs, LocalRate, DistillEpochs, DistillRate, ServerStep
+	// override the learning hyperparameters when non-zero.
+	LocalEpochs   int
+	LocalRate     float64
+	DistillEpochs int
+	DistillRate   float64
+	ServerStep    float64
+}
+
+// withDefaults fills unset fields.
+func (s Scenario) withDefaults() Scenario {
+	if s.Vehicles == 0 {
+		s.Vehicles = 100
+	}
+	if s.Rounds == 0 {
+		s.Rounds = 15
+	}
+	if s.Rows == 0 {
+		s.Rows = 2500
+	}
+	if s.Batches == 0 {
+		s.Batches = traffic.NumFeatures
+	}
+	if s.RefRows == 0 {
+		s.RefRows = s.Batches * 8
+	}
+	if s.Degree == 0 {
+		s.Degree = 1
+	}
+	if s.Behavior == nil {
+		s.Behavior = adversary.ConstantLie{Value: 5}
+	}
+	if s.LocalEpochs == 0 {
+		s.LocalEpochs = 5
+	}
+	if s.LocalRate == 0 {
+		s.LocalRate = 0.2
+	}
+	if s.DistillEpochs == 0 {
+		s.DistillEpochs = 30
+	}
+	if s.DistillRate == 0 {
+		s.DistillRate = 0.2
+	}
+	if s.ServerStep == 0 {
+		s.ServerStep = 0.5
+	}
+	return s
+}
+
+// RunOutput collects one model run's observables.
+type RunOutput struct {
+	// Variant names the model.
+	Variant Variant
+	// Acc is the per-round test accuracy trace.
+	Acc metrics.Trace
+	// MeanEst is the per-round mean estimation over the test set (Fig. 4).
+	MeanEst metrics.Trace
+	// TestEstimates holds the final model's estimation per test sample.
+	TestEstimates []float64
+	// TestLabels holds the matching ground-truth labels.
+	TestLabels []float64
+	// DecodeFailures totals verification-slot failures (L-CoFL only).
+	DecodeFailures int
+	// SuspectedMalicious is the last round's flagged-vehicle count
+	// (L-CoFL only).
+	SuspectedMalicious int
+}
+
+// Run executes one comparison model over the scenario.
+func (s Scenario) Run(v Variant) (*RunOutput, error) {
+	sc := s.withDefaults()
+	ds, err := traffic.Generate(traffic.GenConfig{Rows: sc.Rows, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	train, test, err := ds.Split(0.8, sc.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	refDS, err := traffic.Generate(traffic.GenConfig{Rows: sc.RefRows, Seed: sc.Seed + 2})
+	if err != nil {
+		return nil, err
+	}
+	refX := refDS.Features()
+
+	vehicles := sc.Vehicles
+	if v == CodedFL24 {
+		vehicles = codedfl.DefaultVehicles
+	}
+	var parts [][]nn.Sample
+	if sc.NonIIDSkew > 0 {
+		parts, err = train.PartitionNonIID(vehicles, sc.NonIIDSkew, sc.Seed+3)
+	} else {
+		parts, err = train.PartitionIID(vehicles, sc.Seed+3)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if v == PlainFL && sc.PlainInputNoise > 0 {
+		for i := range parts {
+			parts[i] = traffic.CorruptLowQuality(parts[i], sc.PlainInputNoise, 0, sc.Seed+4+int64(i))
+		}
+	}
+
+	// Activation: exact for the uncoded/unapproximated models, the
+	// least-squares polynomial (paper §VI: 21 points on [-2, 2]) for the
+	// approximated ones.
+	exact := approx.SymmetricSigmoid()
+	var act approx.Activation
+	switch v {
+	case Accurate, PlainFL, CodedFL24:
+		act = exact
+	case ApproxOnly, LCoFL:
+		p, err := approx.LeastSquares{SamplePoints: 21}.Fit(exact.F, -2, 2, sc.Degree)
+		if err != nil {
+			return nil, err
+		}
+		act = approx.FromPolynomial(fmt.Sprintf("ls-%d", sc.Degree), p)
+	default:
+		return nil, fmt.Errorf("experiments: unknown variant %q", v)
+	}
+
+	cfg := fl.Config{
+		InputSize:     traffic.NumFeatures,
+		LocalEpochs:   sc.LocalEpochs,
+		LocalRate:     sc.LocalRate,
+		DistillEpochs: sc.DistillEpochs,
+		DistillRate:   sc.DistillRate,
+		ServerStep:    sc.ServerStep,
+		Seed:          sc.Seed + 5,
+	}
+	if act.Poly != nil && sc.Degree > 1 {
+		// Higher-degree polynomial activations have fast-growing
+		// derivatives, so per-sample SGD needs smaller steps to stay in
+		// the stable region (at the default rate the weights diverge
+		// within a few epochs). Scaling by 1/d² keeps training stable
+		// through degree 4 without touching the degree-1 dynamics.
+		cfg.LocalRate = sc.LocalRate / float64(sc.Degree*sc.Degree)
+	}
+	sys, err := fl.NewSystem(cfg, parts, refX, act)
+	if err != nil {
+		return nil, err
+	}
+
+	var scheme fl.Scheme
+	var coded *core.Scheme
+	switch v {
+	case Accurate, PlainFL, ApproxOnly:
+		scheme, err = fl.NewPlainScheme(refX)
+	case LCoFL:
+		coded, err = core.NewScheme(refX, core.SchemeConfig{
+			NumVehicles: vehicles,
+			NumBatches:  sc.Batches,
+			Degree:      sc.Degree,
+			Seed:        sc.Seed + 6,
+		})
+		scheme = coded
+	case CodedFL24:
+		scheme, err = codedfl.NewScheme(refX, codedfl.Config{
+			NumVehicles: vehicles,
+			Seed:        sc.Seed + 6,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var plan *adversary.Plan
+	if sc.MaliciousFraction > 0 && v != Accurate && v != CodedFL24 {
+		plan, err = adversary.NewPlan(vehicles, sc.MaliciousFraction, sc.Behavior, sc.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	ch := sc.Channel
+	if sc.Mobility {
+		mobCfg := iov.DefaultConfig(sc.Seed + 8)
+		mobCfg.NumVehicles = vehicles
+		mob, err := iov.NewScenario(mobCfg)
+		if err != nil {
+			return nil, err
+		}
+		cover, err := iov.NewCoverageChannel(mob, sc.Channel)
+		if err != nil {
+			return nil, err
+		}
+		ch = cover
+	}
+
+	out := &RunOutput{Variant: v, Acc: metrics.Trace{Name: string(v)}, MeanEst: metrics.Trace{Name: string(v)}}
+	testX := test.Features()
+	for r := 0; r < sc.Rounds; r++ {
+		if _, err := sys.RunRound(scheme, plan, ch); err != nil {
+			return nil, fmt.Errorf("experiments: %s round %d: %w", v, r, err)
+		}
+		acc, err := sys.Accuracy(test.Samples)
+		if err != nil {
+			return nil, err
+		}
+		out.Acc.Append(acc)
+		me, err := sys.MeanEstimate(testX)
+		if err != nil {
+			return nil, err
+		}
+		out.MeanEst.Append(me)
+		if coded != nil {
+			out.DecodeFailures += coded.DecodeFailures
+			out.SuspectedMalicious = len(coded.SuspectedMalicious())
+		}
+	}
+	out.TestLabels = test.Labels()
+	out.TestEstimates = make([]float64, test.Len())
+	for i, x := range testX {
+		pi, err := sys.Shared().EstimateClamped(x)
+		if err != nil {
+			return nil, err
+		}
+		out.TestEstimates[i] = pi
+	}
+	return out, nil
+}
+
+// estimateSample is a convenience for building nn samples in tests.
+var _ = nn.Sample{}

@@ -1,0 +1,44 @@
+package field
+
+import "math/rand"
+
+// Rand returns a uniformly random field element drawn from rng.
+// Rejection sampling over [0, 2^61) keeps the distribution exactly uniform.
+func Rand(rng *rand.Rand) Element {
+	for {
+		v := rng.Uint64() & mask61
+		if v < Modulus {
+			return Element(v)
+		}
+	}
+}
+
+// RandNonZero returns a uniformly random non-zero field element.
+func RandNonZero(rng *rand.Rand) Element {
+	for {
+		if e := Rand(rng); e != 0 {
+			return e
+		}
+	}
+}
+
+// RandDistinct returns n pairwise-distinct random field elements, excluding
+// every element of the exclude set. LCC requires the interpolation nodes
+// {ℓ_m} and evaluation points {ρ_i} to be disjoint (paper eq. 3–4), which
+// callers enforce by passing the nodes as the exclusion set.
+func RandDistinct(rng *rand.Rand, n int, exclude []Element) []Element {
+	used := make(map[Element]struct{}, n+len(exclude))
+	for _, e := range exclude {
+		used[e] = struct{}{}
+	}
+	out := make([]Element, 0, n)
+	for len(out) < n {
+		e := Rand(rng)
+		if _, dup := used[e]; dup {
+			continue
+		}
+		used[e] = struct{}{}
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package fl
+
+import (
+	"fmt"
+
+	"repro/internal/adversary"
+	"repro/internal/channel"
+)
+
+// RunParamRound executes one round of TRADITIONAL parameter-upload FL —
+// the approach the paper contrasts L-CoFL against (§II: "the vehicles may
+// suffer from privacy leakage during the exchange of model parameters").
+// Every vehicle trains locally from the broadcast model and uploads its
+// full parameter vector; the fusion centre averages them (FedAvg, paper
+// eq. 2) into the new shared model.
+//
+// The mode exists as a baseline and for library completeness: it shows
+// both the larger upload (NumParams scalars of sensitive parameters
+// instead of estimation results) and the total absence of protection — a
+// single malicious parameter vector shifts the average of every weight.
+func (s *System) RunParamRound(plan *adversary.Plan, ch channel.Model) (*RoundStats, error) {
+	if ch == nil {
+		ch = channel.Perfect{}
+	}
+	if rs, ok := ch.(interface{ RoundStart() }); ok {
+		rs.RoundStart()
+	}
+	sharedParams := s.shared.Params()
+
+	stats := &RoundStats{Round: s.round + 1}
+	var received [][]float64
+	var lossSum float64
+	for _, v := range s.vehicles {
+		if err := v.Model.SetParams(sharedParams); err != nil {
+			return nil, fmt.Errorf("fl: vehicle %d: %w", v.ID, err)
+		}
+		loss, err := v.Model.TrainSGDProximal(v.Data, s.cfg.LocalRate, s.cfg.LocalEpochs, v.rng, s.cfg.ProximalMu, sharedParams)
+		if err != nil {
+			return nil, fmt.Errorf("fl: vehicle %d training: %w", v.ID, err)
+		}
+		lossSum += loss
+
+		upload := v.Model.Params()
+		vector := make([]float64, len(upload))
+		dropped := false
+		for j, honest := range upload {
+			val := honest
+			if plan != nil {
+				val = plan.Apply(v.ID, val)
+			}
+			rec := ch.Transmit(v.ID, val)
+			if rec.Dropped {
+				// Parameter vectors are all-or-nothing: a partial vector
+				// is useless, so any dropped scalar drops the vehicle.
+				dropped = true
+				stats.DroppedScalars++
+				break
+			}
+			vector[j] = rec.Value
+		}
+		if !dropped {
+			received = append(received, vector)
+		}
+	}
+	stats.MeanLocalLoss = lossSum / float64(len(s.vehicles))
+	if len(received) == 0 {
+		return nil, fmt.Errorf("fl: no parameter uploads survived the round")
+	}
+	avg, err := FedAvg(received)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.shared.SetParams(avg); err != nil {
+		return nil, err
+	}
+	s.shared.ProjectWeights()
+	s.round++
+	return stats, nil
+}

@@ -1,0 +1,135 @@
+package fl
+
+import (
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/approx"
+	"repro/internal/channel"
+)
+
+func TestRunParamRoundHonestLearns(t *testing.T) {
+	sys, test := buildSystem(t, 10, approx.SymmetricSigmoid())
+	accBefore, err := sys.Accuracy(test.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 20
+	var tail float64
+	for r := 0; r < rounds; r++ {
+		stats, err := sys.RunParamRound(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Round != r+1 {
+			t.Fatalf("round accounting %d", stats.Round)
+		}
+		if r >= rounds-5 {
+			a, err := sys.Accuracy(test.Samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tail += a / 5
+		}
+	}
+	if tail < accBefore || tail < 0.75 {
+		t.Errorf("FedAvg accuracy %g (start %g) — not learning", tail, accBefore)
+	}
+}
+
+func TestRunParamRoundPoisoned(t *testing.T) {
+	// The classic weakness: one scaled-sign-flip participant per ten
+	// drags the averaged parameters; accuracy must visibly lag the honest
+	// run. This is the baseline L-CoFL's estimation-upload design avoids.
+	honest, test := buildSystem(t, 10, approx.SymmetricSigmoid())
+	attacked, _ := buildSystem(t, 10, approx.SymmetricSigmoid())
+	plan, err := adversary.NewPlan(10, 0.3, adversary.SignFlipScale{Scale: 5}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var honestAcc, attackedAcc float64
+	const rounds = 12
+	for r := 0; r < rounds; r++ {
+		if _, err := honest.RunParamRound(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := attacked.RunParamRound(plan, nil); err != nil {
+			t.Fatal(err)
+		}
+		if r >= rounds-5 {
+			a, err := honest.Accuracy(test.Samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := attacked.Accuracy(test.Samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			honestAcc += a / 5
+			attackedAcc += b / 5
+		}
+	}
+	if attackedAcc >= honestAcc-0.05 {
+		t.Errorf("parameter poisoning had no effect: honest %g vs attacked %g", honestAcc, attackedAcc)
+	}
+}
+
+func TestRunParamRoundDrops(t *testing.T) {
+	sys, _ := buildSystem(t, 6, approx.SymmetricSigmoid())
+	er, err := channel.NewErasure(0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := sys.RunParamRound(nil, er)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 17 scalars per vehicle at p=0.02 some vehicle almost surely
+	// loses a scalar and is dropped whole.
+	if stats.DroppedScalars == 0 {
+		t.Log("no drops this seed — acceptable but unusual")
+	}
+	// Total loss of all vehicles must error out rather than average nothing.
+	all, err := channel.NewErasure(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunParamRound(nil, all); err == nil {
+		t.Error("round with zero surviving uploads succeeded")
+	}
+}
+
+func TestDistillHiddenLayerPath(t *testing.T) {
+	// Multi-layer shared models take the full-batch gradient-descent
+	// distillation path (the closed logit form only fits a single layer).
+	cfg := testConfig()
+	cfg.Hidden = []int{6}
+	cfg.DistillEpochs = 40
+	cfg.DistillRate = 0.5
+	sys, test := buildSystemWith(t, 8, approx.SymmetricSigmoid(), cfg)
+	scheme, err := NewPlainScheme(sys.ReferenceFeatures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	accBefore, err := sys.Accuracy(test.Samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail float64
+	const rounds = 15
+	for r := 0; r < rounds; r++ {
+		if _, err := sys.RunRound(scheme, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if r >= rounds-5 {
+			a, err := sys.Accuracy(test.Samples)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tail += a / 5
+		}
+	}
+	if tail < accBefore-0.05 {
+		t.Errorf("hidden-layer distillation regressed: %g -> %g", accBefore, tail)
+	}
+}

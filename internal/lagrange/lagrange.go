@@ -1,0 +1,343 @@
+// Package lagrange implements the Lagrange-coded-computing (LCC) encoder of
+// the L-CoFL paper.
+//
+// Data is partitioned into M batches X_1..X_M. The encoder associates batch
+// m with a node ℓ_m and worker (vehicle) i with an evaluation point ρ_i,
+// builds the Lagrange interpolation polynomial
+//
+//	H(z) = Σ_m X_m · Π_{n≠m} (z-ℓ_n)/(ℓ_m-ℓ_n)        (paper eq. 3)
+//
+// which satisfies H(ℓ_m) = X_m, and hands worker i the encoded share
+// X̃_i = H(ρ_i) (paper eq. 4). Equivalently X̃_i = Σ_m p_m(ρ_i)·X_m with
+// basis weights p_m summing to one (paper eq. 8). A polynomial computation
+// C applied by every worker then yields evaluations of C(H(z)), which the
+// fusion centre decodes with package reedsolomon.
+//
+// Two parallel implementations are provided: exact encoding over GF(p) for
+// the error-corrected path, and float64 encoding (with the Σ|p_m| ≤ D
+// element-selection rule of paper eq. 9) for the real-valued FL pipeline.
+package lagrange
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/field"
+)
+
+// Coder encodes batches over GF(p) with fixed nodes and worker points.
+// It precomputes the basis denominators so that per-worker encoding is
+// O(M) multiplications per batch element.
+type Coder struct {
+	nodes    []field.Element // ℓ_1..ℓ_M, one per batch
+	points   []field.Element // ρ_1..ρ_V, one per worker
+	denomInv []field.Element // 1 / Π_{n≠m}(ℓ_m - ℓ_n)
+}
+
+// NewCoder validates that nodes and points are pairwise distinct and
+// mutually disjoint (the paper requires {ℓ_m} ∩ {ρ_i} = ∅) and returns a
+// ready Coder.
+func NewCoder(nodes, points []field.Element) (*Coder, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("lagrange: need at least one batch node")
+	}
+	all := make([]field.Element, 0, len(nodes)+len(points))
+	all = append(all, nodes...)
+	all = append(all, points...)
+	if !field.Distinct(all) {
+		return nil, fmt.Errorf("lagrange: nodes and points must be pairwise distinct and disjoint")
+	}
+	denomInv := make([]field.Element, len(nodes))
+	for m := range nodes {
+		d := field.One
+		for n := range nodes {
+			if n != m {
+				d = d.Mul(nodes[m].Sub(nodes[n]))
+			}
+		}
+		denomInv[m] = d.Inv()
+	}
+	return &Coder{
+		nodes:    append([]field.Element(nil), nodes...),
+		points:   append([]field.Element(nil), points...),
+		denomInv: denomInv,
+	}, nil
+}
+
+// NumBatches returns M, the number of interpolation nodes.
+func (c *Coder) NumBatches() int { return len(c.nodes) }
+
+// NumWorkers returns V, the number of worker evaluation points.
+func (c *Coder) NumWorkers() int { return len(c.points) }
+
+// Nodes returns a copy of the batch nodes ℓ_m.
+func (c *Coder) Nodes() []field.Element {
+	return append([]field.Element(nil), c.nodes...)
+}
+
+// Points returns a copy of the worker points ρ_i.
+func (c *Coder) Points() []field.Element {
+	return append([]field.Element(nil), c.points...)
+}
+
+// WeightsAt returns the Lagrange basis weights p_m(z) for an arbitrary
+// evaluation position z. If z coincides with a node ℓ_m the weights are
+// the indicator of that node (H(ℓ_m) = X_m).
+func (c *Coder) WeightsAt(z field.Element) []field.Element {
+	w := make([]field.Element, len(c.nodes))
+	// prefix[m] = Π_{n<m}(z-ℓ_n), suffix accumulated backwards: O(M).
+	prefix := make([]field.Element, len(c.nodes)+1)
+	prefix[0] = field.One
+	for m, node := range c.nodes {
+		prefix[m+1] = prefix[m].Mul(z.Sub(node))
+	}
+	suffix := field.One
+	for m := len(c.nodes) - 1; m >= 0; m-- {
+		w[m] = prefix[m].Mul(suffix).Mul(c.denomInv[m])
+		suffix = suffix.Mul(z.Sub(c.nodes[m]))
+	}
+	return w
+}
+
+// WorkerWeights returns the basis weights p_m(ρ_i) for worker i.
+func (c *Coder) WorkerWeights(i int) []field.Element {
+	return c.WeightsAt(c.points[i])
+}
+
+// EncodeScalars encodes scalar batches: given one field element per batch,
+// it returns X̃_i = Σ_m p_m(ρ_i)·X_m for every worker.
+func (c *Coder) EncodeScalars(batches []field.Element) ([]field.Element, error) {
+	if len(batches) != len(c.nodes) {
+		return nil, fmt.Errorf("lagrange: got %d batches, coder has %d nodes", len(batches), len(c.nodes))
+	}
+	out := make([]field.Element, len(c.points))
+	for i := range c.points {
+		out[i] = field.Dot(c.WorkerWeights(i), batches)
+	}
+	return out, nil
+}
+
+// EncodeVectors encodes vector batches (each batch a slice of equal
+// length): the m-th batch is a data vector, and worker i receives the
+// componentwise combination Σ_m p_m(ρ_i)·X_m.
+func (c *Coder) EncodeVectors(batches [][]field.Element) ([][]field.Element, error) {
+	if len(batches) != len(c.nodes) {
+		return nil, fmt.Errorf("lagrange: got %d batches, coder has %d nodes", len(batches), len(c.nodes))
+	}
+	width := len(batches[0])
+	for m, b := range batches {
+		if len(b) != width {
+			return nil, fmt.Errorf("lagrange: batch %d has length %d, want %d", m, len(b), width)
+		}
+	}
+	out := make([][]field.Element, len(c.points))
+	for i := range c.points {
+		w := c.WorkerWeights(i)
+		enc := make([]field.Element, width)
+		for m, b := range batches {
+			wm := w[m]
+			for j, x := range b {
+				enc[j] = enc[j].Add(wm.Mul(x))
+			}
+		}
+		out[i] = enc
+	}
+	return out, nil
+}
+
+// EvalAtNodes evaluates the degree-(M-1) interpolation of the given batch
+// values at arbitrary targets — used by the decoder to read off
+// C(X_m) = C(H(ℓ_m)) from the reconstructed composition polynomial.
+func (c *Coder) EvalAtNodes(batches []field.Element, targets []field.Element) ([]field.Element, error) {
+	if len(batches) != len(c.nodes) {
+		return nil, fmt.Errorf("lagrange: got %d batches, coder has %d nodes", len(batches), len(c.nodes))
+	}
+	out := make([]field.Element, len(targets))
+	for t, z := range targets {
+		out[t] = field.Dot(c.WeightsAt(z), batches)
+	}
+	return out, nil
+}
+
+// RealCoder is the float64 counterpart of Coder, used on the FL pipeline
+// where model evaluations are real-valued. It additionally reports the
+// redundancy bound D = max_i Σ_m |p_m(ρ_i)| from paper eq. 9, which
+// callers compare against the approximation domain.
+type RealCoder struct {
+	nodes  []float64
+	points []float64
+	denom  []float64
+}
+
+// NewRealCoder validates distinctness/disjointness and returns the coder.
+func NewRealCoder(nodes, points []float64) (*RealCoder, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("lagrange: need at least one batch node")
+	}
+	all := append(append([]float64(nil), nodes...), points...)
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[i] == all[j] {
+				return nil, fmt.Errorf("lagrange: nodes and points must be distinct (duplicate %g)", all[i])
+			}
+		}
+	}
+	denom := make([]float64, len(nodes))
+	for m := range nodes {
+		d := 1.0
+		for n := range nodes {
+			if n != m {
+				d *= nodes[m] - nodes[n]
+			}
+		}
+		denom[m] = d
+	}
+	return &RealCoder{
+		nodes:  append([]float64(nil), nodes...),
+		points: append([]float64(nil), points...),
+		denom:  denom,
+	}, nil
+}
+
+// NumBatches returns M.
+func (c *RealCoder) NumBatches() int { return len(c.nodes) }
+
+// NumWorkers returns V.
+func (c *RealCoder) NumWorkers() int { return len(c.points) }
+
+// Nodes returns a copy of the batch nodes.
+func (c *RealCoder) Nodes() []float64 { return append([]float64(nil), c.nodes...) }
+
+// Points returns a copy of the worker points.
+func (c *RealCoder) Points() []float64 { return append([]float64(nil), c.points...) }
+
+// WeightsAt returns the basis weights p_m(z).
+func (c *RealCoder) WeightsAt(z float64) []float64 {
+	w := make([]float64, len(c.nodes))
+	prefix := make([]float64, len(c.nodes)+1)
+	prefix[0] = 1
+	for m, node := range c.nodes {
+		prefix[m+1] = prefix[m] * (z - node)
+	}
+	suffix := 1.0
+	for m := len(c.nodes) - 1; m >= 0; m-- {
+		w[m] = prefix[m] * suffix / c.denom[m]
+		suffix *= z - c.nodes[m]
+	}
+	return w
+}
+
+// WorkerWeights returns p_m(ρ_i) for worker i.
+func (c *RealCoder) WorkerWeights(i int) []float64 { return c.WeightsAt(c.points[i]) }
+
+// Redundancy returns D = max over workers of Σ_m |p_m(ρ_i)|: the factor by
+// which encoding can expand data normalised to [-1, 1] (paper eq. 9).
+func (c *RealCoder) Redundancy() float64 {
+	var worst float64
+	for i := range c.points {
+		var s float64
+		for _, w := range c.WorkerWeights(i) {
+			s += math.Abs(w)
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// EncodeScalars returns X̃_i = Σ_m p_m(ρ_i)·X_m for every worker.
+func (c *RealCoder) EncodeScalars(batches []float64) ([]float64, error) {
+	if len(batches) != len(c.nodes) {
+		return nil, fmt.Errorf("lagrange: got %d batches, coder has %d nodes", len(batches), len(c.nodes))
+	}
+	out := make([]float64, len(c.points))
+	for i := range c.points {
+		w := c.WorkerWeights(i)
+		var s float64
+		for m, x := range batches {
+			s += w[m] * x
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// EncodeVectors encodes equal-length vector batches for every worker.
+func (c *RealCoder) EncodeVectors(batches [][]float64) ([][]float64, error) {
+	if len(batches) != len(c.nodes) {
+		return nil, fmt.Errorf("lagrange: got %d batches, coder has %d nodes", len(batches), len(c.nodes))
+	}
+	width := len(batches[0])
+	for m, b := range batches {
+		if len(b) != width {
+			return nil, fmt.Errorf("lagrange: batch %d has length %d, want %d", m, len(b), width)
+		}
+	}
+	out := make([][]float64, len(c.points))
+	for i := range c.points {
+		w := c.WorkerWeights(i)
+		enc := make([]float64, width)
+		for m, b := range batches {
+			for j, x := range b {
+				enc[j] += w[m] * x
+			}
+		}
+		out[i] = enc
+	}
+	return out, nil
+}
+
+// ChebyshevNodes returns n Chebyshev points of the first kind on [lo, hi],
+// ordered ascending. Using Chebyshev points as batch nodes minimises the
+// Lebesgue constant and therefore the redundancy bound D of eq. 9 —
+// this is the element-selection heuristic ablated in the benchmarks.
+func ChebyshevNodes(n int, lo, hi float64) []float64 {
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		theta := math.Pi * (2*float64(k) + 1) / (2 * float64(n))
+		x := math.Cos(theta) // descending in k
+		out[n-1-k] = (lo+hi)/2 + (hi-lo)/2*x
+	}
+	return out
+}
+
+// EquispacedNodes returns n uniformly spaced points on [lo, hi] inclusive.
+// The naive alternative to ChebyshevNodes; its Lebesgue constant grows
+// exponentially in n, which the ablation benchmarks demonstrate.
+func EquispacedNodes(n int, lo, hi float64) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = (lo + hi) / 2
+		return out
+	}
+	for k := 0; k < n; k++ {
+		out[k] = lo + (hi-lo)*float64(k)/float64(n-1)
+	}
+	return out
+}
+
+// InteriorPoints returns v worker points on (lo, hi) that avoid every node
+// in nodes: it subdivides the interval uniformly with an offset and nudges
+// any collision. Keeping ρ_i inside the node interval keeps Σ|p_m(ρ_i)|
+// small, satisfying the Σ|p_m| ≤ D selection rule of eq. 9.
+func InteriorPoints(v int, lo, hi float64, nodes []float64) []float64 {
+	avoid := make(map[float64]struct{}, len(nodes))
+	for _, n := range nodes {
+		avoid[n] = struct{}{}
+	}
+	out := make([]float64, 0, v)
+	step := (hi - lo) / float64(v+1)
+	for k := 1; len(out) < v; k++ {
+		x := lo + step*float64(k)
+		for {
+			if _, hit := avoid[x]; !hit {
+				break
+			}
+			x += step * 1e-3
+		}
+		avoid[x] = struct{}{}
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,362 @@
+package lagrange
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+	"repro/internal/poly"
+)
+
+func mustCoder(t *testing.T, m, v int, seed int64) *Coder {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nodes := field.RandDistinct(rng, m, nil)
+	points := field.RandDistinct(rng, v, nodes)
+	c, err := NewCoder(nodes, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCoderValidation(t *testing.T) {
+	one, two := field.New(1), field.New(2)
+	if _, err := NewCoder(nil, []field.Element{one}); err == nil {
+		t.Error("empty nodes accepted")
+	}
+	if _, err := NewCoder([]field.Element{one, one}, nil); err == nil {
+		t.Error("duplicate nodes accepted")
+	}
+	if _, err := NewCoder([]field.Element{one}, []field.Element{one}); err == nil {
+		t.Error("overlapping node/point accepted")
+	}
+	if _, err := NewCoder([]field.Element{one}, []field.Element{two, two}); err == nil {
+		t.Error("duplicate points accepted")
+	}
+}
+
+func TestWeightsPartitionOfUnity(t *testing.T) {
+	// Paper eq. 8: Σ_m p_m(z) = 1 for every z, because the basis
+	// interpolates the constant-1 polynomial exactly.
+	c := mustCoder(t, 8, 20, 1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		z := field.Rand(rng)
+		if got := field.Sum(c.WeightsAt(z)); got != field.One {
+			t.Fatalf("Σ p_m(%v) = %v, want 1", z, got)
+		}
+	}
+}
+
+func TestWeightsIndicatorAtNodes(t *testing.T) {
+	c := mustCoder(t, 6, 4, 3)
+	for m, node := range c.Nodes() {
+		w := c.WeightsAt(node)
+		for n := range w {
+			want := field.Zero
+			if n == m {
+				want = field.One
+			}
+			if w[n] != want {
+				t.Fatalf("p_%d(ℓ_%d) = %v, want %v", n, m, w[n], want)
+			}
+		}
+	}
+}
+
+func TestEncodeScalarsMatchesPolynomial(t *testing.T) {
+	// X̃_i must equal H(ρ_i) where H interpolates (ℓ_m, X_m).
+	c := mustCoder(t, 5, 12, 4)
+	rng := rand.New(rand.NewSource(5))
+	batches := make([]field.Element, c.NumBatches())
+	for i := range batches {
+		batches[i] = field.Rand(rng)
+	}
+	h, err := poly.Interpolate(c.Nodes(), batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := c.EncodeScalars(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range c.Points() {
+		if want := h.Eval(p); enc[i] != want {
+			t.Fatalf("X̃_%d = %v, want H(ρ_%d) = %v", i, enc[i], i, want)
+		}
+	}
+}
+
+func TestEncodeScalarsLengthMismatch(t *testing.T) {
+	c := mustCoder(t, 4, 4, 6)
+	if _, err := c.EncodeScalars(make([]field.Element, 3)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestEncodeVectors(t *testing.T) {
+	c := mustCoder(t, 3, 7, 7)
+	rng := rand.New(rand.NewSource(8))
+	const width = 5
+	batches := make([][]field.Element, c.NumBatches())
+	for m := range batches {
+		batches[m] = make([]field.Element, width)
+		for j := range batches[m] {
+			batches[m][j] = field.Rand(rng)
+		}
+	}
+	enc, err := c.EncodeVectors(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Component j of the vector encoding must equal the scalar encoding
+	// of the j-th components.
+	for j := 0; j < width; j++ {
+		col := make([]field.Element, len(batches))
+		for m := range batches {
+			col[m] = batches[m][j]
+		}
+		want, err := c.EncodeScalars(col)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range enc {
+			if enc[i][j] != want[i] {
+				t.Fatalf("vector enc[%d][%d] = %v, want %v", i, j, enc[i][j], want[i])
+			}
+		}
+	}
+}
+
+func TestEncodeVectorsRagged(t *testing.T) {
+	c := mustCoder(t, 2, 2, 9)
+	_, err := c.EncodeVectors([][]field.Element{
+		{field.One, field.One},
+		{field.One},
+	})
+	if err == nil {
+		t.Error("ragged batches accepted")
+	}
+}
+
+func TestEvalAtNodesRoundTrip(t *testing.T) {
+	c := mustCoder(t, 6, 3, 10)
+	rng := rand.New(rand.NewSource(11))
+	batches := make([]field.Element, c.NumBatches())
+	for i := range batches {
+		batches[i] = field.Rand(rng)
+	}
+	got, err := c.EvalAtNodes(batches, c.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range batches {
+		if got[m] != batches[m] {
+			t.Fatalf("EvalAtNodes[%d] = %v, want %v", m, got[m], batches[m])
+		}
+	}
+}
+
+func TestPropertyEncodingLinear(t *testing.T) {
+	// Encoding is linear in the data: encode(aX + bY) = a·enc(X) + b·enc(Y).
+	c := mustCoder(t, 5, 9, 12)
+	rng := rand.New(rand.NewSource(13))
+	f := func(av, bv uint64) bool {
+		a, b := field.New(av), field.New(bv)
+		x := make([]field.Element, c.NumBatches())
+		y := make([]field.Element, c.NumBatches())
+		comb := make([]field.Element, c.NumBatches())
+		for i := range x {
+			x[i], y[i] = field.Rand(rng), field.Rand(rng)
+			comb[i] = a.Mul(x[i]).Add(b.Mul(y[i]))
+		}
+		ex, _ := c.EncodeScalars(x)
+		ey, _ := c.EncodeScalars(y)
+		ec, _ := c.EncodeScalars(comb)
+		for i := range ec {
+			if ec[i] != a.Mul(ex[i]).Add(b.Mul(ey[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- RealCoder ---
+
+func TestRealCoderPartitionOfUnity(t *testing.T) {
+	nodes := ChebyshevNodes(8, -1, 1)
+	points := InteriorPoints(20, -1, 1, nodes)
+	c, err := NewRealCoder(nodes, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.NumWorkers(); i++ {
+		var s float64
+		for _, w := range c.WorkerWeights(i) {
+			s += w
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("Σ p_m(ρ_%d) = %g, want 1", i, s)
+		}
+	}
+}
+
+func TestRealEncodeMatchesInterpolation(t *testing.T) {
+	nodes := ChebyshevNodes(5, -1, 1)
+	points := InteriorPoints(7, -1, 1, nodes)
+	c, err := NewRealCoder(nodes, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	batches := make([]float64, len(nodes))
+	for i := range batches {
+		batches[i] = rng.NormFloat64()
+	}
+	h, err := poly.InterpolateReal(nodes, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := c.EncodeScalars(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		if math.Abs(enc[i]-h.Eval(p)) > 1e-8 {
+			t.Fatalf("enc[%d] = %g, want H(ρ)=%g", i, enc[i], h.Eval(p))
+		}
+	}
+}
+
+func TestRedundancyChebyshevBeatsEquispaced(t *testing.T) {
+	// The eq. 9 selection rule: Chebyshev nodes keep D small.
+	const m, v = 16, 100
+	cheb, err := NewRealCoder(ChebyshevNodes(m, -1, 1), InteriorPoints(v, -1, 1, ChebyshevNodes(m, -1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqNodes := EquispacedNodes(m, -1, 1)
+	equi, err := NewRealCoder(eqNodes, InteriorPoints(v, -0.999, 0.999, eqNodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, de := cheb.Redundancy(), equi.Redundancy()
+	if dc >= de {
+		t.Errorf("Chebyshev redundancy %g not below equispaced %g", dc, de)
+	}
+	if dc < 1 {
+		t.Errorf("redundancy %g below 1: Σ|p_m| ≥ |Σ p_m| = 1 must hold", dc)
+	}
+}
+
+func TestRealCoderValidation(t *testing.T) {
+	if _, err := NewRealCoder(nil, []float64{1}); err == nil {
+		t.Error("empty nodes accepted")
+	}
+	if _, err := NewRealCoder([]float64{1, 1}, nil); err == nil {
+		t.Error("duplicate nodes accepted")
+	}
+	if _, err := NewRealCoder([]float64{1}, []float64{1}); err == nil {
+		t.Error("node/point collision accepted")
+	}
+}
+
+func TestRealEncodeVectors(t *testing.T) {
+	nodes := ChebyshevNodes(3, -1, 1)
+	points := InteriorPoints(4, -1, 1, nodes)
+	c, err := NewRealCoder(nodes, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	enc, err := c.EncodeVectors(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range enc {
+		w := c.WorkerWeights(i)
+		want0 := w[0] + w[2]
+		want1 := w[1] + w[2]
+		if math.Abs(enc[i][0]-want0) > 1e-12 || math.Abs(enc[i][1]-want1) > 1e-12 {
+			t.Fatalf("enc[%d] = %v, want [%g %g]", i, enc[i], want0, want1)
+		}
+	}
+	if _, err := c.EncodeVectors([][]float64{{1}, {2}}); err == nil {
+		t.Error("batch count mismatch accepted")
+	}
+}
+
+func TestChebyshevNodes(t *testing.T) {
+	nodes := ChebyshevNodes(4, -2, 2)
+	if len(nodes) != 4 {
+		t.Fatalf("len = %d", len(nodes))
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i] <= nodes[i-1] {
+			t.Errorf("nodes not ascending: %v", nodes)
+		}
+	}
+	for _, n := range nodes {
+		if n < -2 || n > 2 {
+			t.Errorf("node %g outside [-2,2]", n)
+		}
+	}
+}
+
+func TestEquispacedNodes(t *testing.T) {
+	nodes := EquispacedNodes(3, 0, 2)
+	want := []float64{0, 1, 2}
+	for i := range want {
+		if math.Abs(nodes[i]-want[i]) > 1e-12 {
+			t.Errorf("nodes = %v, want %v", nodes, want)
+		}
+	}
+	if got := EquispacedNodes(1, 0, 2); got[0] != 1 {
+		t.Errorf("single node = %g, want midpoint 1", got[0])
+	}
+}
+
+func TestInteriorPointsAvoidNodes(t *testing.T) {
+	nodes := EquispacedNodes(5, -1, 1)
+	pts := InteriorPoints(10, -1, 1, nodes)
+	if len(pts) != 10 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		for _, n := range nodes {
+			if p == n {
+				t.Errorf("point %g collides with node", p)
+			}
+		}
+		if p <= -1 || p >= 1 {
+			t.Errorf("point %g outside open interval", p)
+		}
+	}
+}
+
+func BenchmarkEncodeScalarsM16V100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	nodes := field.RandDistinct(rng, 16, nil)
+	points := field.RandDistinct(rng, 100, nodes)
+	c, err := NewCoder(nodes, points)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := make([]field.Element, 16)
+	for i := range batches {
+		batches[i] = field.Rand(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeScalars(batches); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

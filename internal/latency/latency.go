@@ -1,0 +1,175 @@
+// Package latency models the per-round wall-clock cost of the aggregation
+// alternatives the paper discusses in §II: L-CoFL's coded verification
+// versus BFT-consensus-based verification of ML results (the paper's
+// refs. [13], [15]–[20]), which it dismisses as "time-consuming [and
+// requiring] multiple times of communication between the vehicles".
+//
+// The model is deliberately analytic — counts of operations and message
+// bytes over simple rate parameters — so its outputs are reproducible and
+// auditable rather than machine-dependent. Compute counts for L-CoFL come
+// from the Proposition 1 accounting (package core); communication counts
+// from the actual upload sizes.
+package latency
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Params fixes the radio and compute rates. Defaults (zero values are
+// replaced) model a DSRC/LTE-V roadside link and embedded vehicle
+// hardware.
+type Params struct {
+	// UplinkBytesPerSec is the per-vehicle uplink rate (default 1 MB/s).
+	UplinkBytesPerSec float64
+	// PerMessageLatencySec is the fixed per-message overhead, i.e. one
+	// network traversal vehicle↔fusion centre (default 20 ms).
+	PerMessageLatencySec float64
+	// VehicleOpsPerSec is a vehicle's arithmetic throughput
+	// (default 1e8 — an embedded-class core).
+	VehicleOpsPerSec float64
+	// FusionOpsPerSec is the fusion centre's throughput (default 1e9).
+	FusionOpsPerSec float64
+	// ScalarBytes is the wire size of one uploaded scalar (default 8).
+	ScalarBytes float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.UplinkBytesPerSec == 0 {
+		p.UplinkBytesPerSec = 1e6
+	}
+	if p.PerMessageLatencySec == 0 {
+		p.PerMessageLatencySec = 0.02
+	}
+	if p.VehicleOpsPerSec == 0 {
+		p.VehicleOpsPerSec = 1e8
+	}
+	if p.FusionOpsPerSec == 0 {
+		p.FusionOpsPerSec = 1e9
+	}
+	if p.ScalarBytes == 0 {
+		p.ScalarBytes = 8
+	}
+	return p
+}
+
+// Scenario describes one aggregation round to be costed.
+type Scenario struct {
+	// Vehicles is V.
+	Vehicles int
+	// Batches is M.
+	Batches int
+	// Degree is the activation degree.
+	Degree int
+	// UploadScalars is the per-vehicle upload size in scalars (L-CoFL:
+	// 2·S verification halves + reference estimations).
+	UploadScalars int
+	// Errors is the erroneous-result count E charged to decoding.
+	Errors int
+}
+
+func (s Scenario) validate() error {
+	if s.Vehicles < 1 || s.Batches < 1 || s.Degree < 1 || s.UploadScalars < 1 {
+		return fmt.Errorf("latency: invalid scenario %+v", s)
+	}
+	if s.Errors < 0 {
+		return fmt.Errorf("latency: negative error count %d", s.Errors)
+	}
+	return nil
+}
+
+// Breakdown itemises one round's latency in seconds.
+type Breakdown struct {
+	// VehicleCompute is the slowest vehicle's local encode+evaluate time;
+	// vehicles work in parallel, so the round waits for the max, which
+	// for identical hardware is the common value.
+	VehicleCompute float64
+	// Uplink is the transmission time of one vehicle's upload plus the
+	// per-message latency (uplinks are parallel across vehicles on
+	// separate channel resources).
+	Uplink float64
+	// FusionCompute is the fusion centre's decode/aggregation time.
+	FusionCompute float64
+	// Rounds counts protocol communication phases (1 for L-CoFL's
+	// upload; 3 per PBFT-style consensus instance).
+	Rounds int
+	// Total sums the phases.
+	Total float64
+}
+
+// LCoFL costs one L-CoFL round: per-vehicle Lagrange encoding (O(M²) per
+// Proposition 1) and model evaluation, one parallel uplink, and
+// Reed–Solomon decoding O((K+2E)³) at the fusion centre.
+func LCoFL(s Scenario, p Params) (*Breakdown, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	cost := core.Cost{
+		V:            s.Vehicles,
+		M:            s.Batches,
+		Degree:       s.Degree,
+		ApproxPoints: 21,
+		Errors:       s.Errors,
+	}
+	vehicleOps := cost.EncodingPerVehicle() + cost.ApproximationPerVehicle() +
+		float64(s.UploadScalars*s.Batches*s.Degree) // model evaluations
+	fusionOps := cost.Decoding() + float64(s.Vehicles*s.UploadScalars) // decode + averaging
+	b := &Breakdown{
+		VehicleCompute: vehicleOps / p.VehicleOpsPerSec,
+		Uplink:         float64(s.UploadScalars)*p.ScalarBytes/p.UplinkBytesPerSec + p.PerMessageLatencySec,
+		FusionCompute:  fusionOps / p.FusionOpsPerSec,
+		Rounds:         1,
+	}
+	b.Total = b.VehicleCompute + b.Uplink + b.FusionCompute
+	return b, nil
+}
+
+// BFT costs one round of the blockchain/BFT alternative the paper
+// contrasts (§II): every vehicle's ML result is verified by a PBFT-style
+// committee of all V participants — pre-prepare, prepare and commit
+// phases with O(V²) messages each — and every validator recomputes the
+// uploaded result to verify it.
+func BFT(s Scenario, p Params) (*Breakdown, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	v := float64(s.Vehicles)
+	msgBytes := float64(s.UploadScalars) * p.ScalarBytes
+	// Three phases; in each, every node sends to every other node over
+	// its serial uplink: V−1 messages per node per phase.
+	phaseUplink := (v-1)*msgBytes/p.UplinkBytesPerSec + p.PerMessageLatencySec
+	// Verification compute: each validator re-evaluates every peer's
+	// estimation result (V−1 evaluations of the model per validator).
+	verifyOps := (v - 1) * float64(s.UploadScalars*s.Batches*s.Degree)
+	b := &Breakdown{
+		VehicleCompute: verifyOps / p.VehicleOpsPerSec,
+		Uplink:         3 * phaseUplink,
+		FusionCompute:  float64(s.Vehicles*s.UploadScalars) / p.FusionOpsPerSec,
+		Rounds:         3,
+	}
+	b.Total = b.VehicleCompute + b.Uplink + b.FusionCompute
+	return b, nil
+}
+
+// ParameterFL costs one round of traditional parameter-upload FedAvg for
+// reference: no verification at all, one uplink of the parameter vector.
+func ParameterFL(s Scenario, p Params, numParams int) (*Breakdown, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	if numParams < 1 {
+		return nil, fmt.Errorf("latency: parameter count %d must be positive", numParams)
+	}
+	p = p.withDefaults()
+	b := &Breakdown{
+		VehicleCompute: 0, // no coding work beyond training (common to all)
+		Uplink:         float64(numParams)*p.ScalarBytes/p.UplinkBytesPerSec + p.PerMessageLatencySec,
+		FusionCompute:  float64(s.Vehicles*numParams) / p.FusionOpsPerSec,
+		Rounds:         1,
+	}
+	b.Total = b.VehicleCompute + b.Uplink + b.FusionCompute
+	return b, nil
+}

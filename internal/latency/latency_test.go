@@ -1,0 +1,105 @@
+package latency
+
+import "testing"
+
+func paperScenario(v int) Scenario {
+	return Scenario{
+		Vehicles:      v,
+		Batches:       16,
+		Degree:        1,
+		UploadScalars: 2*8 + 128,
+		Errors:        v / 10,
+	}
+}
+
+func TestLCoFLBreakdown(t *testing.T) {
+	b, err := LCoFL(paperScenario(100), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rounds != 1 {
+		t.Errorf("rounds = %d", b.Rounds)
+	}
+	if b.Total <= 0 || b.Total != b.VehicleCompute+b.Uplink+b.FusionCompute {
+		t.Errorf("inconsistent breakdown %+v", b)
+	}
+	// The whole coded round should be sub-second with default rates —
+	// the paper's "lightweight" claim.
+	if b.Total > 1 {
+		t.Errorf("L-CoFL round %gs — not lightweight", b.Total)
+	}
+}
+
+func TestBFTSlowerThanLCoFL(t *testing.T) {
+	// The paper's §II argument: BFT verification needs multiple all-to-all
+	// communication phases, so it must cost well above the coded round at
+	// any realistic fleet size — and the gap must widen with V.
+	prevRatio := 0.0
+	for _, v := range []int{20, 50, 100} {
+		s := paperScenario(v)
+		coded, err := LCoFL(s, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bft, err := BFT(s, Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bft.Rounds != 3 {
+			t.Errorf("BFT rounds = %d", bft.Rounds)
+		}
+		ratio := bft.Total / coded.Total
+		if ratio < 2 {
+			t.Errorf("V=%d: BFT only %.1fx slower than L-CoFL", v, ratio)
+		}
+		if ratio <= prevRatio {
+			t.Errorf("V=%d: BFT/L-CoFL ratio %.1f did not grow (prev %.1f)", v, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestParameterFL(t *testing.T) {
+	b, err := ParameterFL(paperScenario(100), Params{}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total <= 0 {
+		t.Errorf("breakdown %+v", b)
+	}
+	if _, err := ParameterFL(paperScenario(100), Params{}, 0); err == nil {
+		t.Error("zero params accepted")
+	}
+}
+
+func TestLatencyGrowsWithErrors(t *testing.T) {
+	s := paperScenario(100)
+	s.Errors = 0
+	lo, err := LCoFL(s, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Errors = 40
+	hi, err := LCoFL(s, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.FusionCompute <= lo.FusionCompute {
+		t.Errorf("decoding cost did not grow with errors: %g vs %g", hi.FusionCompute, lo.FusionCompute)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := Scenario{}
+	if _, err := LCoFL(bad, Params{}); err == nil {
+		t.Error("empty scenario accepted")
+	}
+	if _, err := BFT(bad, Params{}); err == nil {
+		t.Error("empty scenario accepted by BFT")
+	}
+	neg := paperScenario(10)
+	neg.Errors = -1
+	if _, err := LCoFL(neg, Params{}); err == nil {
+		t.Error("negative errors accepted")
+	}
+}

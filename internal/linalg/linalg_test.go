@@ -1,0 +1,530 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 || m.At(0, 1) != 2 {
+		t.Errorf("FromRows wrong layout: %v", m)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty rows accepted")
+	}
+}
+
+func TestNewMatrixPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 0x0")
+		}
+	}()
+	NewMatrix(0, 0)
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows() != 3 || mt.Cols() != 2 {
+		t.Fatalf("T shape = %dx%d", mt.Rows(), mt.Cols())
+	}
+	if mt.At(2, 1) != 6 || mt.At(0, 1) != 4 {
+		t.Errorf("T values wrong: %v", mt)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 4, 4)
+	got, err := a.Mul(Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got.At(i, j) != a.At(i, j) {
+				t.Fatalf("A·I != A at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	got, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v", got)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{4, 3}, {2, 1}})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(0, 0) != 5 || sum.At(1, 1) != 5 {
+		t.Errorf("Add = %v", sum)
+	}
+	diff, err := sum.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.At(1, 0) != 3 {
+		t.Errorf("Sub = %v", diff)
+	}
+	if got := a.Scale(2).At(1, 1); got != 8 {
+		t.Errorf("Scale = %g", got)
+	}
+	if _, err := a.Add(NewMatrix(3, 3)); err == nil {
+		t.Error("Add shape mismatch accepted")
+	}
+	if _, err := a.Sub(NewMatrix(3, 3)); err == nil {
+		t.Error("Sub shape mismatch accepted")
+	}
+}
+
+func TestSolve(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := a.Solve([]float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=3, x+3y=5 → x=4/5, y=7/5
+	if !near(x[0], 0.8, 1e-12) || !near(x[1], 1.4, 1e-12) {
+		t.Errorf("Solve = %v", x)
+	}
+}
+
+func TestSolveRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		a := randomMatrix(rng, n, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b, err := a.MulVec(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.Solve(b)
+		if err != nil {
+			continue // singular random draw, acceptable to skip
+		}
+		for i := range want {
+			if !near(got[i], want[i], 1e-6*(1+math.Abs(want[i]))) {
+				t.Fatalf("trial %d: x[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := a.Solve([]float64{1, 2}); err == nil {
+		t.Error("singular matrix solved")
+	}
+	if _, err := NewMatrix(2, 3).Solve([]float64{1, 2}); err == nil {
+		t.Error("non-square solve accepted")
+	}
+	if _, err := Identity(2).Solve([]float64{1}); err == nil {
+		t.Error("bad rhs length accepted")
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero in the (0,0) position forces a row swap.
+	a, _ := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := a.Solve([]float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Errorf("Solve = %v", x)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Overdetermined but consistent: recover exact polynomial coefficients.
+	xs := []float64{-2, -1, 0, 1, 2, 3}
+	a := Vandermonde(xs, 2)
+	truth := []float64{1, -0.5, 0.25}
+	b, err := a.MulVec(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if !near(got[i], truth[i], 1e-10) {
+			t.Errorf("coef %d = %g, want %g", i, got[i], truth[i])
+		}
+	}
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// The optimal residual must be orthogonal to the column space: Aᵀr = 0.
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 30, 5)
+	b := make([]float64, 30)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, _ := a.MulVec(x)
+	r := VecSub(b, ax)
+	atr, _ := a.T().MulVec(r)
+	if NormInf(atr) > 1e-9 {
+		t.Errorf("Aᵀr = %v, want ~0", atr)
+	}
+}
+
+func TestQRValidation(t *testing.T) {
+	if _, err := NewQR(NewMatrix(2, 3)); err == nil {
+		t.Error("underdetermined QR accepted")
+	}
+	// Rank-deficient: duplicate columns.
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := NewQR(a); err == nil {
+		t.Error("rank-deficient QR accepted")
+	}
+	f, err := NewQR(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1}); err == nil {
+		t.Error("bad rhs length accepted")
+	}
+}
+
+func TestVandermonde(t *testing.T) {
+	v := Vandermonde([]float64{2, 3}, 2)
+	want := [][]float64{{1, 2, 4}, {1, 3, 9}}
+	for i := range want {
+		for j := range want[i] {
+			if v.At(i, j) != want[i][j] {
+				t.Errorf("V[%d][%d] = %g, want %g", i, j, v.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := VecAdd(a, b); got[2] != 9 {
+		t.Errorf("VecAdd = %v", got)
+	}
+	if got := VecSub(b, a); got[0] != 3 {
+		t.Errorf("VecSub = %v", got)
+	}
+	if got := VecScale(2, a); got[1] != 4 {
+		t.Errorf("VecScale = %v", got)
+	}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %g", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Errorf("Norm2 = %g", got)
+	}
+	if got := NormInf([]float64{-7, 2}); got != 7 {
+		t.Errorf("NormInf = %g", got)
+	}
+	if got := Mean(a); got != 2 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %g", got)
+	}
+	c := Clone(a)
+	c[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone aliases input")
+	}
+	ip := Clone(a)
+	VecAddInPlace(ip, b)
+	if ip[0] != 5 {
+		t.Errorf("VecAddInPlace = %v", ip)
+	}
+	ax := Clone(a)
+	AXPYInPlace(ax, 2, b)
+	if ax[0] != 9 {
+		t.Errorf("AXPYInPlace = %v", ax)
+	}
+}
+
+func TestVectorMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestPropertyTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(_ uint8) bool {
+		m := randomMatrix(rng, 1+rng.Intn(6), 1+rng.Intn(6))
+		tt := m.T().T()
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				if tt.At(i, j) != m.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMulDistributesOverAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(_ uint8) bool {
+		n := 1 + rng.Intn(5)
+		a := randomMatrix(rng, n, n)
+		b := randomMatrix(rng, n, n)
+		c := randomMatrix(rng, n, n)
+		bc, _ := b.Add(c)
+		left, _ := a.Mul(bc)
+		ab, _ := a.Mul(b)
+		ac, _ := a.Mul(c)
+		right, _ := ab.Add(ac)
+		d, _ := left.Sub(right)
+		return d.FrobeniusNorm() < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m, _ := FromRows([][]float64{{3, 0}, {0, 4}})
+	if got := m.FrobeniusNorm(); got != 5 {
+		t.Errorf("FrobeniusNorm = %g", got)
+	}
+}
+
+func BenchmarkSolve64(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomMatrix(rng, 64, 64)
+	rhs := make([]float64, 64)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeastSquares100x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomMatrix(rng, 100, 8)
+	rhs := make([]float64, 100)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := a.Mul(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !near(prod.At(i, j), want, 1e-12) {
+				t.Errorf("A·A⁻¹[%d][%d] = %g", i, j, prod.At(i, j))
+			}
+		}
+	}
+	if _, err := NewMatrix(2, 3).Inverse(); err == nil {
+		t.Error("non-square inverse accepted")
+	}
+	sing, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := sing.Inverse(); err == nil {
+		t.Error("singular inverse accepted")
+	}
+}
+
+func TestInverseRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(10)
+		a := randomMatrix(rng, n, n)
+		inv, err := a.Inverse()
+		if err != nil {
+			continue // singular draw
+		}
+		prod, err := a.Mul(inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := prod.Sub(Identity(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.FrobeniusNorm() > 1e-8 {
+			t.Fatalf("trial %d: ‖A·A⁻¹ − I‖ = %g", trial, d.FrobeniusNorm())
+		}
+	}
+}
+
+func TestQuadraticForm(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 1}, {1, 3}})
+	got, err := a.QuadraticForm([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [1 2]·A·[1 2]ᵀ = 2 + 2 + 2 + 12 = 18
+	if !near(got, 18, 1e-12) {
+		t.Errorf("QuadraticForm = %g", got)
+	}
+	if _, err := NewMatrix(2, 3).QuadraticForm([]float64{1, 2}); err == nil {
+		t.Error("non-square accepted")
+	}
+	if _, err := a.QuadraticForm([]float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestRidgeLeastSquares(t *testing.T) {
+	// Collinear columns: plain QR fails, ridge succeeds and keeps the
+	// coefficients small.
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); err == nil {
+		t.Error("plain LS solved a rank-deficient system")
+	}
+	x, err := RidgeLeastSquares(a, []float64{1, 2, 3}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric problem → symmetric solution near [0.5, 0.5].
+	if !near(x[0], x[1], 1e-9) || !near(x[0], 0.5, 1e-3) {
+		t.Errorf("ridge solution = %v", x)
+	}
+	if _, err := RidgeLeastSquares(a, []float64{1, 2, 3}, 0); err == nil {
+		t.Error("zero lambda accepted")
+	}
+	if _, err := RidgeLeastSquares(a, []float64{1}, 1e-6); err == nil {
+		t.Error("bad rhs length accepted")
+	}
+}
+
+func TestRidgeMatchesLSWhenWellPosed(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomMatrix(rng, 20, 4)
+	b := make([]float64, 20)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	ls, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridge, err := RidgeLeastSquares(a, b, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ls {
+		if !near(ls[i], ridge[i], 1e-6) {
+			t.Errorf("coef %d: LS %g vs ridge %g", i, ls[i], ridge[i])
+		}
+	}
+}
+
+func TestRowColString(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	if r[0] != 3 || r[1] != 4 {
+		t.Errorf("Row = %v", r)
+	}
+	r[0] = 99
+	if m.At(1, 0) == 99 {
+		t.Error("Row aliases matrix")
+	}
+	c := m.Col(0)
+	if c[0] != 1 || c[1] != 3 {
+		t.Errorf("Col = %v", c)
+	}
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+}

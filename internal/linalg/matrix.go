@@ -1,0 +1,323 @@
+// Package linalg provides the dense float64 linear algebra the rest of the
+// repository needs: matrix/vector arithmetic, Gaussian elimination with
+// partial pivoting, Householder QR, and least-squares solving.
+//
+// Go has no numerical standard library, so this package is the
+// MATLAB-substitute substrate (see DESIGN.md §2): the least-squares
+// activation fits of package approx, the robust real-valued decoder of
+// package reedsolomon, and the neural network of package nn all build on
+// it. Sizes in this system are small (tens to low hundreds), so clarity
+// and numerical hygiene win over blocking/tiling.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64 // len rows*cols
+}
+
+// NewMatrix returns a zero matrix with the given shape.
+// It panics on non-positive dimensions: shapes are programmer-controlled.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("linalg: empty rows")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("linalg: row %d has %d cols, want %d", i, len(r), m.cols)
+		}
+		copy(m.data[i*m.cols:], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows and Cols report the shape.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols reports the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := range out {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Clone returns an independent copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Add returns m + o. Shapes must match.
+func (m *Matrix) Add(o *Matrix) (*Matrix, error) {
+	if m.rows != o.rows || m.cols != o.cols {
+		return nil, fmt.Errorf("linalg: add shape mismatch %dx%d vs %dx%d", m.rows, m.cols, o.rows, o.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] += o.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns m - o. Shapes must match.
+func (m *Matrix) Sub(o *Matrix) (*Matrix, error) {
+	if m.rows != o.rows || m.cols != o.cols {
+		return nil, fmt.Errorf("linalg: sub shape mismatch %dx%d vs %dx%d", m.rows, m.cols, o.rows, o.cols)
+	}
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] -= o.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns c·m as a new matrix.
+func (m *Matrix) Scale(c float64) *Matrix {
+	out := m.Clone()
+	for i := range out.data {
+		out.data[i] *= c
+	}
+	return out
+}
+
+// Mul returns the matrix product m·o.
+func (m *Matrix) Mul(o *Matrix) (*Matrix, error) {
+	if m.cols != o.rows {
+		return nil, fmt.Errorf("linalg: mul shape mismatch %dx%d · %dx%d", m.rows, m.cols, o.rows, o.cols)
+	}
+	out := NewMatrix(m.rows, o.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			base := k * o.cols
+			outBase := i * o.cols
+			for j := 0; j < o.cols; j++ {
+				out.data[outBase+j] += a * o.data[base+j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m·x for a vector x of length Cols.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.cols {
+		return nil, fmt.Errorf("linalg: mulvec length %d, want %d", len(x), m.cols)
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Solve solves the square system A·x = b by Gaussian elimination with
+// partial pivoting. It returns an error for singular (or numerically
+// singular) systems.
+func (m *Matrix) Solve(b []float64) ([]float64, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("linalg: solve needs square matrix, got %dx%d", m.rows, m.cols)
+	}
+	if len(b) != m.rows {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), m.rows)
+	}
+	n := m.rows
+	a := m.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest magnitude in the column.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-300 {
+			return nil, fmt.Errorf("linalg: singular matrix at column %d", col)
+		}
+		if pivot != col {
+			a.swapRows(pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a.Set(r, c, a.At(r, c)-f*a.At(col, c))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= a.At(i, j) * x[j]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, nil
+}
+
+// Inverse returns m⁻¹ by Gauss–Jordan elimination with partial pivoting,
+// or an error for singular matrices.
+func (m *Matrix) Inverse() (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("linalg: inverse needs square matrix, got %dx%d", m.rows, m.cols)
+	}
+	n := m.rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-300 {
+			return nil, fmt.Errorf("linalg: singular matrix at column %d", col)
+		}
+		if pivot != col {
+			a.swapRows(pivot, col)
+			inv.swapRows(pivot, col)
+		}
+		p := 1 / a.At(col, col)
+		for c := 0; c < n; c++ {
+			a.Set(col, c, a.At(col, c)*p)
+			inv.Set(col, c, inv.At(col, c)*p)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				a.Set(r, c, a.At(r, c)-f*a.At(col, c))
+				inv.Set(r, c, inv.At(r, c)-f*inv.At(col, c))
+			}
+		}
+	}
+	return inv, nil
+}
+
+// QuadraticForm returns xᵀ·m·x for a square matrix m.
+func (m *Matrix) QuadraticForm(x []float64) (float64, error) {
+	if m.rows != m.cols {
+		return 0, fmt.Errorf("linalg: quadratic form needs square matrix, got %dx%d", m.rows, m.cols)
+	}
+	if len(x) != m.rows {
+		return 0, fmt.Errorf("linalg: quadratic form length %d, want %d", len(x), m.rows)
+	}
+	var s float64
+	for i := 0; i < m.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var inner float64
+		for j, v := range row {
+			inner += v * x[j]
+		}
+		s += xi * inner
+	}
+	return s, nil
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	ri := m.data[i*m.cols : (i+1)*m.cols]
+	rj := m.data[j*m.cols : (j+1)*m.cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.rows; i++ {
+		s += fmt.Sprintf("%v\n", m.Row(i))
+	}
+	return s
+}

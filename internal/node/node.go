@@ -1,0 +1,368 @@
+// Package node runs L-CoFL as an actual distributed system: a fusion
+// centre process and vehicle processes exchanging protocol messages over
+// a transport fabric (in-memory or TCP).
+//
+// The round structure mirrors package fl exactly — broadcast, local
+// training (eq. 1), scheme upload, verified aggregation, distillation —
+// but each vehicle holds only its own state and the fusion centre only
+// the shared model, so the deployment is faithful to Fig. 1: vehicles
+// never exchange raw data, and the fusion centre never sees local
+// datasets. Vehicles rebuild the deterministic L-CoFL scheme from the
+// Setup message, so their Lagrange-encoded shares match the fusion
+// centre's without shipping any encoding matrices.
+//
+// A vehicle that misses a round deadline is treated as a straggler (its
+// upload is absent), which the coded aggregation already tolerates.
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/fl"
+	"repro/internal/nn"
+	"repro/internal/poly"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// ServerConfig parameterises the fusion centre.
+type ServerConfig struct {
+	// FL carries the learning hyperparameters (InputSize, rates, epochs).
+	FL fl.Config
+	// Scheme carries the L-CoFL coding parameters.
+	Scheme core.SchemeConfig
+	// RefX is the reference feature set (length a multiple of
+	// Scheme.NumBatches).
+	RefX [][]float64
+	// ActivationCoeffs is the polynomial activation every participant
+	// installs (paper §IV Step 2).
+	ActivationCoeffs []float64
+	// Rounds is the number of global rounds to run.
+	Rounds int
+	// RoundTimeout bounds how long the fusion centre waits for uploads
+	// each round before treating missing vehicles as stragglers
+	// (default 30 s).
+	RoundTimeout time.Duration
+}
+
+// Report summarises a completed distributed session.
+type Report struct {
+	// Rounds is the number of completed rounds.
+	Rounds int
+	// FinalParams is the shared model's final parameter vector.
+	FinalParams []float64
+	// SuspectedMalicious accumulates every vehicle flagged by the
+	// verification channel in any round.
+	SuspectedMalicious []int
+	// Stragglers counts upload timeouts across all rounds.
+	Stragglers int
+}
+
+// Server is the fusion centre.
+type Server struct {
+	cfg    ServerConfig
+	shared *nn.Network
+	scheme *core.Scheme
+}
+
+// NewServer builds the shared model and the coding scheme.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("node: rounds %d must be >= 1", cfg.Rounds)
+	}
+	if len(cfg.ActivationCoeffs) < 2 {
+		return nil, fmt.Errorf("node: polynomial activation coefficients required")
+	}
+	if cfg.RoundTimeout == 0 {
+		cfg.RoundTimeout = 30 * time.Second
+	}
+	act := approx.FromPolynomial("wire-poly", poly.NewReal(cfg.ActivationCoeffs...))
+	sizes := append([]int{cfg.FL.InputSize}, cfg.FL.Hidden...)
+	sizes = append(sizes, 1)
+	shared, err := nn.New(nn.Config{LayerSizes: sizes, Activation: act, Seed: cfg.FL.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("node: shared model: %w", err)
+	}
+	scheme, err := core.NewScheme(cfg.RefX, cfg.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("node: scheme: %w", err)
+	}
+	return &Server{cfg: cfg, shared: shared, scheme: scheme}, nil
+}
+
+// Shared exposes the fusion centre's model (for evaluation after Run).
+func (s *Server) Shared() *nn.Network { return s.shared }
+
+// upload pairs a received contribution with its sender.
+type upload struct {
+	vehicleID int
+	round     int
+	values    []float64
+	err       error
+}
+
+// Run drives the session over the given connections (one per vehicle).
+// It handshakes, configures every vehicle, executes the rounds, and sends
+// Finished. Run blocks until the session completes.
+func (s *Server) Run(conns []transport.Conn) (*Report, error) {
+	v := s.cfg.Scheme.NumVehicles
+	if len(conns) != v {
+		return nil, fmt.Errorf("node: got %d connections, scheme expects %d vehicles", len(conns), v)
+	}
+	// Handshake: map connections to vehicle IDs.
+	byID := make(map[int]transport.Conn, v)
+	for i, conn := range conns {
+		m, err := conn.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("node: hello from conn %d: %w", i, err)
+		}
+		if m.Hello == nil {
+			return nil, fmt.Errorf("node: conn %d opened with %+v, want hello", i, m)
+		}
+		if m.Hello.Version != protocol.Version {
+			return nil, fmt.Errorf("node: conn %d speaks version %d, want %d", i, m.Hello.Version, protocol.Version)
+		}
+		id := m.Hello.VehicleID
+		if id < 0 || id >= v {
+			return nil, fmt.Errorf("node: vehicle ID %d out of range", id)
+		}
+		if _, dup := byID[id]; dup {
+			return nil, fmt.Errorf("node: duplicate vehicle ID %d", id)
+		}
+		byID[id] = conn
+	}
+	setup := &protocol.Setup{
+		InputSize:        s.cfg.FL.InputSize,
+		LocalEpochs:      s.cfg.FL.LocalEpochs,
+		LocalRate:        s.cfg.FL.LocalRate,
+		ActivationCoeffs: s.cfg.ActivationCoeffs,
+		RefX:             s.cfg.RefX,
+		SchemeVehicles:   s.cfg.Scheme.NumVehicles,
+		SchemeBatches:    s.cfg.Scheme.NumBatches,
+		SchemeDegree:     s.cfg.Scheme.Degree,
+		SchemeSeed:       s.cfg.Scheme.Seed,
+	}
+	for id, conn := range byID {
+		if err := conn.Send(&protocol.Message{Setup: setup}); err != nil {
+			return nil, fmt.Errorf("node: setup to vehicle %d: %w", id, err)
+		}
+	}
+
+	// One receiver goroutine per vehicle feeds the round loop.
+	results := make(chan upload, v)
+	for id, conn := range byID {
+		go func(id int, conn transport.Conn) {
+			for {
+				m, err := conn.Recv()
+				if err != nil {
+					results <- upload{vehicleID: id, err: err}
+					return
+				}
+				if m.Upload == nil {
+					results <- upload{vehicleID: id, err: fmt.Errorf("unexpected %+v", m)}
+					return
+				}
+				results <- upload{vehicleID: id, round: m.Upload.Round, values: m.Upload.Values}
+			}
+		}(id, conn)
+	}
+
+	report := &Report{}
+	flagged := map[int]bool{}
+	dead := map[int]bool{}
+	for round := 1; round <= s.cfg.Rounds; round++ {
+		if err := s.scheme.BeginRound(s.shared.Clone()); err != nil {
+			return nil, fmt.Errorf("node: round %d: %w", round, err)
+		}
+		bc := &protocol.Message{Broadcast: &protocol.Broadcast{Round: round, Params: s.shared.Params()}}
+		for id, conn := range byID {
+			if dead[id] {
+				continue
+			}
+			if err := conn.Send(bc); err != nil {
+				dead[id] = true
+			}
+		}
+
+		uploads := make([][]float64, v)
+		pending := 0
+		for id := range byID {
+			if !dead[id] {
+				pending++
+			}
+		}
+		deadline := time.After(s.cfg.RoundTimeout)
+	collect:
+		for pending > 0 {
+			select {
+			case u := <-results:
+				pending--
+				switch {
+				case u.err != nil:
+					dead[u.vehicleID] = true
+				case u.round != round:
+					// Stale upload from a previous round's straggler.
+					pending++ // that vehicle still owes this round
+				default:
+					uploads[u.vehicleID] = u.values
+				}
+			case <-deadline:
+				break collect // stragglers: leave their uploads nil
+			}
+		}
+		for id := range byID {
+			if !dead[id] && uploads[id] == nil {
+				report.Stragglers++
+			}
+		}
+
+		targets, err := s.scheme.Aggregate(uploads)
+		if err != nil {
+			return nil, fmt.Errorf("node: round %d aggregate: %w", round, err)
+		}
+		for _, id := range s.scheme.SuspectedMalicious() {
+			flagged[id] = true
+		}
+		distill := make([]nn.Sample, 0, len(targets))
+		for j, target := range targets {
+			if fl.IsDropped(target) {
+				continue
+			}
+			distill = append(distill, nn.Sample{X: s.cfg.RefX[j], Y: clamp01(target)})
+		}
+		if len(distill) > 0 {
+			if _, err := fl.Distill(s.shared, s.cfg.FL, distill); err != nil {
+				return nil, fmt.Errorf("node: round %d distill: %w", round, err)
+			}
+		}
+		report.Rounds = round
+	}
+
+	fin := &protocol.Message{Finished: &protocol.Finished{Rounds: report.Rounds}}
+	for id, conn := range byID {
+		if !dead[id] {
+			_ = conn.Send(fin) // best effort; the session is over
+		}
+		_ = id
+	}
+	for id := range flagged {
+		report.SuspectedMalicious = append(report.SuspectedMalicious, id)
+	}
+	report.FinalParams = s.shared.Params()
+	return report, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ClientConfig parameterises one vehicle process.
+type ClientConfig struct {
+	// VehicleID is the vehicle's identity (0..V-1).
+	VehicleID int
+	// Data is the private local dataset.
+	Data []nn.Sample
+	// Seed drives local SGD shuffling.
+	Seed int64
+	// Corrupt optionally turns the vehicle malicious: every uploaded
+	// scalar is rewritten by the behaviour before sending.
+	Corrupt adversary.Behavior
+}
+
+// RunVehicle speaks the vehicle side of the protocol until Finished.
+func RunVehicle(conn transport.Conn, cfg ClientConfig) error {
+	if len(cfg.Data) == 0 {
+		return fmt.Errorf("node: vehicle %d has no local data", cfg.VehicleID)
+	}
+	if err := conn.Send(&protocol.Message{Hello: &protocol.Hello{
+		Version:   protocol.Version,
+		VehicleID: cfg.VehicleID,
+	}}); err != nil {
+		return fmt.Errorf("node: hello: %w", err)
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("node: awaiting setup: %w", err)
+	}
+	if m.Setup == nil {
+		return fmt.Errorf("node: expected setup, got %+v", m)
+	}
+	setup := m.Setup
+	var act approx.Activation
+	if len(setup.ActivationCoeffs) > 0 {
+		act = approx.FromPolynomial("wire-poly", poly.NewReal(setup.ActivationCoeffs...))
+	} else {
+		act = approx.SymmetricSigmoid()
+	}
+	local, err := nn.New(nn.Config{
+		LayerSizes: []int{setup.InputSize, 1},
+		Activation: act,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("node: local model: %w", err)
+	}
+	scheme, err := core.NewScheme(setup.RefX, core.SchemeConfig{
+		NumVehicles: setup.SchemeVehicles,
+		NumBatches:  setup.SchemeBatches,
+		Degree:      setup.SchemeDegree,
+		Seed:        setup.SchemeSeed,
+	})
+	if err != nil {
+		return fmt.Errorf("node: rebuilding scheme: %w", err)
+	}
+	rng := newVehicleRNG(cfg.Seed)
+
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("node: vehicle %d recv: %w", cfg.VehicleID, err)
+		}
+		switch {
+		case m.Finished != nil:
+			return nil
+		case m.Error != nil:
+			return fmt.Errorf("node: fusion centre error: %s", m.Error.Reason)
+		case m.Broadcast == nil:
+			return fmt.Errorf("node: vehicle %d: unexpected message %+v", cfg.VehicleID, m)
+		}
+		bc := m.Broadcast
+		if err := local.SetParams(bc.Params); err != nil {
+			return fmt.Errorf("node: vehicle %d: %w", cfg.VehicleID, err)
+		}
+		// The verification channel needs the broadcast model as received.
+		sharedCopy := local.Clone()
+		if err := scheme.BeginRound(sharedCopy); err != nil {
+			return fmt.Errorf("node: vehicle %d: %w", cfg.VehicleID, err)
+		}
+		if _, err := local.TrainSGD(cfg.Data, setup.LocalRate, setup.LocalEpochs, rng); err != nil {
+			return fmt.Errorf("node: vehicle %d training: %w", cfg.VehicleID, err)
+		}
+		values, err := scheme.Upload(cfg.VehicleID, local)
+		if err != nil {
+			return fmt.Errorf("node: vehicle %d upload: %w", cfg.VehicleID, err)
+		}
+		if cfg.Corrupt != nil {
+			for i := range values {
+				values[i] = cfg.Corrupt.Corrupt(cfg.VehicleID, values[i])
+			}
+		}
+		if err := conn.Send(&protocol.Message{Upload: &protocol.Upload{
+			Round:     bc.Round,
+			VehicleID: cfg.VehicleID,
+			Values:    values,
+		}}); err != nil {
+			return fmt.Errorf("node: vehicle %d send: %w", cfg.VehicleID, err)
+		}
+	}
+}

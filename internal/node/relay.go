@@ -1,0 +1,103 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Relay is the roadside-unit role of the paper's Fig. 1: edge servers
+// that are not the fusion centre "act as the relay nodes between the
+// fusion centre and vehicles". A relay accepts vehicle connections and
+// pipes each one to its own upstream connection to the fusion centre, so
+// vehicles out of the fusion centre's direct coverage still participate.
+// Relays are protocol-transparent: they validate framing (transport does)
+// but never inspect or alter payloads, so the security analysis is
+// unchanged — a malicious relay is equivalent to a lossy/corrupting
+// channel on every vehicle behind it, which the verification channel
+// already covers.
+type Relay struct {
+	listener transport.Listener
+	dial     func() (transport.Conn, error)
+
+	mu     sync.Mutex
+	closed bool
+	conns  []transport.Conn
+	wg     sync.WaitGroup
+}
+
+// NewRelay wires a listener for vehicle connections to a dialer for
+// upstream fusion-centre connections.
+func NewRelay(listener transport.Listener, dial func() (transport.Conn, error)) (*Relay, error) {
+	if listener == nil {
+		return nil, fmt.Errorf("node: relay listener required")
+	}
+	if dial == nil {
+		return nil, fmt.Errorf("node: relay dialer required")
+	}
+	return &Relay{listener: listener, dial: dial}, nil
+}
+
+// Serve accepts and proxies vehicle connections until the listener
+// closes. It returns the accept error that ended the loop (use Close for
+// a clean shutdown).
+func (r *Relay) Serve() error {
+	for {
+		down, err := r.listener.Accept()
+		if err != nil {
+			r.mu.Lock()
+			closed := r.closed
+			r.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("node: relay accept: %w", err)
+		}
+		up, err := r.dial()
+		if err != nil {
+			_ = down.Close()
+			return fmt.Errorf("node: relay upstream dial: %w", err)
+		}
+		r.mu.Lock()
+		r.conns = append(r.conns, down, up)
+		r.mu.Unlock()
+		r.wg.Add(2)
+		go r.pipe(down, up)
+		go r.pipe(up, down)
+	}
+}
+
+// pipe forwards messages one way until either side closes.
+func (r *Relay) pipe(from, to transport.Conn) {
+	defer r.wg.Done()
+	for {
+		m, err := from.Recv()
+		if err != nil {
+			_ = to.Close()
+			return
+		}
+		if err := to.Send(m); err != nil {
+			_ = from.Close()
+			return
+		}
+	}
+}
+
+// Close stops accepting and tears down every proxied connection.
+func (r *Relay) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	conns := append([]transport.Conn(nil), r.conns...)
+	r.mu.Unlock()
+	err := r.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	r.wg.Wait()
+	return err
+}

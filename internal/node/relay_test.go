@@ -1,0 +1,100 @@
+package node
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func TestRelayValidation(t *testing.T) {
+	l, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := NewRelay(nil, func() (transport.Conn, error) { return nil, nil }); err == nil {
+		t.Error("nil listener accepted")
+	}
+	if _, err := NewRelay(l, nil); err == nil {
+		t.Error("nil dialer accepted")
+	}
+}
+
+func TestDistributedSessionThroughRelay(t *testing.T) {
+	// Full session with every vehicle reaching the fusion centre only via
+	// an RSU relay (Fig. 1 topology), including one malicious vehicle —
+	// the relay must be protocol-transparent end to end.
+	s := buildSession(t, 12, 3, 0)
+
+	fcListener, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fcListener.Close()
+	relayListener, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay, err := NewRelay(relayListener, func() (transport.Conn, error) {
+		return transport.DialTCP(fcListener.Addr())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := relay.Serve(); err != nil {
+			t.Logf("relay serve: %v", err)
+		}
+	}()
+	defer relay.Close()
+
+	var wg sync.WaitGroup
+	for i := range s.clients {
+		conn, err := transport.DialTCP(relayListener.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, conn transport.Conn) {
+			defer wg.Done()
+			if err := RunVehicle(conn, s.clients[i]); err != nil {
+				t.Errorf("vehicle %d: %v", i, err)
+			}
+		}(i, conn)
+	}
+	serverConns := make([]transport.Conn, len(s.clients))
+	for i := range serverConns {
+		done := make(chan struct{})
+		var c transport.Conn
+		var acceptErr error
+		go func() {
+			c, acceptErr = fcListener.Accept()
+			close(done)
+		}()
+		select {
+		case <-done:
+			if acceptErr != nil {
+				t.Fatal(acceptErr)
+			}
+			serverConns[i] = c
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out accepting relayed vehicles")
+		}
+	}
+	report, err := s.server.Run(serverConns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if report.Rounds != 3 {
+		t.Errorf("rounds = %d", report.Rounds)
+	}
+	if report.Stragglers != 0 {
+		t.Errorf("stragglers through relay = %d", report.Stragglers)
+	}
+	if len(report.SuspectedMalicious) != 0 {
+		t.Errorf("honest relayed session flagged %v", report.SuspectedMalicious)
+	}
+}

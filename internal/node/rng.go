@@ -1,0 +1,8 @@
+package node
+
+import "math/rand"
+
+// newVehicleRNG builds the vehicle's deterministic shuffle source.
+func newVehicleRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

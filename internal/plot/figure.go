@@ -1,0 +1,33 @@
+package plot
+
+import (
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// FromFigure converts an experiments figure (first column = X axis, the
+// rest = series) into a chart.
+func FromFigure(fig *experiments.Figure) (*Chart, error) {
+	c := &Chart{Title: fig.Name + ": " + fig.Title}
+	for _, row := range fig.Rows {
+		c.X = append(c.X, row[0])
+	}
+	for col := 1; col < len(fig.Columns); col++ {
+		s := Series{Name: fig.Columns[col]}
+		for _, row := range fig.Rows {
+			s.Y = append(s.Y, row[col])
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c, c.Validate()
+}
+
+// RenderFigure renders an experiments figure directly.
+func RenderFigure(w io.Writer, fig *experiments.Figure, opts Options) error {
+	c, err := FromFigure(fig)
+	if err != nil {
+		return err
+	}
+	return c.Render(w, opts)
+}

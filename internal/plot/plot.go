@@ -1,0 +1,198 @@
+// Package plot renders experiment figures as ASCII line charts for the
+// terminal — the repository is offline and produces TSV series, so a
+// quick visual check of a figure's shape should not require external
+// tooling. The renderer is deterministic: the same figure always yields
+// the same bytes, which the tests rely on.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// glyphs marks the series, in column order.
+var glyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Options sizes the chart.
+type Options struct {
+	// Width and Height are the plotting area in characters
+	// (defaults 72×20).
+	Width, Height int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width == 0 {
+		o.Width = 72
+	}
+	if o.Height == 0 {
+		o.Height = 20
+	}
+	return o
+}
+
+// Series is one named line.
+type Series struct {
+	// Name labels the series in the legend.
+	Name string
+	// Y holds the values, aligned with the shared X axis.
+	Y []float64
+}
+
+// Chart is a renderable line chart over a shared X axis.
+type Chart struct {
+	// Title is printed above the plot.
+	Title string
+	// X is the shared axis (must be non-empty and match every series).
+	X []float64
+	// Series holds the lines (at most len(glyphs)).
+	Series []Series
+}
+
+// Validate checks the chart invariants.
+func (c *Chart) Validate() error {
+	if len(c.X) == 0 {
+		return fmt.Errorf("plot: empty X axis")
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	if len(c.Series) > len(glyphs) {
+		return fmt.Errorf("plot: %d series exceeds the %d glyphs available", len(c.Series), len(glyphs))
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.X) {
+			return fmt.Errorf("plot: series %q has %d points for %d x values", s.Name, len(s.Y), len(c.X))
+		}
+	}
+	return nil
+}
+
+// Render writes the chart.
+func (c *Chart) Render(w io.Writer, opts Options) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	opts = opts.withDefaults()
+
+	xmin, xmax := minMax(c.X)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		lo, hi := minMax(s.Y)
+		ymin = math.Min(ymin, lo)
+		ymax = math.Max(ymax, hi)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		// Flat data: pad the range so the line sits mid-chart.
+		ymax = ymin + 1
+		ymin = ymin - 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	toCol := func(x float64) int {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(opts.Width-1)))
+		return clampInt(col, 0, opts.Width-1)
+	}
+	toRow := func(y float64) int {
+		// Row 0 is the top of the chart.
+		row := int(math.Round((ymax - y) / (ymax - ymin) * float64(opts.Height-1)))
+		return clampInt(row, 0, opts.Height-1)
+	}
+	for si, s := range c.Series {
+		g := glyphs[si]
+		for i := range c.X {
+			if math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			grid[toRow(s.Y[i])][toCol(c.X[i])] = g
+		}
+		// Connect consecutive points with interpolated marks so sparse
+		// series still read as lines.
+		for i := 1; i < len(c.X); i++ {
+			if badPoint(s.Y[i-1]) || badPoint(s.Y[i]) {
+				continue
+			}
+			c0, c1 := toCol(c.X[i-1]), toCol(c.X[i])
+			for col := c0 + 1; col < c1; col++ {
+				frac := float64(col-c0) / float64(c1-c0)
+				y := s.Y[i-1] + frac*(s.Y[i]-s.Y[i-1])
+				row := toRow(y)
+				if grid[row][col] == ' ' {
+					grid[row][col] = '.'
+				}
+			}
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3g", ymax)
+		case opts.Height - 1:
+			label = fmt.Sprintf("%8.3g", ymin)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", opts.Width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-10.4g%s%10.4g\n", strings.Repeat(" ", 8),
+		xmin, strings.Repeat(" ", maxInt(1, opts.Width-22)), xmax); err != nil {
+		return err
+	}
+	for si, s := range c.Series {
+		if _, err := fmt.Fprintf(w, "  %c %s\n", glyphs[si], s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func badPoint(y float64) bool { return math.IsNaN(y) || math.IsInf(y, 0) }
+
+func minMax(vs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		if badPoint(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) { // all bad
+		return 0, 1
+	}
+	return lo, hi
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func simpleChart() *Chart {
+	return &Chart{
+		Title: "demo",
+		X:     []float64{0, 1, 2, 3},
+		Series: []Series{
+			{Name: "up", Y: []float64{0, 1, 2, 3}},
+			{Name: "down", Y: []float64{3, 2, 1, 0}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := simpleChart().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Chart{}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad = simpleChart()
+	bad.Series[0].Y = bad.Series[0].Y[:2]
+	if err := bad.Validate(); err == nil {
+		t.Error("ragged series accepted")
+	}
+	big := &Chart{X: []float64{1}}
+	for i := 0; i < 9; i++ {
+		big.Series = append(big.Series, Series{Name: "s", Y: []float64{1}})
+	}
+	if err := big.Validate(); err == nil {
+		t.Error("too many series accepted")
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := simpleChart().Render(&buf, Options{Width: 40, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "* up", "o down", "+", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The rising series ends top-right, the falling one bottom-right.
+	lines := strings.Split(out, "\n")
+	top, bottom := lines[1], lines[10]
+	if !strings.Contains(top, "*") {
+		t.Errorf("top row lacks rising series: %q", top)
+	}
+	if !strings.Contains(bottom, "*") { // rising starts bottom-left
+		t.Errorf("bottom row lacks rising series start: %q", bottom)
+	}
+	if !strings.Contains(top, "o") || !strings.Contains(bottom, "o") {
+		t.Errorf("falling series not spanning rows")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := simpleChart().Render(&a, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := simpleChart().Render(&b, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("render is not deterministic")
+	}
+}
+
+func TestRenderFlatAndNaN(t *testing.T) {
+	c := &Chart{
+		X: []float64{0, 1, 2},
+		Series: []Series{
+			{Name: "flat", Y: []float64{5, 5, 5}},
+			{Name: "holey", Y: []float64{1, math.NaN(), 2}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf, Options{Width: 30, Height: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "flat") {
+		t.Error("legend missing")
+	}
+}
+
+func TestFromFigure(t *testing.T) {
+	fig := &experiments.Figure{
+		Name:    "figX",
+		Title:   "t",
+		Columns: []string{"x", "a", "b"},
+	}
+	if err := fig.AddRow(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fig.AddRow(1, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	c, err := FromFigure(fig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Series) != 2 || c.Series[1].Y[1] != 4 {
+		t.Errorf("conversion wrong: %+v", c)
+	}
+	var buf bytes.Buffer
+	if err := RenderFigure(&buf, fig, Options{Width: 20, Height: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "figX") {
+		t.Error("title missing")
+	}
+	empty := &experiments.Figure{Name: "e", Columns: []string{"x"}}
+	if _, err := FromFigure(empty); err == nil {
+		t.Error("empty figure accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package poly
+
+import "fmt"
+
+// Barycentric is a Lagrange interpolating polynomial in barycentric form:
+// evaluation is O(n) and numerically stable at any polynomial degree,
+// unlike expansion to monomial coefficients whose conditioning collapses
+// beyond degree ~20. The robust real-valued Reed–Solomon decoder uses it
+// for its candidate polynomials (composed L-CoFL polynomials reach degree
+// d·(M−1) ≈ 45 at paper scale).
+type Barycentric struct {
+	xs, ys []float64
+	w      []float64
+}
+
+// NewBarycentric builds the interpolant through (xs[i], ys[i]). The nodes
+// must be pairwise distinct.
+func NewBarycentric(xs, ys []float64) (*Barycentric, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("poly: barycentric length mismatch %d != %d", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("poly: barycentric needs at least one point")
+	}
+	n := len(xs)
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		prod := 1.0
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := xs[i] - xs[j]
+			if d == 0 {
+				return nil, fmt.Errorf("poly: duplicate barycentric node %g", xs[i])
+			}
+			prod *= d
+		}
+		w[i] = 1 / prod
+	}
+	return &Barycentric{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+		w:  w,
+	}, nil
+}
+
+// Eval evaluates the interpolant at x using the second (true) barycentric
+// formula; at a node it returns the node value exactly.
+func (b *Barycentric) Eval(x float64) float64 {
+	var num, den float64
+	for i := range b.xs {
+		d := x - b.xs[i]
+		if d == 0 {
+			return b.ys[i]
+		}
+		t := b.w[i] / d
+		num += t * b.ys[i]
+		den += t
+	}
+	return num / den
+}
+
+// Degree returns the maximal polynomial degree of the interpolant.
+func (b *Barycentric) Degree() int { return len(b.xs) - 1 }
+
+// Cheb is a polynomial in the Chebyshev basis on [Lo, Hi]:
+// p(x) = Σ Coef[k]·T_k(t) with t = (2x − Lo − Hi)/(Hi − Lo). The basis is
+// well-conditioned at high degree where the monomial basis is not; the
+// robust decoder's consensus refit returns this form.
+type Cheb struct {
+	// Lo and Hi delimit the domain the basis is orthogonal on.
+	Lo, Hi float64
+	// Coef holds the Chebyshev coefficients, constant term first.
+	Coef []float64
+}
+
+// Eval evaluates the series at x by Clenshaw's recurrence.
+func (c Cheb) Eval(x float64) float64 {
+	if len(c.Coef) == 0 {
+		return 0
+	}
+	t := (2*x - c.Lo - c.Hi) / (c.Hi - c.Lo)
+	var b1, b2 float64
+	for k := len(c.Coef) - 1; k >= 1; k-- {
+		b1, b2 = 2*t*b1-b2+c.Coef[k], b1
+	}
+	return t*b1 - b2 + c.Coef[0]
+}
+
+// Degree returns the series degree.
+func (c Cheb) Degree() int { return len(c.Coef) - 1 }
+
+// ChebDesignRow fills row with T_0(t)…T_deg(t) for x mapped into [lo, hi]
+// — one row of the least-squares design matrix in the Chebyshev basis.
+func ChebDesignRow(row []float64, x, lo, hi float64) {
+	t := (2*x - lo - hi) / (hi - lo)
+	for k := range row {
+		switch k {
+		case 0:
+			row[k] = 1
+		case 1:
+			row[k] = t
+		default:
+			row[k] = 2*t*row[k-1] - row[k-2]
+		}
+	}
+}

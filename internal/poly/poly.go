@@ -1,0 +1,269 @@
+// Package poly provides dense univariate polynomials over GF(p)
+// (see package field) and over float64.
+//
+// Field polynomials are the working objects of Lagrange coded computing:
+// the encoder builds the Lagrange interpolation polynomial H(z) of the data
+// batches (paper eq. 3), vehicles evaluate the composed polynomial C(H(z)),
+// and the Berlekamp–Welch decoder reconstructs it from noisy evaluations.
+// Real polynomials carry the activation-function approximations of package
+// approx into the neural network.
+package poly
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/field"
+)
+
+// Poly is a dense polynomial over GF(p). The coefficient of z^i is
+// stored at index i. The canonical form has no trailing zero
+// coefficients; the zero polynomial is the empty slice.
+type Poly []field.Element
+
+// New returns the canonical polynomial with the given coefficients
+// (constant term first). The input slice is copied.
+func New(coeffs ...field.Element) Poly {
+	p := make(Poly, len(coeffs))
+	copy(p, coeffs)
+	return p.normalize()
+}
+
+// NewInt64 builds a polynomial from signed integer coefficients,
+// a convenience for tests and examples.
+func NewInt64(coeffs ...int64) Poly {
+	p := make(Poly, len(coeffs))
+	for i, c := range coeffs {
+		p[i] = field.NewInt64(c)
+	}
+	return p.normalize()
+}
+
+// normalize strips trailing zeros in place and returns the result.
+func (p Poly) normalize() Poly {
+	n := len(p)
+	for n > 0 && p[n-1] == field.Zero {
+		n--
+	}
+	return p[:n]
+}
+
+// Degree returns the degree of p, with the convention that the zero
+// polynomial has degree -1.
+func (p Poly) Degree() int { return len(p) - 1 }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p) == 0 }
+
+// Clone returns an independent copy of p.
+func (p Poly) Clone() Poly {
+	q := make(Poly, len(p))
+	copy(q, p)
+	return q
+}
+
+// Coeff returns the coefficient of z^i, which is zero beyond the degree.
+func (p Poly) Coeff(i int) field.Element {
+	if i < 0 || i >= len(p) {
+		return field.Zero
+	}
+	return p[i]
+}
+
+// Eval evaluates p at x by Horner's rule.
+func (p Poly) Eval(x field.Element) field.Element {
+	var acc field.Element
+	for i := len(p) - 1; i >= 0; i-- {
+		acc = acc.Mul(x).Add(p[i])
+	}
+	return acc
+}
+
+// EvalMany evaluates p at every point of xs.
+func (p Poly) EvalMany(xs []field.Element) []field.Element {
+	out := make([]field.Element, len(xs))
+	for i, x := range xs {
+		out[i] = p.Eval(x)
+	}
+	return out
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := max(len(p), len(q))
+	out := make(Poly, n)
+	for i := range out {
+		out[i] = p.Coeff(i).Add(q.Coeff(i))
+	}
+	return out.normalize()
+}
+
+// Sub returns p - q.
+func (p Poly) Sub(q Poly) Poly {
+	n := max(len(p), len(q))
+	out := make(Poly, n)
+	for i := range out {
+		out[i] = p.Coeff(i).Sub(q.Coeff(i))
+	}
+	return out.normalize()
+}
+
+// Scale returns c·p.
+func (p Poly) Scale(c field.Element) Poly {
+	if c == field.Zero {
+		return nil
+	}
+	out := make(Poly, len(p))
+	for i := range p {
+		out[i] = p[i].Mul(c)
+	}
+	return out.normalize()
+}
+
+// Mul returns p·q by schoolbook convolution. Degrees in LCC are small
+// (tens), so the quadratic algorithm is the right tool.
+func (p Poly) Mul(q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return nil
+	}
+	out := make(Poly, len(p)+len(q)-1)
+	for i, pi := range p {
+		if pi == field.Zero {
+			continue
+		}
+		for j, qj := range q {
+			out[i+j] = out[i+j].Add(pi.Mul(qj))
+		}
+	}
+	return out.normalize()
+}
+
+// MulLinear returns p·(z - a), the common building block of interpolation.
+func (p Poly) MulLinear(a field.Element) Poly {
+	return p.Mul(New(a.Neg(), field.One))
+}
+
+// QuoRem returns the quotient and remainder of p ÷ q.
+// It panics if q is zero.
+func (p Poly) QuoRem(q Poly) (quo, rem Poly) {
+	if q.IsZero() {
+		panic("poly: division by zero polynomial")
+	}
+	rem = p.Clone()
+	if p.Degree() < q.Degree() {
+		return nil, rem
+	}
+	quo = make(Poly, p.Degree()-q.Degree()+1)
+	lcInv := q[len(q)-1].Inv()
+	for rem.Degree() >= q.Degree() {
+		shift := rem.Degree() - q.Degree()
+		c := rem[len(rem)-1].Mul(lcInv)
+		quo[shift] = c
+		// rem -= c * z^shift * q
+		for i, qi := range q {
+			rem[shift+i] = rem[shift+i].Sub(c.Mul(qi))
+		}
+		rem = rem.normalize()
+	}
+	return quo.normalize(), rem
+}
+
+// Derivative returns dp/dz.
+func (p Poly) Derivative() Poly {
+	if len(p) <= 1 {
+		return nil
+	}
+	out := make(Poly, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		out[i-1] = p[i].Mul(field.New(uint64(i)))
+	}
+	return out.normalize()
+}
+
+// Compose returns p(q(z)). Used to verify the composed LCC polynomial
+// C(H(z)) degree bound deg(C)·deg(H) in tests.
+func (p Poly) Compose(q Poly) Poly {
+	var out Poly
+	for i := len(p) - 1; i >= 0; i-- {
+		out = out.Mul(q).Add(New(p[i]))
+	}
+	return out
+}
+
+// Equal reports whether p and q are identical polynomials.
+func (p Poly) Equal(q Poly) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders p as a human-readable sum of monomials.
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	var b strings.Builder
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == field.Zero {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(" + ")
+		}
+		switch i {
+		case 0:
+			fmt.Fprintf(&b, "%v", p[i])
+		case 1:
+			fmt.Fprintf(&b, "%v·z", p[i])
+		default:
+			fmt.Fprintf(&b, "%v·z^%d", p[i], i)
+		}
+	}
+	return b.String()
+}
+
+// Interpolate returns the unique polynomial of degree < len(xs) passing
+// through the points (xs[i], ys[i]). The xs must be pairwise distinct;
+// it panics on length mismatch and returns an error on duplicate nodes.
+func Interpolate(xs, ys []field.Element) (Poly, error) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("poly: interpolate length mismatch %d != %d", len(xs), len(ys)))
+	}
+	if !field.Distinct(xs) {
+		return nil, fmt.Errorf("poly: interpolation nodes are not distinct")
+	}
+	// Build via Newton's divided differences: O(n^2), numerically exact
+	// over the field.
+	n := len(xs)
+	if n == 0 {
+		return nil, nil
+	}
+	coef := make([]field.Element, n) // divided-difference table diagonal
+	copy(coef, ys)
+	for j := 1; j < n; j++ {
+		for i := n - 1; i >= j; i-- {
+			num := coef[i].Sub(coef[i-1])
+			den := xs[i].Sub(xs[i-j])
+			coef[i] = num.Div(den)
+		}
+	}
+	// Expand Newton form to monomial coefficients.
+	result := New(coef[n-1])
+	for i := n - 2; i >= 0; i-- {
+		result = result.MulLinear(xs[i]).Add(New(coef[i]))
+	}
+	return result, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

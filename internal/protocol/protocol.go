@@ -1,0 +1,177 @@
+// Package protocol defines the wire messages exchanged between the fusion
+// centre and the vehicles when L-CoFL runs as an actual distributed system
+// (package transport carries them; package node speaks them).
+//
+// Messages are length-prefixed JSON: a 4-byte big-endian length followed
+// by a JSON envelope {type, payload}. JSON keeps the wire debuggable and
+// the stdlib-only constraint satisfied; the framing bounds message size so
+// a malformed or malicious peer cannot force unbounded allocation.
+package protocol
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol revision carried in Hello messages.
+const Version = 1
+
+// MaxMessageSize bounds a single frame (16 MiB) — far above any real
+// L-CoFL message, low enough to stop allocation bombs.
+const MaxMessageSize = 16 << 20
+
+// Message is the union of all wire messages. Exactly one pointer field is
+// non-nil.
+type Message struct {
+	Hello     *Hello     `json:"hello,omitempty"`
+	Setup     *Setup     `json:"setup,omitempty"`
+	Broadcast *Broadcast `json:"broadcast,omitempty"`
+	Upload    *Upload    `json:"upload,omitempty"`
+	Finished  *Finished  `json:"finished,omitempty"`
+	Error     *Error     `json:"error,omitempty"`
+}
+
+// Hello opens a connection: the vehicle announces itself.
+type Hello struct {
+	// Version is the sender's protocol revision.
+	Version int `json:"version"`
+	// VehicleID identifies the vehicle (assigned out of band).
+	VehicleID int `json:"vehicle_id"`
+}
+
+// Setup configures a vehicle at session start.
+type Setup struct {
+	// InputSize is the feature-vector length.
+	InputSize int `json:"input_size"`
+	// LocalEpochs and LocalRate configure local SGD (paper eq. 1).
+	LocalEpochs int     `json:"local_epochs"`
+	LocalRate   float64 `json:"local_rate"`
+	// ActivationCoeffs holds the polynomial activation the vehicles must
+	// install (paper §IV Step 2); empty means the exact symmetric
+	// sigmoid.
+	ActivationCoeffs []float64 `json:"activation_coeffs,omitempty"`
+	// RefX is the fusion centre's reference feature set.
+	RefX [][]float64 `json:"ref_x"`
+	// SchemeVehicles, SchemeBatches, SchemeDegree and SchemeSeed let the
+	// vehicle rebuild the identical (deterministic) L-CoFL scheme so its
+	// encoded shares match the fusion centre's.
+	SchemeVehicles int   `json:"scheme_vehicles"`
+	SchemeBatches  int   `json:"scheme_batches"`
+	SchemeDegree   int   `json:"scheme_degree"`
+	SchemeSeed     int64 `json:"scheme_seed"`
+}
+
+// Broadcast starts a round: the shared model parameters.
+type Broadcast struct {
+	// Round is the 1-based round number.
+	Round int `json:"round"`
+	// Params is the shared model's flat parameter vector.
+	Params []float64 `json:"params"`
+}
+
+// Upload carries a vehicle's round contribution.
+type Upload struct {
+	// Round echoes the broadcast round.
+	Round int `json:"round"`
+	// VehicleID identifies the sender.
+	VehicleID int `json:"vehicle_id"`
+	// Values is the scheme-defined upload vector.
+	Values []float64 `json:"values"`
+}
+
+// Finished ends the session.
+type Finished struct {
+	// Rounds is the number of completed rounds.
+	Rounds int `json:"rounds"`
+}
+
+// Error reports a fatal condition to the peer before closing.
+type Error struct {
+	// Reason is a human-readable description.
+	Reason string `json:"reason"`
+}
+
+// kind returns the message discriminator for validation and errors.
+func (m *Message) kind() string {
+	switch {
+	case m.Hello != nil:
+		return "hello"
+	case m.Setup != nil:
+		return "setup"
+	case m.Broadcast != nil:
+		return "broadcast"
+	case m.Upload != nil:
+		return "upload"
+	case m.Finished != nil:
+		return "finished"
+	case m.Error != nil:
+		return "error"
+	}
+	return ""
+}
+
+// Validate checks that exactly one variant is set.
+func (m *Message) Validate() error {
+	count := 0
+	for _, set := range []bool{
+		m.Hello != nil, m.Setup != nil, m.Broadcast != nil,
+		m.Upload != nil, m.Finished != nil, m.Error != nil,
+	} {
+		if set {
+			count++
+		}
+	}
+	if count != 1 {
+		return fmt.Errorf("protocol: message must carry exactly one variant, has %d", count)
+	}
+	return nil
+}
+
+// Write frames and writes one message.
+func Write(w io.Writer, m *Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("protocol: marshal %s: %w", m.kind(), err)
+	}
+	if len(body) > MaxMessageSize {
+		return fmt.Errorf("protocol: %s message of %d bytes exceeds limit", m.kind(), len(body))
+	}
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], uint32(len(body)))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("protocol: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("protocol: write body: %w", err)
+	}
+	return nil
+}
+
+// Read reads and validates one framed message.
+func Read(r io.Reader) (*Message, error) {
+	var header [4]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	size := binary.BigEndian.Uint32(header[:])
+	if size > MaxMessageSize {
+		return nil, fmt.Errorf("protocol: incoming frame of %d bytes exceeds limit", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("protocol: read body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, fmt.Errorf("protocol: unmarshal: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,112 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+func TestRoundTripAllVariants(t *testing.T) {
+	msgs := []*Message{
+		{Hello: &Hello{Version: 1, VehicleID: 7}},
+		{Setup: &Setup{
+			InputSize: 16, LocalEpochs: 5, LocalRate: 0.2,
+			ActivationCoeffs: []float64{0, 0.46},
+			RefX:             [][]float64{{1, -1}},
+			SchemeVehicles:   100, SchemeBatches: 16, SchemeDegree: 1, SchemeSeed: 42,
+		}},
+		{Broadcast: &Broadcast{Round: 3, Params: []float64{0.1, -0.2}}},
+		{Upload: &Upload{Round: 3, VehicleID: 7, Values: []float64{1, 2, 3}}},
+		{Finished: &Finished{Rounds: 10}},
+		{Error: &Error{Reason: "boom"}},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("write %s: %v", m.kind(), err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("read %s: %v", want.kind(), err)
+		}
+		if got.kind() != want.kind() {
+			t.Fatalf("kind = %s, want %s", got.kind(), want.kind())
+		}
+	}
+	if _, err := Read(&buf); err != io.EOF {
+		t.Errorf("after drain, err = %v, want EOF", err)
+	}
+}
+
+func TestUploadPayloadIntegrity(t *testing.T) {
+	var buf bytes.Buffer
+	want := &Message{Upload: &Upload{Round: 2, VehicleID: 3, Values: []float64{0.5, -1.25, 3e10}}}
+	if err := Write(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Upload.Round != 2 || got.Upload.VehicleID != 3 {
+		t.Errorf("metadata mangled: %+v", got.Upload)
+	}
+	for i, v := range want.Upload.Values {
+		if got.Upload.Values[i] != v {
+			t.Errorf("value %d = %g, want %g", i, got.Upload.Values[i], v)
+		}
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	empty := &Message{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty message accepted")
+	}
+	double := &Message{
+		Hello:    &Hello{},
+		Finished: &Finished{},
+	}
+	if err := double.Validate(); err == nil {
+		t.Error("double-variant message accepted")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, empty); err == nil {
+		t.Error("writing empty message accepted")
+	}
+}
+
+func TestReadRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], MaxMessageSize+1)
+	buf.Write(header[:])
+	if _, err := Read(&buf); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], 4)
+	buf.Write(header[:])
+	buf.WriteString("!!!!")
+	if _, err := Read(&buf); err == nil {
+		t.Error("garbage payload accepted")
+	}
+}
+
+func TestReadTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	var header [4]byte
+	binary.BigEndian.PutUint32(header[:], 100)
+	buf.Write(header[:])
+	buf.WriteString("{}")
+	if _, err := Read(&buf); err == nil {
+		t.Error("truncated body accepted")
+	}
+}

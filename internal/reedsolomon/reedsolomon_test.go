@@ -1,0 +1,367 @@
+package reedsolomon
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/poly"
+)
+
+// corrupt flips e distinct positions of ys to random wrong values.
+func corrupt(rng *rand.Rand, ys []field.Element, e int) []int {
+	pos := rng.Perm(len(ys))[:e]
+	for _, p := range pos {
+		for {
+			v := field.Rand(rng)
+			if v != ys[p] {
+				ys[p] = v
+				break
+			}
+		}
+	}
+	return pos
+}
+
+func randomCodeword(rng *rand.Rand, n, k int) (poly.Poly, []field.Element, []field.Element) {
+	coeffs := make([]field.Element, k)
+	for i := range coeffs {
+		coeffs[i] = field.Rand(rng)
+	}
+	f := poly.New(coeffs...)
+	xs := field.RandDistinct(rng, n, nil)
+	return f, xs, f.EvalMany(xs)
+}
+
+func TestMaxErrors(t *testing.T) {
+	tests := []struct{ n, k, want int }{
+		{100, 46, 27}, // paper setting: M=16, deg 3 → K=46, V=100 → E=27
+		{100, 31, 34}, // degree 2
+		{100, 16, 42}, // degree 1
+		{10, 10, 0},
+		{5, 6, -1},
+	}
+	for _, tt := range tests {
+		if got := MaxErrors(tt.n, tt.k); got != tt.want {
+			t.Errorf("MaxErrors(%d,%d) = %d, want %d", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestDecodeNoErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f, xs, ys := randomCodeword(rng, 20, 5)
+	res, err := Decode(xs, ys, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Poly.Equal(f) {
+		t.Fatalf("decoded %v, want %v", res.Poly, f)
+	}
+	if len(res.ErrorPositions) != 0 {
+		t.Errorf("spurious error positions %v", res.ErrorPositions)
+	}
+}
+
+func TestDecodeCorrectsUpToBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 10 + rng.Intn(40)
+		k := 1 + rng.Intn(n/2)
+		emax := MaxErrors(n, k)
+		e := rng.Intn(emax + 1)
+		f, xs, ys := randomCodeword(rng, n, k)
+		wantPos := corrupt(rng, ys, e)
+		res, err := Decode(xs, ys, k)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d k=%d e=%d): %v", trial, n, k, e, err)
+		}
+		if !res.Poly.Equal(f) {
+			t.Fatalf("trial %d: wrong polynomial", trial)
+		}
+		if len(res.ErrorPositions) != e {
+			t.Fatalf("trial %d: located %d errors, want %d", trial, len(res.ErrorPositions), e)
+		}
+		want := map[int]bool{}
+		for _, p := range wantPos {
+			want[p] = true
+		}
+		for _, p := range res.ErrorPositions {
+			if !want[p] {
+				t.Fatalf("trial %d: false error position %d", trial, p)
+			}
+		}
+	}
+}
+
+func TestDecodeBeyondBudgetFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n, k := 20, 10
+	emax := MaxErrors(n, k) // 5
+	f, xs, ys := randomCodeword(rng, n, k)
+	corrupt(rng, ys, emax+1)
+	res, err := Decode(xs, ys, k)
+	// Either a detected failure, or (rarely) a *different* consistent
+	// codeword; it must never silently return the original with wrong
+	// error accounting.
+	if err == nil {
+		if res.Poly.Equal(f) && len(res.ErrorPositions) != emax+1 {
+			t.Fatalf("silent mis-decode: %v", res)
+		}
+	} else if !errors.Is(err, ErrTooManyErrors) {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+}
+
+func TestDecodePaperScale(t *testing.T) {
+	// The paper's headline configuration: V=100 vehicles, M=16 batches,
+	// activation degree 3 → composed degree 45, K=46, E-security 27.
+	rng := rand.New(rand.NewSource(4))
+	n, k := 100, 46
+	f, xs, ys := randomCodeword(rng, n, k)
+	corrupt(rng, ys, 27)
+	res, err := Decode(xs, ys, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Poly.Equal(f) {
+		t.Fatal("failed to correct 27 errors at paper scale")
+	}
+	if len(res.ErrorPositions) != 27 {
+		t.Fatalf("found %d error positions, want 27", len(res.ErrorPositions))
+	}
+}
+
+func TestDecodeZeroWord(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := field.RandDistinct(rng, 8, nil)
+	ys := make([]field.Element, 8)
+	res, err := Decode(xs, ys, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Poly.IsZero() {
+		t.Fatalf("zero word decoded to %v", res.Poly)
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	xs := []field.Element{field.New(1), field.New(2)}
+	ys := []field.Element{field.New(1)}
+	if _, err := Decode(xs, ys, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Decode(xs, xs, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Decode(xs, xs, 3); err == nil {
+		t.Error("n<k accepted")
+	}
+	dup := []field.Element{field.New(1), field.New(1)}
+	if _, err := Decode(dup, dup, 1); err == nil {
+		t.Error("duplicate points accepted")
+	}
+}
+
+func TestDecodeErasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f, xs, ys := randomCodeword(rng, 15, 6)
+	present := make([]bool, 15)
+	for _, i := range rng.Perm(15)[:8] { // 8 ≥ k=6 present
+		present[i] = true
+	}
+	got, err := DecodeErasures(xs, ys, present, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(f) {
+		t.Fatalf("erasure decode mismatch")
+	}
+}
+
+func TestDecodeErasuresTooFew(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	_, xs, ys := randomCodeword(rng, 10, 6)
+	present := make([]bool, 10)
+	present[0], present[1] = true, true
+	if _, err := DecodeErasures(xs, ys, present, 6); err == nil {
+		t.Error("under-determined erasure decode accepted")
+	}
+}
+
+func TestDecodeErasuresDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	_, xs, ys := randomCodeword(rng, 10, 4)
+	present := make([]bool, 10)
+	for i := range present {
+		present[i] = true
+	}
+	ys[3] = ys[3].Add(field.One) // silent corruption
+	if _, err := DecodeErasures(xs, ys, present, 4); err == nil {
+		t.Error("corrupted erasure decode accepted")
+	}
+}
+
+func TestDecodeErasuresValidation(t *testing.T) {
+	if _, err := DecodeErasures(nil, nil, []bool{true}, 1); err == nil {
+		t.Error("inconsistent lengths accepted")
+	}
+}
+
+// --- real-valued robust decoding ---
+
+func realCodeword(rng *rand.Rand, n, k int) (poly.Real, []float64, []float64) {
+	coefs := make([]float64, k)
+	for i := range coefs {
+		coefs[i] = rng.NormFloat64()
+	}
+	f := poly.NewReal(coefs...)
+	// Use spread points in [-1, 1] to keep the Vandermonde well-behaved.
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = -1 + 2*float64(i)/float64(n-1) + 1e-3*rng.Float64()
+	}
+	ys := make([]float64, n)
+	for i := range ys {
+		ys[i] = f.Eval(xs[i])
+	}
+	return f, xs, ys
+}
+
+func TestDecodeRealRobustClean(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f, xs, ys := realCodeword(rng, 30, 5)
+	res, err := DecodeRealRobust(xs, ys, 5, RealOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outliers) != 0 {
+		t.Errorf("clean word flagged outliers %v", res.Outliers)
+	}
+	for _, x := range []float64{-0.9, -0.3, 0, 0.4, 0.9} {
+		if math.Abs(res.Poly.Eval(x)-f.Eval(x)) > 1e-8 {
+			t.Errorf("p(%g) = %g, want %g", x, res.Poly.Eval(x), f.Eval(x))
+		}
+	}
+}
+
+func TestDecodeRealRobustWithGrossErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f, xs, ys := realCodeword(rng, 40, 6)
+	// Honest small noise + 8 gross errors (budget is (40-6)/2 = 17).
+	for i := range ys {
+		ys[i] += 1e-6 * rng.NormFloat64()
+	}
+	bad := rng.Perm(40)[:8]
+	for _, i := range bad {
+		ys[i] += 5 + rng.Float64()*10
+	}
+	res, err := DecodeRealRobust(xs, ys, 6, RealOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badSet := map[int]bool{}
+	for _, i := range bad {
+		badSet[i] = true
+	}
+	if len(res.Outliers) != len(bad) {
+		t.Fatalf("flagged %d outliers, want %d (flagged=%v)", len(res.Outliers), len(bad), res.Outliers)
+	}
+	for _, i := range res.Outliers {
+		if !badSet[i] {
+			t.Errorf("false positive outlier %d", i)
+		}
+	}
+	for _, x := range []float64{-0.8, -0.2, 0.1, 0.6, 0.95} {
+		if math.Abs(res.Poly.Eval(x)-f.Eval(x)) > 1e-4 {
+			t.Errorf("p(%g) = %g, want %g", x, res.Poly.Eval(x), f.Eval(x))
+		}
+	}
+}
+
+func TestDecodeRealRobustTooManyErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	_, xs, ys := realCodeword(rng, 20, 10)
+	// Corrupt 60% of points with dispersed values: no consensus survives.
+	// The explicit threshold encodes the caller's knowledge of the honest
+	// noise floor (≈0 here) — required to detect majority garbage.
+	for _, i := range rng.Perm(20)[:12] {
+		ys[i] = rng.NormFloat64() * 100
+	}
+	if _, err := DecodeRealRobust(xs, ys, 10, RealOptions{InlierThreshold: 0.5}); err == nil {
+		t.Error("expected failure beyond real error budget")
+	}
+}
+
+func TestDecodeRealRobustValidation(t *testing.T) {
+	if _, err := DecodeRealRobust([]float64{1}, []float64{1, 2}, 1, RealOptions{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := DecodeRealRobust([]float64{1}, []float64{1}, 0, RealOptions{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := DecodeRealRobust([]float64{1}, []float64{1}, 2, RealOptions{}); err == nil {
+		t.Error("n<k accepted")
+	}
+}
+
+func TestDecodeRealRobustDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	_, xs, ys := realCodeword(rng, 25, 4)
+	for _, i := range rng.Perm(25)[:5] {
+		ys[i] += 50
+	}
+	a, err := DecodeRealRobust(xs, ys, 4, RealOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeRealRobust(xs, ys, 4, RealOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Poly.Coef {
+		if a.Poly.Coef[i] != b.Poly.Coef[i] {
+			t.Fatal("same seed produced different decodes")
+		}
+	}
+}
+
+func TestMedianOf(t *testing.T) {
+	if got := medianOf([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %g", got)
+	}
+	if got := medianOf([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Errorf("even median = %g", got)
+	}
+	if got := medianOf(nil); got != 0 {
+		t.Errorf("empty median = %g", got)
+	}
+}
+
+func BenchmarkDecodeV100K46E27(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	_, xs, ys := randomCodeword(rng, 100, 46)
+	corrupt(rng, ys, 27)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(xs, ys, 46); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeRealRobustV100(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	_, xs, ys := realCodeword(rng, 100, 16)
+	for _, i := range rng.Perm(100)[:20] {
+		ys[i] += 100
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRealRobust(xs, ys, 16, RealOptions{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package traffic
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/nn"
+)
+
+// WriteCSV emits the dataset with a header row: the 16 feature columns,
+// the binary label, and the latent slowness percentage.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string(nil), FeatureNames...), "label", "slowness_pct")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("traffic: write header: %w", err)
+	}
+	for i, s := range d.Samples {
+		row := make([]string, 0, NumFeatures+2)
+		for _, v := range s.X {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		row = append(row, strconv.FormatFloat(s.Y, 'g', -1, 64))
+		row = append(row, strconv.FormatFloat(d.Slowness[i], 'g', -1, 64))
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("traffic: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously produced by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("traffic: read csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("traffic: csv has no data rows")
+	}
+	wantCols := NumFeatures + 2
+	if len(records[0]) != wantCols {
+		return nil, fmt.Errorf("traffic: csv has %d columns, want %d", len(records[0]), wantCols)
+	}
+	ds := &Dataset{}
+	for rix, rec := range records[1:] {
+		vals := make([]float64, wantCols)
+		for i, cell := range rec {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("traffic: row %d col %d: %w", rix+1, i, err)
+			}
+			vals[i] = v
+		}
+		ds.Samples = append(ds.Samples, nn.Sample{
+			X: vals[:NumFeatures],
+			Y: vals[NumFeatures],
+		})
+		ds.Slowness = append(ds.Slowness, vals[NumFeatures+1])
+	}
+	return ds, nil
+}

@@ -1,0 +1,183 @@
+// Package transport carries protocol messages between the fusion centre
+// and the vehicles. Two interchangeable fabrics are provided: an
+// in-memory pipe for tests and single-process simulation, and TCP with
+// length-prefixed framing for genuinely distributed deployments. Both
+// expose the same Conn interface, so package node is fabric-agnostic.
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+// Conn is a bidirectional, message-oriented connection.
+type Conn interface {
+	// Send writes one message; it is safe for one concurrent sender.
+	Send(m *protocol.Message) error
+	// Recv blocks for the next message; io.EOF signals a clean close.
+	Recv() (*protocol.Message, error)
+	// Close releases the connection; Recv on the peer unblocks.
+	Close() error
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	// Accept blocks for the next connection.
+	Accept() (Conn, error)
+	// Addr returns the listen address ("" for in-memory).
+	Addr() string
+	// Close stops accepting; pending Accepts unblock with an error.
+	Close() error
+}
+
+// --- in-memory fabric ---
+
+// pipeConn is one end of an in-memory duplex channel pair.
+type pipeConn struct {
+	in  <-chan *protocol.Message
+	out chan<- *protocol.Message
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+	peer   *pipeConn
+}
+
+// Pipe returns two connected in-memory ends. The internal buffer lets a
+// round of messages queue without a reader, which keeps simple test
+// drivers deadlock-free.
+func Pipe() (Conn, Conn) {
+	ab := make(chan *protocol.Message, 64)
+	ba := make(chan *protocol.Message, 64)
+	a := &pipeConn{in: ba, out: ab, done: make(chan struct{})}
+	b := &pipeConn{in: ab, out: ba, done: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Send implements Conn.
+func (c *pipeConn) Send(m *protocol.Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return fmt.Errorf("transport: send on closed pipe")
+	}
+	select {
+	case c.out <- m:
+		return nil
+	case <-c.done:
+		return fmt.Errorf("transport: send on closed pipe")
+	case <-c.peer.done:
+		return fmt.Errorf("transport: peer closed")
+	}
+}
+
+// Recv implements Conn.
+func (c *pipeConn) Recv() (*protocol.Message, error) {
+	select {
+	case m := <-c.in:
+		return m, nil
+	case <-c.done:
+		return nil, fmt.Errorf("transport: recv on closed pipe")
+	case <-c.peer.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return nil, fmt.Errorf("transport: peer closed")
+		}
+	}
+}
+
+// Close implements Conn.
+func (c *pipeConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+	return nil
+}
+
+// --- TCP fabric ---
+
+// tcpConn frames protocol messages over a net.Conn.
+type tcpConn struct {
+	conn    net.Conn
+	sendMu  sync.Mutex
+	recvMu  sync.Mutex
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// Send implements Conn.
+func (c *tcpConn) Send(m *protocol.Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return protocol.Write(c.conn, m)
+}
+
+// Recv implements Conn.
+func (c *tcpConn) Recv() (*protocol.Message, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	return protocol.Read(c.conn)
+}
+
+// Close implements Conn.
+func (c *tcpConn) Close() error {
+	c.closeMu.Lock()
+	defer c.closeMu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// tcpListener adapts net.Listener.
+type tcpListener struct {
+	l net.Listener
+}
+
+// ListenTCP starts a listener on addr ("127.0.0.1:0" picks a free port).
+func ListenTCP(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// Accept implements Listener.
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("transport: accept: %w", err)
+	}
+	return &tcpConn{conn: c}, nil
+}
+
+// Addr implements Listener.
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+// Close implements Listener.
+func (t *tcpListener) Close() error { return t.l.Close() }
+
+// DialTCP connects to a fusion centre at addr.
+func DialTCP(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &tcpConn{conn: c}, nil
+}
