@@ -1,0 +1,166 @@
+// lcofl-lint is a stdlib-only static-analysis suite enforcing the
+// algebraic, randomness, and concurrency invariants L-CoFL's correctness
+// rests on but the Go compiler cannot check: exact GF(p) arithmetic
+// (fieldarith, floatpurity), cryptographic secret-share randomness
+// (cryptorand), surfaced failures (droppederr), and bit-reproducible
+// figure generation (determinism).
+//
+// Usage:
+//
+//	go run ./cmd/lcofl-lint ./...
+//
+// A finding can be suppressed with a comment on the same line or the line
+// directly above it:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The reason is mandatory; a suppression without one is itself reported.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppressions.
+	Name string
+	// Doc states the invariant the analyzer guards, for -help output.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass is one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when untracked.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+const ignoreDirective = "//lint:ignore"
+
+// suppression is one parsed //lint:ignore directive.
+type suppression struct {
+	line      int
+	analyzers map[string]bool
+}
+
+// collectSuppressions parses every //lint:ignore directive in the package.
+// Malformed directives (missing analyzer name or reason) are returned as
+// diagnostics of the built-in "lint" analyzer so they cannot silently
+// disable nothing.
+func collectSuppressions(pkg *Package) (map[string][]suppression, []Diagnostic) {
+	byFile := make(map[string][]suppression)
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignoreDirective))
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "malformed suppression: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				names := make(map[string]bool)
+				for _, n := range strings.Split(fields[0], ",") {
+					names[n] = true
+				}
+				byFile[pos.Filename] = append(byFile[pos.Filename], suppression{line: pos.Line, analyzers: names})
+			}
+		}
+	}
+	return byFile, malformed
+}
+
+// suppressed reports whether d is covered by a directive on its own line
+// or the line directly above it.
+func suppressed(byFile map[string][]suppression, d Diagnostic) bool {
+	for _, s := range byFile[d.Pos.Filename] {
+		if (s.line == d.Pos.Line || s.line == d.Pos.Line-1) && s.analyzers[d.Analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// runAnalyzers applies every analyzer to every package and returns the
+// unsuppressed findings in source order.
+func runAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sups, malformed := collectSuppressions(pkg)
+		out = append(out, malformed...)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &raw}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lcofl-lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		for _, d := range raw {
+			if !suppressed(sups, d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import "strconv"
+
+// newCryptoRandAnalyzer forbids math/rand imports in the packages whose
+// randomness is secret material. LCC's privacy guarantee (Yu et al.,
+// arXiv:1806.00939) requires the padding batches and share randomness to
+// be uniform and unpredictable; math/rand is a small deterministic PRNG
+// whose whole stream is recoverable from a few outputs. Sensitive
+// packages must draw through field.Source — field.NewCryptoSource
+// (crypto/rand) for secret material, field.NewSeededSource only for
+// explicitly non-secret reproducible simulation.
+//
+// Test files are exempt by construction: lcofl-lint analyzes only the
+// non-test files of each package.
+func newCryptoRandAnalyzer(sensitive map[string]bool) *Analyzer {
+	return &Analyzer{
+		Name: "cryptorand",
+		Doc: "forbid math/rand in privacy-sensitive packages; secret material must come " +
+			"from field.NewCryptoSource (crypto/rand)",
+		Run: func(pass *Pass) error {
+			if !sensitive[pass.Pkg.Path] {
+				return nil
+			}
+			for _, f := range pass.Pkg.Files {
+				for _, imp := range f.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if path == "math/rand" || path == "math/rand/v2" {
+						pass.Reportf(imp.Pos(), "%s imported in privacy-sensitive package %s; draw secret material from field.NewCryptoSource (crypto/rand)", path, pass.Pkg.Path)
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// defaultCryptoSensitive lists the packages whose non-test randomness
+// feeds the LCC privacy construction: the field samplers themselves, the
+// Lagrange encoder (padding batches), and the coded-FL baseline's private
+// coding blocks.
+func defaultCryptoSensitive() map[string]bool {
+	return map[string]bool{
+		"repro/internal/field":    true,
+		"repro/internal/lagrange": true,
+		"repro/internal/codedfl":  true,
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// rngConstructors are the math/rand functions that build an explicitly
+// seeded generator — fine as long as the seed is not wall-clock time.
+var rngConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, // math/rand
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+// newDeterminismAnalyzer keeps figure reproduction bit-reproducible in the
+// experiment packages: every random draw must come from a *rand.Rand
+// seeded by the scenario configuration. Two things break that:
+//
+//   - seeding from time.Now() — the classic rand.NewSource(time.Now().
+//     UnixNano()) makes every run a different experiment;
+//   - the package-level math/rand functions (rand.Intn, rand.Float64, …),
+//     whose shared global source is randomly seeded since Go 1.20.
+func newDeterminismAnalyzer(reproducible map[string]bool) *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc: "forbid time-seeded and auto-seeded global math/rand use in experiment " +
+			"packages, so figure generation stays bit-reproducible",
+		Run: func(pass *Pass) error {
+			if !reproducible[pass.Pkg.Path] {
+				return nil
+			}
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					pkg, name := mathRandCallee(pass, call)
+					if pkg == "" {
+						return true
+					}
+					if rngConstructors[name] {
+						if argsContainTimeNow(pass, call) {
+							pass.Reportf(call.Pos(), "time-seeded RNG makes figure generation non-reproducible; seed %s.%s from the scenario configuration", pkg, name)
+							return false // one finding for the whole construction chain
+						}
+						return true
+					}
+					pass.Reportf(call.Pos(), "%s.%s uses the auto-seeded global source, which is non-reproducible; draw from a *rand.Rand seeded by the scenario configuration", pkg, name)
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// defaultReproducible lists the packages that regenerate paper figures.
+func defaultReproducible() map[string]bool {
+	return map[string]bool{
+		"repro/internal/experiments": true,
+	}
+}
+
+// mathRandCallee returns the short package name and function name when
+// call invokes a package-level function of math/rand or math/rand/v2,
+// and "" otherwise (methods on a *rand.Rand value do not qualify).
+func mathRandCallee(pass *Pass, call *ast.CallExpr) (pkg, name string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pkgName, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	path := pkgName.Imported().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return "", ""
+	}
+	if _, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func); !ok {
+		return "", "" // type or var reference, not a call target
+	}
+	return pkgName.Name(), sel.Sel.Name
+}
+
+// argsContainTimeNow reports whether any argument subtree calls time.Now.
+func argsContainTimeNow(pass *Pass, call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Now" {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pkgName, ok := pass.Pkg.Info.Uses[id].(*types.PkgName); ok && pkgName.Imported().Path() == "time" {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}

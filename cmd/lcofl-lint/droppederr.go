@@ -1,0 +1,127 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// newDroppedErrAnalyzer flags calls whose error result vanishes without a
+// trace: a call used as a bare statement (or `go` statement) when the
+// callee returns an error. In a coded-computation pipeline a swallowed
+// error is worse than a crash — a decode that silently failed feeds
+// garbage into the next round's aggregation.
+//
+// Deliberately not flagged, because the discard is visible in the code:
+//   - explicit blank assignment `_ = f()` — the reviewer can see intent;
+//   - `defer f()` — `defer c.Close()` on a read path is idiomatic;
+//   - fmt.Print*/fmt.Fprint* to os.Stdout or os.Stderr, and writes to
+//     bytes.Buffer / strings.Builder, whose errors are vacuous.
+//
+// Packages under excludePrefixes (examples) are skipped entirely.
+func newDroppedErrAnalyzer(excludePrefixes []string) *Analyzer {
+	return &Analyzer{
+		Name: "droppederr",
+		Doc:  "forbid call statements that discard an error result outside tests and examples",
+		Run: func(pass *Pass) error {
+			for _, prefix := range excludePrefixes {
+				if strings.HasPrefix(pass.Pkg.Path, prefix) {
+					return nil
+				}
+			}
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					var call *ast.CallExpr
+					switch n := n.(type) {
+					case *ast.ExprStmt:
+						call, _ = n.X.(*ast.CallExpr)
+					case *ast.GoStmt:
+						call = n.Call
+					}
+					if call == nil || !returnsError(pass, call) || vacuousError(pass, call) {
+						return true
+					}
+					pass.Reportf(call.Pos(), "result of %s includes an error that is discarded; handle it or assign to _ explicitly", types.ExprString(call.Fun))
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if types.Identical(tuple.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errorType)
+}
+
+// vacuousError reports whether the callee's error is conventionally
+// meaningless: fmt printing to the process's own stdio, or writes to
+// in-memory buffers documented never to fail.
+func vacuousError(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	full := fn.FullName()
+	if strings.HasPrefix(full, "(*bytes.Buffer).") || strings.HasPrefix(full, "(*strings.Builder).") {
+		return true
+	}
+	switch full {
+	case "fmt.Print", "fmt.Printf", "fmt.Println":
+		return true
+	case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+		return len(call.Args) > 0 && (isProcessStdio(pass, call.Args[0]) || isMemoryWriter(pass, call.Args[0]))
+	}
+	return false
+}
+
+// isMemoryWriter reports whether e is a *bytes.Buffer or
+// *strings.Builder, whose Write methods are documented never to fail.
+func isMemoryWriter(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ptr, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(ptr.Elem()).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	full := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return full == "bytes.Buffer" || full == "strings.Builder"
+}
+
+// isProcessStdio reports whether e is os.Stdout or os.Stderr.
+func isProcessStdio(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return false
+	}
+	return v.Name() == "Stdout" || v.Name() == "Stderr"
+}

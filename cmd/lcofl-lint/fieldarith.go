@@ -1,0 +1,96 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// fieldPkgPath is the package whose Element type fieldarith guards. Inside
+// it, native operators implement the modular reduction itself; everywhere
+// else they silently skip it.
+const fieldPkgPath = "repro/internal/field"
+
+// bannedBinaryOps are the operators that treat an Element as a bare
+// uint64: arithmetic and bitwise ops skip modular reduction, and ordering
+// comparisons are meaningless on residues (only == / != are sound).
+var bannedBinaryOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true, token.REM: true,
+	token.AND: true, token.OR: true, token.XOR: true, token.SHL: true, token.SHR: true,
+	token.AND_NOT: true,
+	token.LSS:     true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+}
+
+var bannedAssignOps = map[token.Token]string{
+	token.ADD_ASSIGN: "+=", token.SUB_ASSIGN: "-=", token.MUL_ASSIGN: "*=",
+	token.QUO_ASSIGN: "/=", token.REM_ASSIGN: "%=",
+	token.AND_ASSIGN: "&=", token.OR_ASSIGN: "|=", token.XOR_ASSIGN: "^=",
+	token.SHL_ASSIGN: "<<=", token.SHR_ASSIGN: ">>=", token.AND_NOT_ASSIGN: "&^=",
+}
+
+// newFieldArithAnalyzer enforces that field.Element values are only
+// combined through the Element methods (Add/Sub/Mul/Div/Neg/Exp/Inv),
+// whose Mersenne reduction keeps every residue canonical. A stray native
+// operator compiles fine — Element's underlying type is uint64 — but
+// wraps mod 2^64 instead of mod p, which corrupts Lagrange encoding and
+// breaks the exact-decoding premise of Reed–Solomon error correction.
+func newFieldArithAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "fieldarith",
+		Doc: "forbid native arithmetic, bitwise, and ordering operators on field.Element " +
+			"outside " + fieldPkgPath + "; use the Element methods, which reduce mod p",
+		Run: runFieldArith,
+	}
+}
+
+func runFieldArith(pass *Pass) error {
+	if pass.Pkg.Path == fieldPkgPath {
+		return nil // the one package where native ops implement the reduction
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if bannedBinaryOps[n.Op] && (isFieldElement(pass, n.X) || isFieldElement(pass, n.Y)) {
+					pass.Reportf(n.OpPos, "native %s on field.Element skips modular reduction; use the Element methods (Add/Sub/Mul/Div/Exp)", n.Op)
+				}
+			case *ast.AssignStmt:
+				if name, banned := bannedAssignOps[n.Tok]; banned {
+					for _, lhs := range n.Lhs {
+						if isFieldElement(pass, lhs) {
+							pass.Reportf(n.TokPos, "native %s on field.Element skips modular reduction; use the Element methods (Add/Sub/Mul/Div/Exp)", name)
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				if (n.Op == token.SUB || n.Op == token.XOR) && isFieldElement(pass, n.X) {
+					pass.Reportf(n.OpPos, "native unary %s on field.Element skips modular reduction; use Element.Neg", n.Op)
+				}
+			case *ast.IncDecStmt:
+				if isFieldElement(pass, n.X) {
+					op := "++"
+					if n.Tok == token.DEC {
+						op = "--"
+					}
+					pass.Reportf(n.TokPos, "native %s on field.Element skips modular reduction; use Add(field.One) / Sub(field.One)", op)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFieldElement reports whether e's type is exactly field.Element.
+func isFieldElement(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Element" && obj.Pkg() != nil && obj.Pkg().Path() == fieldPkgPath
+}

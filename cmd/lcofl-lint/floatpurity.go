@@ -1,0 +1,167 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// newFloatPurityAnalyzer forbids floating-point arithmetic in the exact
+// packages — the ones whose entire purpose is that every operation is a
+// field operation, so Reed–Solomon decoding recovers results bit-exactly.
+// A float64 sneaking into a decode path turns "exact" into "usually
+// close", which defeats error identification (a residual of 1e-12 is a
+// rounding artefact or a malicious vehicle — exact arithmetic is what
+// tells them apart).
+//
+// Functions whose signature mentions a floating-point type are exempt:
+// they are declared conversion boundaries (fixed-point encode/decode, the
+// real-valued robust decoder), where float arithmetic is the job.
+// Comparisons are allowed everywhere; only arithmetic is flagged.
+func newFloatPurityAnalyzer(exact map[string]bool) *Analyzer {
+	return &Analyzer{
+		Name: "floatpurity",
+		Doc: "forbid float arithmetic in exact-arithmetic packages, outside functions " +
+			"whose signature declares a float boundary",
+		Run: func(pass *Pass) error {
+			if !exact[pass.Pkg.Path] {
+				return nil
+			}
+			for _, f := range pass.Pkg.Files {
+				exempt := exemptRanges(pass, f)
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.BinaryExpr:
+						switch n.Op {
+						case token.ADD, token.SUB, token.MUL, token.QUO:
+							if !inRanges(exempt, n.OpPos) && (isFloat(pass, n.X) || isFloat(pass, n.Y)) {
+								pass.Reportf(n.OpPos, "float %s in exact-arithmetic package %s; compute over GF(p) or declare a float boundary in the function signature", n.Op, pass.Pkg.Path)
+							}
+						}
+					case *ast.AssignStmt:
+						switch n.Tok {
+						case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+							for _, lhs := range n.Lhs {
+								if !inRanges(exempt, n.TokPos) && isFloat(pass, lhs) {
+									pass.Reportf(n.TokPos, "float %s in exact-arithmetic package %s; compute over GF(p) or declare a float boundary in the function signature", n.Tok, pass.Pkg.Path)
+								}
+							}
+						}
+					case *ast.UnaryExpr:
+						if n.Op == token.SUB && !inRanges(exempt, n.OpPos) && isFloat(pass, n.X) {
+							pass.Reportf(n.OpPos, "float negation in exact-arithmetic package %s; compute over GF(p) or declare a float boundary in the function signature", pass.Pkg.Path)
+						}
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// defaultFloatExact lists the packages where exactness is the invariant.
+func defaultFloatExact() map[string]bool {
+	return map[string]bool{
+		"repro/internal/field":       true,
+		"repro/internal/reedsolomon": true,
+		"repro/internal/fixedpoint":  true,
+	}
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func inRanges(rs []posRange, p token.Pos) bool {
+	for _, r := range rs {
+		if r.lo <= p && p <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// exemptRanges returns the body spans of every function (declaration or
+// literal) whose signature mentions a float type — declared boundaries.
+func exemptRanges(pass *Pass, f *ast.File) []posRange {
+	var out []posRange
+	ast.Inspect(f, func(n ast.Node) bool {
+		var typeExpr ast.Expr
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			typeExpr, body = n.Name, n.Body
+		case *ast.FuncLit:
+			typeExpr, body = n.Type, n.Body
+		default:
+			return true
+		}
+		if body == nil {
+			return true
+		}
+		t := pass.TypeOf(typeExpr)
+		if id, ok := typeExpr.(*ast.Ident); ok {
+			if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+				t = obj.Type()
+			}
+		}
+		if sig, ok := t.(*types.Signature); ok && signatureHasFloat(sig) {
+			out = append(out, posRange{lo: body.Pos(), hi: body.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// signatureHasFloat reports whether a param or result carries a float.
+func signatureHasFloat(sig *types.Signature) bool {
+	for _, tuple := range []*types.Tuple{sig.Params(), sig.Results()} {
+		for i := 0; i < tuple.Len(); i++ {
+			if containsFloat(tuple.At(i).Type(), 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsFloat looks through pointers, slices, arrays, and maps for a
+// floating-point basic type. It does not look inside named struct types:
+// returning a struct that happens to hold a float field is not a declared
+// float boundary.
+func containsFloat(t types.Type, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	switch t := types.Unalias(t).(type) {
+	case *types.Basic:
+		return t.Kind() == types.Float32 || t.Kind() == types.Float64
+	case *types.Pointer:
+		return containsFloat(t.Elem(), depth+1)
+	case *types.Slice:
+		return containsFloat(t.Elem(), depth+1)
+	case *types.Array:
+		return containsFloat(t.Elem(), depth+1)
+	case *types.Map:
+		return containsFloat(t.Key(), depth+1) || containsFloat(t.Elem(), depth+1)
+	case *types.Named:
+		if basic, ok := t.Underlying().(*types.Basic); ok {
+			return basic.Kind() == types.Float32 || basic.Kind() == types.Float64
+		}
+	}
+	return false
+}
+
+// isFloat reports whether e has (typed) float32 or float64 type. Untyped
+// constant expressions are excluded: they are evaluated exactly at compile
+// time as arbitrary-precision rationals.
+func isFloat(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := types.Unalias(t.Underlying()).(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Kind() == types.Float32 || basic.Kind() == types.Float64
+}

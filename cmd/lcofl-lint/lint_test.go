@@ -1,0 +1,173 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one package from testdata/src.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	pkgs, err := loadPackages(".", []string{"./testdata/src/" + name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages for fixture %s, want 1", len(pkgs), name)
+	}
+	return pkgs[0]
+}
+
+// want is one expected diagnostic: a message substring at a file:line.
+type want struct {
+	file      string
+	line      int
+	substring string
+}
+
+var (
+	wantRe   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quotedRe = regexp.MustCompile(`"([^"]*)"`)
+)
+
+// parseWants scans the fixture sources for // want "substring" comments.
+func parseWants(t *testing.T, dir string) []want {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []want
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+				wants = append(wants, want{file: file, line: i + 1, substring: q[1]})
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s declares no // want expectations", dir)
+	}
+	return wants
+}
+
+// matchDiagnostics asserts a one-to-one correspondence between diags and
+// wants: every expectation fires exactly once, nothing else fires.
+func matchDiagnostics(t *testing.T, diags []Diagnostic, wants []want) {
+	t.Helper()
+	used := make([]bool, len(wants))
+outer:
+	for _, d := range diags {
+		for i, w := range wants {
+			if used[i] || d.Pos.Line != w.line || !strings.Contains(d.Message, w.substring) {
+				continue
+			}
+			if filepath.Base(d.Pos.Filename) != filepath.Base(w.file) {
+				continue
+			}
+			used[i] = true
+			continue outer
+		}
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	for i, w := range wants {
+		if !used[i] {
+			t.Errorf("missing diagnostic at %s:%d containing %q", w.file, w.line, w.substring)
+		}
+	}
+}
+
+func TestAnalyzersOnFixtures(t *testing.T) {
+	tests := []struct {
+		fixture  string
+		analyzer func(pkgPath string) *Analyzer
+	}{
+		{"fieldarith", func(string) *Analyzer { return newFieldArithAnalyzer() }},
+		{"cryptorand", func(p string) *Analyzer { return newCryptoRandAnalyzer(map[string]bool{p: true}) }},
+		{"droppederr", func(string) *Analyzer { return newDroppedErrAnalyzer(nil) }},
+		{"floatpurity", func(p string) *Analyzer { return newFloatPurityAnalyzer(map[string]bool{p: true}) }},
+		{"determinism", func(p string) *Analyzer { return newDeterminismAnalyzer(map[string]bool{p: true}) }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.fixture, func(t *testing.T) {
+			pkg := loadFixture(t, tc.fixture)
+			diags, err := runAnalyzers([]*Package{pkg}, []*Analyzer{tc.analyzer(pkg.Path)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			matchDiagnostics(t, diags, parseWants(t, pkg.Dir))
+		})
+	}
+}
+
+func TestSuppressionMachinery(t *testing.T) {
+	pkg := loadFixture(t, "suppress")
+	diags, err := runAnalyzers([]*Package{pkg}, []*Analyzer{newDroppedErrAnalyzer(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var malformed, dropped []Diagnostic
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lint":
+			malformed = append(malformed, d)
+		case "droppederr":
+			dropped = append(dropped, d)
+		default:
+			t.Errorf("unexpected analyzer %q in %s", d.Analyzer, d)
+		}
+	}
+	if len(malformed) != 1 || !strings.Contains(malformed[0].Message, "malformed suppression") {
+		t.Errorf("want exactly one malformed-suppression report, got %v", malformed)
+	}
+	// Malformed and wrong-analyzer directives must not suppress; the
+	// comma-separated list must. That leaves exactly two findings.
+	if len(dropped) != 2 {
+		t.Errorf("want 2 droppederr findings (malformed + wrong-analyzer lines), got %d: %v", len(dropped), dropped)
+	}
+}
+
+// TestSelfClean runs the full default suite over the linter's own package:
+// the tool must hold itself to its rules.
+func TestSelfClean(t *testing.T) {
+	pkgs, err := loadPackages(".", []string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := runAnalyzers(pkgs, defaultAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("lcofl-lint flags itself: %s", d)
+	}
+}
+
+// TestDiagnosticOrdering checks the driver sorts findings by position.
+func TestDiagnosticOrdering(t *testing.T) {
+	pkg := loadFixture(t, "fieldarith")
+	diags, err := runAnalyzers([]*Package{pkg}, []*Analyzer{newFieldArithAnalyzer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line {
+			t.Fatalf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+	if len(diags) == 0 {
+		t.Fatal("fieldarith fixture produced no diagnostics")
+	}
+}

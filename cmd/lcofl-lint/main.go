@@ -1,0 +1,52 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// defaultAnalyzers builds the suite with the repo's package configuration.
+func defaultAnalyzers() []*Analyzer {
+	return []*Analyzer{
+		newFieldArithAnalyzer(),
+		newCryptoRandAnalyzer(defaultCryptoSensitive()),
+		newDroppedErrAnalyzer([]string{"repro/examples"}),
+		newFloatPurityAnalyzer(defaultFloatExact()),
+		newDeterminismAnalyzer(defaultReproducible()),
+	}
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lcofl-lint [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Static analysis of L-CoFL invariants. Analyzers:\n\n")
+		for _, a := range defaultAnalyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nSuppress a finding with  //lint:ignore <analyzer> <reason>  on the\nsame line or the line above. Exit status: 0 clean, 1 findings, 2 error.\n")
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := loadPackages(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := runAnalyzers(pkgs, defaultAnalyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lcofl-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

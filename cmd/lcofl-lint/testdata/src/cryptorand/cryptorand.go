@@ -1,0 +1,18 @@
+// Package cryptorand exercises the cryptorand analyzer: math/rand (v1 or
+// v2) imported in a privacy-sensitive package must be flagged unless
+// suppressed with a stated reason.
+package cryptorand
+
+import (
+	"math/rand" // want "math/rand imported in privacy-sensitive package"
+
+	//lint:ignore cryptorand fixture demonstrates an acknowledged simulation-only import
+	randv2 "math/rand/v2"
+)
+
+// UniformByte shows that any use of the deterministic generators in a
+// sensitive package is reached through the flagged imports.
+func UniformByte(rng *rand.Rand) byte { return byte(rng.Uint64()) }
+
+// UniformByteV2 uses the suppressed v2 import.
+func UniformByteV2(rng *randv2.Rand) byte { return byte(rng.Uint64()) }

@@ -1,0 +1,35 @@
+// Package determinism exercises the determinism analyzer: wall-clock
+// seeding and the auto-seeded global math/rand source must be flagged;
+// configuration-seeded generators must not.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// TimeSeeded is the classic non-reproducible construction.
+func TimeSeeded() int {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano())) // want "time-seeded RNG"
+	return rng.Intn(10)
+}
+
+// GlobalSource draws from the package-level functions, whose shared
+// source is randomly seeded since Go 1.20.
+func GlobalSource() float64 {
+	return rand.Float64() // want "auto-seeded global source"
+}
+
+// ConfigSeeded is the reproducible pattern: the seed flows in from the
+// scenario configuration.
+func ConfigSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Suppressed documents an intentional wall-clock seed.
+func Suppressed() int {
+	//lint:ignore determinism fixture demonstrates an acknowledged wall-clock seed
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	return rng.Intn(10)
+}

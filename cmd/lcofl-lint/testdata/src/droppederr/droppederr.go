@@ -1,0 +1,43 @@
+// Package droppederr exercises the droppederr analyzer: error results
+// vanishing in bare call statements must be flagged; visible discards and
+// vacuous errors must not.
+package droppederr
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Bad drops errors invisibly.
+func Bad() {
+	mayFail()    // want "includes an error that is discarded"
+	pair()       // want "includes an error that is discarded"
+	go mayFail() // want "includes an error that is discarded"
+}
+
+// Good handles, visibly discards, or drops only vacuous errors.
+func Good() string {
+	if err := mayFail(); err != nil {
+		fmt.Println("handled:", err)
+	}
+	_ = mayFail()               // explicit discard is visible to review
+	defer mayFail()             // defer'd cleanup is conventional
+	fmt.Println("stdout")       // process stdio errors are vacuous
+	fmt.Fprintf(os.Stderr, "x") // ditto
+	var b strings.Builder
+	b.WriteString("in-memory ")            // builder writes never fail
+	fmt.Fprintf(&b, "writer %d", len("x")) // ditto through fmt
+	return b.String()
+}
+
+// Suppressed documents an intentional fire-and-forget.
+func Suppressed() {
+	//lint:ignore droppederr fixture demonstrates acknowledged fire-and-forget telemetry
+	mayFail()
+}

@@ -1,0 +1,41 @@
+// Package floatpurity exercises the floatpurity analyzer: float
+// arithmetic in an exact package must be flagged unless the enclosing
+// function declares a float boundary in its signature.
+package floatpurity
+
+// Scale has no float in its signature, so its internal float arithmetic
+// violates exactness.
+func Scale(n int) int {
+	x := float64(n)
+	y := x * 3 // want "float * in exact-arithmetic package"
+	y = y + 1  // want "float + in exact-arithmetic package"
+	y -= 2     // want "float -= in exact-arithmetic package"
+	z := -y    // want "float negation in exact-arithmetic package"
+	return int(z)
+}
+
+// Boundary declares float64 parameters and results: conversion
+// arithmetic is its job and is exempt.
+func Boundary(x float64) float64 {
+	return x*2 + 1
+}
+
+// SliceBoundary is exempt through a composite float type.
+func SliceBoundary(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * 0.5
+	}
+	return out
+}
+
+// Closure inherits no exemption from Scale-like context, but its own
+// float signature exempts it.
+var Closure = func(x float64) float64 { return x / 3 }
+
+// Suppressed documents an intentional boundary computation.
+func Suppressed(n int) int {
+	x := float64(n)
+	//lint:ignore floatpurity fixture demonstrates an acknowledged boundary computation
+	return int(x * 2)
+}

@@ -1,0 +1,27 @@
+// Package suppress exercises the suppression machinery itself: malformed
+// directives are reported and suppress nothing, directives naming the
+// wrong analyzer do not apply, and comma-separated lists do.
+package suppress
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+// Malformed holds a reason-less directive: the driver reports it and the
+// call below stays flagged.
+func Malformed() {
+	//lint:ignore droppederr
+	mayFail()
+}
+
+// WrongAnalyzer shows a directive naming another analyzer does not apply.
+func WrongAnalyzer() {
+	//lint:ignore fieldarith the reason names the wrong analyzer
+	mayFail()
+}
+
+// Multi suppresses through the comma-separated list form.
+func Multi() {
+	//lint:ignore fieldarith,droppederr fixture demonstrates the list form
+	mayFail()
+}

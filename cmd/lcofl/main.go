@@ -157,7 +157,7 @@ func cmdAll(args []string) error {
 			return err
 		}
 		if err := fig.WriteTSV(f); err != nil {
-			f.Close()
+			_ = f.Close() // the write error takes precedence
 			return err
 		}
 		if err := f.Close(); err != nil {

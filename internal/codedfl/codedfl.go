@@ -23,8 +23,8 @@ package codedfl
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
+	"repro/internal/field"
 	"repro/internal/fl"
 	"repro/internal/linalg"
 	"repro/internal/nn"
@@ -42,7 +42,10 @@ type Config struct {
 	// V·c must exceed the reference size R for the least-squares recovery
 	// to be determined; zero selects ⌈1.5·R/V⌉ (50% redundancy).
 	MeasurementsPerVehicle int
-	// Seed drives the random coding blocks.
+	// Seed drives the random coding blocks. A non-zero seed selects a
+	// deterministic source for reproducible simulation (Fig. 2 runs);
+	// zero draws the blocks from crypto/rand, matching [32]'s assumption
+	// that G_i is private to vehicle i.
 	Seed int64
 }
 
@@ -75,19 +78,48 @@ func NewScheme(refX [][]float64, cfg Config) (*Scheme, error) {
 		return nil, fmt.Errorf("codedfl: %d total measurements cannot determine %d reference samples",
 			cfg.NumVehicles*cfg.MeasurementsPerVehicle, r)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	var src field.Source
+	if cfg.Seed != 0 {
+		src = field.NewSeededSource(cfg.Seed)
+	} else {
+		src = field.NewCryptoSource()
+	}
+	gauss := &gaussian{src: src}
 	s := &Scheme{cfg: cfg, refX: cloneRows(refX)}
 	norm := 1 / math.Sqrt(float64(r))
 	for v := 0; v < cfg.NumVehicles; v++ {
 		g := linalg.NewMatrix(cfg.MeasurementsPerVehicle, r)
 		for i := 0; i < cfg.MeasurementsPerVehicle; i++ {
 			for j := 0; j < r; j++ {
-				g.Set(i, j, rng.NormFloat64()*norm)
+				g.Set(i, j, gauss.norm()*norm)
 			}
 		}
 		s.g = append(s.g, g)
 	}
 	return s, nil
+}
+
+// gaussian draws standard normal variates from a field.Source by the
+// Box–Muller transform, producing two per transform.
+type gaussian struct {
+	src      field.Source
+	spare    float64
+	hasSpare bool
+}
+
+func (g *gaussian) norm() float64 {
+	if g.hasSpare {
+		g.hasSpare = false
+		return g.spare
+	}
+	// 53-bit uniforms; the +0.5 offset keeps u1 strictly positive so the
+	// logarithm is finite.
+	u1 := (float64(g.src.Uint64()>>11) + 0.5) / (1 << 53)
+	u2 := float64(g.src.Uint64()>>11) / (1 << 53)
+	r := math.Sqrt(-2 * math.Log(u1))
+	g.spare = r * math.Sin(2*math.Pi*u2)
+	g.hasSpare = true
+	return r * math.Cos(2*math.Pi*u2)
 }
 
 func cloneRows(rows [][]float64) [][]float64 {

@@ -1,12 +1,22 @@
 package field
 
-import "math/rand"
+// Source yields raw 64-bit randomness for the field samplers. Both
+// *math/rand.Rand (simulation, tests) and the sources in source.go
+// satisfy it; which one is sound depends on what the sampled element is
+// for. Secret material — LCC privacy padding, share randomness — must
+// come from NewCryptoSource: the privacy half of the LCC guarantee is
+// information-theoretic only if the padding is unpredictable. Simulation
+// noise and reproducible experiment draws may use any deterministic
+// source.
+type Source interface {
+	Uint64() uint64
+}
 
-// Rand returns a uniformly random field element drawn from rng.
+// Rand returns a uniformly random field element drawn from src.
 // Rejection sampling over [0, 2^61) keeps the distribution exactly uniform.
-func Rand(rng *rand.Rand) Element {
+func Rand(src Source) Element {
 	for {
-		v := rng.Uint64() & mask61
+		v := src.Uint64() & mask61
 		if v < Modulus {
 			return Element(v)
 		}
@@ -14,9 +24,9 @@ func Rand(rng *rand.Rand) Element {
 }
 
 // RandNonZero returns a uniformly random non-zero field element.
-func RandNonZero(rng *rand.Rand) Element {
+func RandNonZero(src Source) Element {
 	for {
-		if e := Rand(rng); e != 0 {
+		if e := Rand(src); e != 0 {
 			return e
 		}
 	}
@@ -26,14 +36,14 @@ func RandNonZero(rng *rand.Rand) Element {
 // every element of the exclude set. LCC requires the interpolation nodes
 // {ℓ_m} and evaluation points {ρ_i} to be disjoint (paper eq. 3–4), which
 // callers enforce by passing the nodes as the exclusion set.
-func RandDistinct(rng *rand.Rand, n int, exclude []Element) []Element {
+func RandDistinct(src Source, n int, exclude []Element) []Element {
 	used := make(map[Element]struct{}, n+len(exclude))
 	for _, e := range exclude {
 		used[e] = struct{}{}
 	}
 	out := make([]Element, 0, n)
 	for len(out) < n {
-		e := Rand(rng)
+		e := Rand(src)
 		if _, dup := used[e]; dup {
 			continue
 		}

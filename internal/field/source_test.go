@@ -1,0 +1,75 @@
+package field
+
+import "testing"
+
+func TestSeededSourceDeterministic(t *testing.T) {
+	a, b := NewSeededSource(42), NewSeededSource(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d: same seed diverged: %d != %d", i, av, bv)
+		}
+	}
+	c := NewSeededSource(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collided on %d of 1000 draws", same)
+	}
+}
+
+func TestSeededSourceFieldSampling(t *testing.T) {
+	src := NewSeededSource(7)
+	seen := make(map[Element]struct{})
+	for i := 0; i < 2000; i++ {
+		e := Rand(src)
+		if uint64(e) >= Modulus {
+			t.Fatalf("draw %d: %d outside [0, p)", i, e)
+		}
+		seen[e] = struct{}{}
+	}
+	if len(seen) < 1990 {
+		t.Errorf("only %d distinct elements in 2000 draws from a 2^61 space", len(seen))
+	}
+}
+
+func TestCryptoSourceBufferRefill(t *testing.T) {
+	src := NewCryptoSource()
+	// Draw well past one buffer (512 bytes = 64 words) to cross a refill.
+	seen := make(map[uint64]struct{})
+	for i := 0; i < 500; i++ {
+		seen[src.Uint64()] = struct{}{}
+	}
+	if len(seen) < 499 {
+		t.Errorf("crypto source repeated values: %d distinct of 500", len(seen))
+	}
+	if e := Rand(src); uint64(e) >= Modulus {
+		t.Errorf("crypto-sampled element %d outside [0, p)", e)
+	}
+}
+
+func TestCryptoSourcesIndependent(t *testing.T) {
+	a, b := NewCryptoSource(), NewCryptoSource()
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Errorf("two crypto sources agreed on %d of 64 draws", same)
+	}
+}
+
+func TestRandDistinctWithSeededSource(t *testing.T) {
+	src := NewSeededSource(11)
+	exclude := RandDistinct(src, 8, nil)
+	got := RandDistinct(src, 32, exclude)
+	all := append(append([]Element(nil), exclude...), got...)
+	if !Distinct(all) {
+		t.Fatal("RandDistinct returned a duplicate or an excluded element")
+	}
+}

@@ -40,8 +40,9 @@ func New(frac uint) (*Codec, error) {
 	}
 	scale := math.Ldexp(1, int(frac))
 	return &Codec{
-		frac:   frac,
-		scale:  scale,
+		frac:  frac,
+		scale: scale,
+		//lint:ignore floatpurity codec construction is the float boundary: maxAbs is the real-valued range bound handed to callers
 		maxAbs: float64(field.Modulus/2) / scale,
 	}, nil
 }

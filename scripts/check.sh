@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# check.sh is the single verification gate: formatting, go vet, the
+# repo-specific invariant linter (cmd/lcofl-lint), a full build, and the
+# test suite under the race detector. CI runs exactly this script, so a
+# clean local run means a clean CI run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== lcofl-lint"
+go run ./cmd/lcofl-lint ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== all checks passed"
