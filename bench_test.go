@@ -23,11 +23,18 @@ func benchOptions() experiments.Options {
 // benchFigure runs one figure driver per iteration.
 func benchFigure(b *testing.B, name string) {
 	b.Helper()
+	benchFigureOpts(b, name, benchOptions())
+}
+
+// benchFigureOpts runs one figure driver per iteration with explicit
+// options — the workers-sweep benchmarks pin Options.Workers through it.
+func benchFigureOpts(b *testing.B, name string, o experiments.Options) {
+	b.Helper()
 	driver, err := experiments.ByName(name)
 	if err != nil {
 		b.Fatal(err)
 	}
-	o := benchOptions()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		o.Seed = int64(7 + i) // vary the seed, keep the workload
@@ -48,6 +55,80 @@ func BenchmarkFig7PDF(b *testing.B)         { benchFigure(b, "fig7") }
 func BenchmarkFig8ErrPDF(b *testing.B)      { benchFigure(b, "fig8") }
 func BenchmarkFig9Cost(b *testing.B)        { benchFigure(b, "fig9") }
 
+// BenchmarkFig3VehiclesWorkers is the speedup baseline scripts/bench.sh
+// reads: the same Fig. 3 workload at pinned worker counts. workers=1 runs
+// the inline sequential paths (no pool overhead), so comparing it against
+// workers=4 isolates the parallel execution engine's gain.
+func BenchmarkFig3VehiclesWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(sizeName("workers", workers), func(b *testing.B) {
+			o := benchOptions()
+			o.Workers = workers
+			benchFigureOpts(b, "fig3", o)
+		})
+	}
+}
+
+// BenchmarkEncodeVectorsWorkers sweeps the coder's worker pool on the
+// paper-scale vector encode (M=16 batches × 64 features → V=100
+// vehicles) — the library-level half of the speedup report.
+func BenchmarkEncodeVectorsWorkers(b *testing.B) {
+	const m, v, features = 16, 100, 64
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(sizeName("workers", workers), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(10))
+			nodes := field.RandDistinct(rng, m, nil)
+			points := field.RandDistinct(rng, v, nodes)
+			coder, err := lagrange.NewCoder(nodes, points)
+			if err != nil {
+				b.Fatal(err)
+			}
+			coder.SetParallelism(workers)
+			batches := make([][]field.Element, m)
+			for i := range batches {
+				batches[i] = make([]field.Element, features)
+				for j := range batches[i] {
+					batches[i][j] = field.Rand(rng)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coder.EncodeVectors(batches); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeBWWorkers races the Berlekamp–Welch error-budget scan at
+// paper scale (V=100, K=46, 27 planted errors) across worker counts.
+func BenchmarkDecodeBWWorkers(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	k := 46
+	coeffs := make([]field.Element, k)
+	for i := range coeffs {
+		coeffs[i] = field.Rand(rng)
+	}
+	f := poly.New(coeffs...)
+	xs := field.RandDistinct(rng, 100, nil)
+	ys := f.EvalMany(xs)
+	for _, p := range rng.Perm(100)[:27] {
+		ys[p] = field.Rand(rng)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(sizeName("workers", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := reedsolomon.DecodeBWParallel(xs, ys, k, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Proposition 1 scaling: encoding is O(M²) per vehicle, decoding is
 // O((K+2E)³) at the fusion centre. The sub-benchmarks sweep one axis at a
 // time so the scaling exponents are visible in the ns/op column. ---
@@ -66,6 +147,7 @@ func BenchmarkEncodeScalingM(b *testing.B) {
 			for i := range batch {
 				batch[i] = field.Rand(rng)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := coder.EncodeScalars(batch); err != nil {
@@ -92,6 +174,7 @@ func BenchmarkDecodeScalingV(b *testing.B) {
 			for _, p := range rng.Perm(v)[:e] {
 				ys[p] = field.Rand(rng)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := reedsolomon.Decode(xs, ys, k); err != nil {
@@ -116,6 +199,7 @@ func BenchmarkAblationApproxMethods(b *testing.B) {
 	}
 	for _, m := range methods {
 		b.Run(m.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			var rep approx.Report
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -146,6 +230,7 @@ func BenchmarkAblationExactVsRealDecode(b *testing.B) {
 		for _, p := range rng.Perm(v)[:e] {
 			ys[p] = field.Rand(rng)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := reedsolomon.Decode(xs, ys, k); err != nil {
@@ -172,6 +257,7 @@ func BenchmarkAblationExactVsRealDecode(b *testing.B) {
 		for _, p := range rng.Perm(v)[:e] {
 			ys[p] = 5 + 10*rng.Float64()
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := reedsolomon.DecodeRealRobust(points, ys, k, reedsolomon.RealOptions{InlierThreshold: 0.25}); err != nil {
@@ -196,6 +282,7 @@ func BenchmarkAblationElementSelection(b *testing.B) {
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
 			points := lagrange.InteriorPoints(v, -0.999, 0.999, tc.nodes)
 			var d float64
 			for i := 0; i < b.N; i++ {
@@ -241,6 +328,7 @@ func BenchmarkCodedInferenceRound(b *testing.B) {
 	for _, id := range rng.Perm(100)[:27] {
 		corrupt[id] = field.Rand(rng)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := inf.Run(w, 0.1, p, batches, corrupt); err != nil {
@@ -293,6 +381,7 @@ func BenchmarkAblationFracBits(b *testing.B) {
 	want := p.Eval(z + 0.1)
 	for _, frac := range []uint{4, 8, 12, 16} {
 		b.Run(sizeName("frac", int(frac)), func(b *testing.B) {
+			b.ReportAllocs()
 			inf, err := core.NewInference(core.InferenceConfig{
 				NumVehicles: 20, NumBatches: 4, FracBits: frac, Seed: 9,
 			}, 1)

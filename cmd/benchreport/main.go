@@ -1,0 +1,184 @@
+// Command benchreport converts `go test -bench` output into the
+// machine-readable speedup report BENCH_parallel.json. It groups the
+// workers-sweep benchmarks (sub-benchmarks named workers=N) and computes,
+// per benchmark, the speedup of every worker count against workers=1 —
+// the number the parallel execution engine is judged by.
+//
+// Usage:
+//
+//	go test -run NONE -bench Workers -benchtime 3x . | go run ./cmd/benchreport -out BENCH_parallel.json
+//
+// The report deliberately carries the host's core count: on a single-core
+// machine the pool degrades to interleaving and speedups hover at 1×, so
+// a reader must interpret the ratios against "cores".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Run is one benchmark measurement at a fixed worker count.
+type Run struct {
+	Workers     int     `json:"workers"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Bench is one workers-sweep benchmark with its per-count speedups.
+type Bench struct {
+	Name string `json:"name"`
+	Runs []Run  `json:"runs"`
+	// Speedups maps "workers=N" to ns(workers=1)/ns(workers=N).
+	Speedups map[string]float64 `json:"speedups"`
+	// SpeedupAtMaxWorkers is the headline ratio at the largest swept count.
+	SpeedupAtMaxWorkers float64 `json:"speedup_at_max_workers"`
+}
+
+// Report is the BENCH_parallel.json schema.
+type Report struct {
+	GoOS   string `json:"goos"`
+	GoArch string `json:"goarch"`
+	CPU    string `json:"cpu,omitempty"`
+	// Cores is runtime.NumCPU() on the measuring host. Wall-clock speedup
+	// is bounded by it; ratios near 1 on cores=1 are expected, not a
+	// regression of the engine.
+	Cores      int     `json:"cores"`
+	Benchmarks []Bench `json:"benchmarks"`
+	// TargetSpeedup/TargetMet record the ≥2×-at-4-workers acceptance bar
+	// evaluated on this host (only meaningful with cores >= 2).
+	TargetSpeedup float64 `json:"target_speedup"`
+	TargetMet     bool    `json:"target_met"`
+	Note          string  `json:"note,omitempty"`
+}
+
+// benchLine matches one sub-benchmark result, e.g.
+//
+//	BenchmarkFig3VehiclesWorkers/workers=4-8   2  70178653 ns/op  36659424 B/op  581373 allocs/op
+//
+// (the -P GOMAXPROCS suffix is absent when GOMAXPROCS=1).
+var benchLine = regexp.MustCompile(`^Benchmark(\S+?)/workers=(\d+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(lines []string) (*Report, error) {
+	rep := &Report{GoOS: runtime.GOOS, GoArch: runtime.GOARCH, Cores: runtime.NumCPU(), TargetSpeedup: 2.0}
+	byName := map[string][]Run{}
+	for _, line := range lines {
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			rep.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		workers, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("benchreport: bad workers count in %q: %w", line, err)
+		}
+		iters, err := strconv.Atoi(m[3])
+		if err != nil {
+			return nil, fmt.Errorf("benchreport: bad iteration count in %q: %w", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchreport: bad ns/op in %q: %w", line, err)
+		}
+		run := Run{Workers: workers, Iterations: iters, NsPerOp: ns}
+		if m[5] != "" {
+			run.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if m[6] != "" {
+			run.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		byName[m[1]] = append(byName[m[1]], run)
+	}
+	if len(byName) == 0 {
+		return nil, fmt.Errorf("benchreport: no workers-sweep benchmark lines found in input")
+	}
+
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		runs := byName[name]
+		sort.Slice(runs, func(i, j int) bool { return runs[i].Workers < runs[j].Workers })
+		b := Bench{Name: name, Runs: runs, Speedups: map[string]float64{}}
+		var base float64
+		for _, r := range runs {
+			if r.Workers == 1 {
+				base = r.NsPerOp
+			}
+		}
+		if base > 0 {
+			for _, r := range runs {
+				if r.Workers == 1 {
+					continue
+				}
+				s := base / r.NsPerOp
+				b.Speedups[fmt.Sprintf("workers=%d", r.Workers)] = s
+				if r.Workers == runs[len(runs)-1].Workers {
+					b.SpeedupAtMaxWorkers = s
+					if s >= rep.TargetSpeedup {
+						rep.TargetMet = true
+					}
+				}
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if rep.Cores < 2 {
+		rep.Note = fmt.Sprintf("measured on a %d-core host: wall-clock speedup is bounded by the core count, so ratios near 1x reflect the hardware, not the engine; re-run scripts/bench.sh on a multi-core machine for the >=2x target", rep.Cores)
+	}
+	return rep, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_parallel.json", "output JSON path (- for stdout)")
+	flag.Parse()
+
+	var lines []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(2)
+	}
+	rep, err := parse(lines)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benchmark(s), cores=%d)\n", *out, len(rep.Benchmarks), rep.Cores)
+}

@@ -98,6 +98,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"droppederr", func(string) *Analyzer { return newDroppedErrAnalyzer(nil) }},
 		{"floatpurity", func(p string) *Analyzer { return newFloatPurityAnalyzer(map[string]bool{p: true}) }},
 		{"determinism", func(p string) *Analyzer { return newDeterminismAnalyzer(map[string]bool{p: true}) }},
+		{"rawgo", func(string) *Analyzer { return newRawGoAnalyzer(nil) }},
 	}
 	for _, tc := range tests {
 		t.Run(tc.fixture, func(t *testing.T) {

@@ -14,6 +14,7 @@ func defaultAnalyzers() []*Analyzer {
 		newDroppedErrAnalyzer([]string{"repro/examples"}),
 		newFloatPurityAnalyzer(defaultFloatExact()),
 		newDeterminismAnalyzer(defaultReproducible()),
+		newRawGoAnalyzer(defaultRawGoAllowed()),
 	}
 }
 

@@ -1,0 +1,32 @@
+// Package rawgo is the fixture for the rawgo analyzer: bare go
+// statements are flagged wherever they appear; function literals,
+// deferred calls and ordinary calls are not.
+package rawgo
+
+import "sync"
+
+func fanOut(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() { // want "bare go statement"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func named() {
+	go worker(1) // want "bare go statement"
+}
+
+func worker(i int) { _ = i }
+
+func notGoroutines() {
+	defer worker(0)         // deferred call: fine
+	f := func() { go f2() } // want "bare go statement"
+	f()
+	worker(2) // plain call: fine
+}
+
+func f2() {}

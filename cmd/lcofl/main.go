@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/adversary"
@@ -86,7 +88,51 @@ func addOptionFlags(fs *flag.FlagSet) *experiments.Options {
 	fs.IntVar(&o.Rounds, "rounds", 0, "global rounds per run (0 = default 15)")
 	fs.IntVar(&o.Rows, "rows", 0, "synthetic dataset rows (0 = default 2500)")
 	fs.Int64Var(&o.Seed, "seed", 1, "master seed")
+	fs.IntVar(&o.Workers, "workers", 0, "worker-pool size for the parallel hot paths (0 = all cores, 1 = sequential; results are identical at any value)")
 	return o
+}
+
+// addProfileFlags registers -cpuprofile/-memprofile and returns a starter
+// whose stop function finalises the profiles (see EXPERIMENTS.md,
+// "Profiling").
+func addProfileFlags(fs *flag.FlagSet) func() (stop func() error, err error) {
+	cpu := fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with `go tool pprof`)")
+	mem := fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	return func() (func() error, error) {
+		var cpuFile *os.File
+		if *cpu != "" {
+			f, err := os.Create(*cpu)
+			if err != nil {
+				return nil, err
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				_ = f.Close() // the profile-start error takes precedence
+				return nil, err
+			}
+			cpuFile = f
+		}
+		stop := func() error {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					return err
+				}
+			}
+			if *mem != "" {
+				f, err := os.Create(*mem)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				runtime.GC() // flush garbage so the profile shows live allocations
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return stop, nil
+	}
 }
 
 func cmdRun(args []string) error {
@@ -96,6 +142,7 @@ func cmdRun(args []string) error {
 	out := fs.String("out", "", "output file (default stdout)")
 	repeat := fs.Int("repeat", 1, "repeat over this many consecutive seeds and report mean ± std")
 	asPlot := fs.Bool("plot", false, "render an ASCII chart instead of TSV")
+	profiles := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -103,6 +150,10 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("run: -figure is required")
 	}
 	driver, err := experiments.ByName(*figure)
+	if err != nil {
+		return err
+	}
+	stopProfiles, err := profiles()
 	if err != nil {
 		return err
 	}
@@ -116,6 +167,9 @@ func cmdRun(args []string) error {
 		fig, err = experiments.Repeat(driver, *o, seeds)
 	} else {
 		fig, err = driver(*o)
+	}
+	if perr := stopProfiles(); perr != nil && err == nil {
+		err = perr
 	}
 	if err != nil {
 		return err
@@ -140,13 +194,21 @@ func cmdAll(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	o := addOptionFlags(fs)
 	outdir := fs.String("outdir", "results", "output directory")
+	profiles := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
 		return err
 	}
+	stopProfiles, err := profiles()
+	if err != nil {
+		return err
+	}
 	figs, err := experiments.All(*o)
+	if perr := stopProfiles(); perr != nil && err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}

@@ -12,13 +12,13 @@ package main
 import (
 	"fmt"
 	"log"
-	"sync"
 
 	"repro/internal/adversary"
 	"repro/internal/approx"
 	"repro/internal/core"
 	"repro/internal/fl"
 	"repro/internal/node"
+	"repro/internal/parallel"
 	"repro/internal/traffic"
 	"repro/internal/transport"
 )
@@ -74,17 +74,18 @@ func main() {
 	defer l.Close()
 	fmt.Printf("fusion centre listening on %s\n", l.Addr())
 
-	// Vehicles 3, 7, 11, 15 lie about everything.
+	// Vehicles 3, 7, 11, 15 lie about everything. One goroutine per
+	// vehicle via parallel.Group, so a vehicle panic surfaces in main
+	// instead of killing the process from an anonymous goroutine.
 	malicious := map[int]bool{3: true, 7: true, 11: true, 15: true}
-	var wg sync.WaitGroup
+	var vg parallel.Group
 	for i := 0; i < vehicles; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
+		id := i
+		vg.Go(func() error {
 			conn, err := transport.DialTCP(l.Addr())
 			if err != nil {
 				log.Printf("vehicle %d: %v", id, err)
-				return
+				return nil
 			}
 			defer conn.Close()
 			cfg := node.ClientConfig{VehicleID: id, Data: parts[id], Seed: int64(100 + id)}
@@ -94,7 +95,8 @@ func main() {
 			if err := node.RunVehicle(conn, cfg); err != nil {
 				log.Printf("vehicle %d: %v", id, err)
 			}
-		}(i)
+			return nil
+		})
 	}
 
 	conns := make([]transport.Conn, 0, vehicles)
@@ -109,7 +111,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	wg.Wait()
+	if err := vg.Wait(); err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("completed %d rounds over TCP\n", report.Rounds)
 	fmt.Printf("verification channel flagged vehicles: %v (planted: 3 7 11 15)\n", report.SuspectedMalicious)

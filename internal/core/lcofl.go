@@ -49,6 +49,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/lagrange"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/poly"
 	"repro/internal/reedsolomon"
 )
@@ -71,19 +72,26 @@ type SchemeConfig struct {
 	FracBits uint
 	// Seed drives the random selection of the field encoding elements.
 	Seed int64
+	// Workers bounds the goroutines used for the per-slot encode at
+	// construction and the per-slot verification decodes in Aggregate.
+	// Zero (or negative) selects GOMAXPROCS; 1 runs sequentially. Results
+	// are bit-identical at any worker count: slots are independent and the
+	// per-slot outcomes are merged in slot order.
+	Workers int
 }
 
 // Scheme is the L-CoFL upload/aggregate strategy; it implements fl.Scheme.
 type Scheme struct {
-	cfg    SchemeConfig
-	codec  *fixedpoint.Codec
-	coder  *lagrange.Coder
-	refX   [][]float64         // original reference order (learning channel)
-	shares [][][]field.Element // [V][S][F] encoded verification shares
-	slots  int                 // S: verification slots per vehicle
-	k      int                 // recover threshold K = Degree·(M-1) + 1
-	dec    *reedsolomon.Decoder
-	fpm    *fpModel // broadcast model, quantised per round
+	cfg     SchemeConfig
+	codec   *fixedpoint.Codec
+	coder   *lagrange.Coder
+	refX    [][]float64         // original reference order (learning channel)
+	shares  [][][]field.Element // [V][S][F] encoded verification shares
+	slots   int                 // S: verification slots per vehicle
+	k       int                 // recover threshold K = Degree·(M-1) + 1
+	dec     *reedsolomon.Decoder
+	fpm     *fpModel // broadcast model, quantised per round
+	workers int      // resolved parallelism for slot-level fan-out
 
 	// DecodeFailures counts verification slots whose decode exceeded the
 	// error budget in the last Aggregate.
@@ -144,41 +152,50 @@ func NewScheme(refX [][]float64, cfg SchemeConfig) (*Scheme, error) {
 	}
 
 	// Quantise and Lagrange-encode the verification shares once: for slot
-	// j, the M batch rows {refX[m·S+j]}_m are combined per vehicle.
+	// j, the M batch rows {refX[m·S+j]}_m are combined per vehicle. Slots
+	// are independent and each writes the disjoint column shares[·][j], so
+	// they fan out across the worker pool; the coder itself stays
+	// sequential inside the scheme (parallelism lives at the slot level).
+	workers := parallel.Workers(cfg.Workers)
 	shares := make([][][]field.Element, cfg.NumVehicles)
 	for v := range shares {
 		shares[v] = make([][]field.Element, s)
 	}
-	for j := 0; j < s; j++ {
+	encErr := parallel.ForEach(workers, s, func(j int) error {
 		rows := make([][]field.Element, cfg.NumBatches)
 		for m := 0; m < cfg.NumBatches; m++ {
 			enc, err := codec.EncodeVec(refX[m*s+j])
 			if err != nil {
-				return nil, fmt.Errorf("core: reference batch %d slot %d: %w", m, j, err)
+				return fmt.Errorf("core: reference batch %d slot %d: %w", m, j, err)
 			}
 			rows[m] = enc
 		}
 		perVehicle, err := coder.EncodeVectors(rows)
 		if err != nil {
-			return nil, fmt.Errorf("core: encoding slot %d: %w", j, err)
+			return fmt.Errorf("core: encoding slot %d: %w", j, err)
 		}
 		for v := range perVehicle {
 			shares[v][j] = perVehicle[v]
 		}
+		return nil
+	})
+	if encErr != nil {
+		return nil, encErr
 	}
 	dec, err := reedsolomon.NewDecoder(coder.Points(), k)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return &Scheme{
-		cfg:    cfg,
-		codec:  codec,
-		coder:  coder,
-		refX:   refCopy,
-		shares: shares,
-		slots:  s,
-		k:      k,
-		dec:    dec,
+		cfg:     cfg,
+		codec:   codec,
+		coder:   coder,
+		refX:    refCopy,
+		shares:  shares,
+		slots:   s,
+		k:       k,
+		dec:     dec,
+		workers: workers,
 	}, nil
 }
 
@@ -289,7 +306,16 @@ func (s *Scheme) Aggregate(uploads [][]float64) ([]float64, error) {
 	s.DetectedMalicious = make([]int, s.cfg.NumVehicles)
 	points := s.coder.Points()
 
-	for j := 0; j < s.slots; j++ {
+	// Decode the verification slots in parallel — each is an independent
+	// Reed–Solomon word — then merge the per-slot outcomes in slot order.
+	// DecodeFailures and DetectedMalicious are order-independent sums, so
+	// the merged counters match the sequential loop exactly.
+	type slotOutcome struct {
+		failed  bool
+		flagged []int // vehicle IDs with erroneous symbols in this slot
+	}
+	outcomes := make([]slotOutcome, s.slots)
+	_ = parallel.ForEach(s.workers, s.slots, func(j int) error {
 		var xs, ys []field.Element
 		var ids []int
 		for i, up := range uploads {
@@ -301,8 +327,8 @@ func (s *Scheme) Aggregate(uploads [][]float64) ([]float64, error) {
 			ids = append(ids, i)
 		}
 		if len(xs) < s.k {
-			s.DecodeFailures++
-			continue
+			outcomes[j].failed = true
+			return nil
 		}
 		// The common case — every vehicle present — reuses the cached
 		// decoder; straggler rounds fall back to the one-shot path.
@@ -314,11 +340,21 @@ func (s *Scheme) Aggregate(uploads [][]float64) ([]float64, error) {
 			res, err = reedsolomon.Decode(xs, ys, s.k)
 		}
 		if err != nil {
+			outcomes[j].failed = true
+			return nil
+		}
+		for _, idx := range res.ErrorPositions {
+			outcomes[j].flagged = append(outcomes[j].flagged, ids[idx])
+		}
+		return nil
+	})
+	for _, o := range outcomes {
+		if o.failed {
 			s.DecodeFailures++
 			continue
 		}
-		for _, idx := range res.ErrorPositions {
-			s.DetectedMalicious[ids[idx]]++
+		for _, id := range o.flagged {
+			s.DetectedMalicious[id]++
 		}
 	}
 

@@ -353,3 +353,77 @@ func TestRepeatValidation(t *testing.T) {
 		t.Error("single seed accepted")
 	}
 }
+
+// TestRunParallelDeterminism is the tentpole acceptance check: a full
+// scenario run — training, adversary, channel, L-CoFL encode/decode —
+// must be byte-identical at workers 1, 2 and 8.
+func TestRunParallelDeterminism(t *testing.T) {
+	base := Scenario{Vehicles: 30, Rounds: 3, Rows: 900, Seed: 2, MaliciousFraction: 0.2}
+
+	run := func(workers int) *RunOutput {
+		t.Helper()
+		sc := base
+		sc.Workers = workers
+		out, err := sc.Run(LCoFL)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		for r := range want.Acc.Values {
+			if got.Acc.Values[r] != want.Acc.Values[r] {
+				t.Fatalf("workers=%d: accuracy trace differs at round %d: %v vs %v",
+					workers, r, got.Acc.Values[r], want.Acc.Values[r])
+			}
+			if got.MeanEst.Values[r] != want.MeanEst.Values[r] {
+				t.Fatalf("workers=%d: mean-estimate trace differs at round %d", workers, r)
+			}
+		}
+		if got.DecodeFailures != want.DecodeFailures || got.SuspectedMalicious != want.SuspectedMalicious {
+			t.Fatalf("workers=%d: detection differs: failures %d/%d suspected %d/%d",
+				workers, got.DecodeFailures, want.DecodeFailures,
+				got.SuspectedMalicious, want.SuspectedMalicious)
+		}
+		for i := range want.TestEstimates {
+			if got.TestEstimates[i] != want.TestEstimates[i] {
+				t.Fatalf("workers=%d: test estimate %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestRepeatParallelDeterminism checks the multi-seed sweep aggregates
+// identically whether seeds run sequentially or concurrently.
+func TestRepeatParallelDeterminism(t *testing.T) {
+	o := Options{Vehicles: 20, Rounds: 2, Rows: 600, Seed: 3}
+	seeds := []int64{3, 4, 5}
+
+	run := func(workers int) *Figure {
+		t.Helper()
+		ro := o
+		ro.Workers = workers
+		fig, err := Repeat(Fig9, ro, seeds)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return fig
+	}
+	want := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("workers=%d: %d rows, want %d", workers, len(got.Rows), len(want.Rows))
+		}
+		for r := range want.Rows {
+			for c := range want.Rows[r] {
+				if got.Rows[r][c] != want.Rows[r][c] {
+					t.Fatalf("workers=%d: cell (%d,%d) differs: %v vs %v",
+						workers, r, c, got.Rows[r][c], want.Rows[r][c])
+				}
+			}
+		}
+	}
+}

@@ -19,6 +19,11 @@ type Options struct {
 	Rows int
 	// Seed shifts every run's randomness.
 	Seed int64
+	// Workers bounds the goroutines each run fans out across its hot
+	// paths (per-vehicle training, per-slot encode/decode, multi-seed
+	// sweeps). 0 selects GOMAXPROCS, 1 runs sequentially; results are
+	// bit-identical at every setting.
+	Workers int
 }
 
 func (o Options) scenario() Scenario {
@@ -27,6 +32,7 @@ func (o Options) scenario() Scenario {
 		Rounds:   o.Rounds,
 		Rows:     o.Rows,
 		Seed:     o.Seed,
+		Workers:  o.Workers,
 	}
 }
 

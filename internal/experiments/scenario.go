@@ -79,6 +79,11 @@ type Scenario struct {
 	NonIIDSkew float64
 	// Seed drives every random choice.
 	Seed int64
+	// Workers bounds the worker-pool goroutines for the run's hot paths
+	// (per-vehicle training, L-CoFL slot encode/decode). 0 selects
+	// GOMAXPROCS, 1 runs sequentially; the trained models, traces and
+	// malicious-detection results are bit-identical at any value.
+	Workers int
 
 	// LocalEpochs, LocalRate, DistillEpochs, DistillRate, ServerStep
 	// override the learning hyperparameters when non-zero.
@@ -211,6 +216,7 @@ func (s Scenario) Run(v Variant) (*RunOutput, error) {
 		DistillRate:   sc.DistillRate,
 		ServerStep:    sc.ServerStep,
 		Seed:          sc.Seed + 5,
+		Workers:       sc.Workers,
 	}
 	if act.Poly != nil && sc.Degree > 1 {
 		// Higher-degree polynomial activations have fast-growing
@@ -236,6 +242,7 @@ func (s Scenario) Run(v Variant) (*RunOutput, error) {
 			NumBatches:  sc.Batches,
 			Degree:      sc.Degree,
 			Seed:        sc.Seed + 6,
+			Workers:     sc.Workers,
 		})
 		scheme = coded
 	case CodedFL24:

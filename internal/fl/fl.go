@@ -37,6 +37,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/linalg"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 )
 
 // Dropped is the sentinel for a scalar lost on the wireless channel.
@@ -81,6 +82,12 @@ type Config struct {
 	// between confident shared models and over-corrected local ensembles;
 	// damping is the standard fixed-point remedy.
 	ServerStep float64
+	// Workers bounds the pool the per-vehicle training/upload loop fans
+	// out across each round (package parallel). Zero selects GOMAXPROCS,
+	// 1 runs sequentially. Every vehicle owns its RNG stream and model,
+	// and the adversary/channel phase stays sequential in vehicle order,
+	// so round results are bit-identical at any worker count.
+	Workers int
 	// Seed makes the whole system deterministic.
 	Seed int64
 }
@@ -256,26 +263,47 @@ func (s *System) RunRound(scheme Scheme, plan *adversary.Plan, ch channel.Model)
 
 	stats := &RoundStats{Round: s.round + 1}
 	uploads := make([][]float64, len(s.vehicles))
-	var lossSum float64
-	for _, v := range s.vehicles {
-		// Step 1–2: broadcast and local training (eq. 1).
+
+	// Steps 1–3a: broadcast, local training (eq. 1), and honest upload,
+	// fanned out across the pool. Each vehicle mutates only its own model
+	// with its own RNG stream and writes only its own result slot, so the
+	// outcome is independent of scheduling. Schemes are read-only during
+	// Upload (they mutate state in BeginRound/Aggregate only).
+	honest := make([][]float64, len(s.vehicles))
+	losses := make([]float64, len(s.vehicles))
+	err := parallel.ForEach(parallel.Workers(s.cfg.Workers), len(s.vehicles), func(i int) error {
+		v := s.vehicles[i]
 		if err := v.Model.SetParams(sharedParams); err != nil {
-			return nil, fmt.Errorf("fl: vehicle %d: %w", v.ID, err)
+			return fmt.Errorf("fl: vehicle %d: %w", v.ID, err)
 		}
 		loss, err := v.Model.TrainSGDProximal(v.Data, s.cfg.LocalRate, s.cfg.LocalEpochs, v.rng, s.cfg.ProximalMu, sharedParams)
 		if err != nil {
-			return nil, fmt.Errorf("fl: vehicle %d training: %w", v.ID, err)
+			return fmt.Errorf("fl: vehicle %d training: %w", v.ID, err)
 		}
-		lossSum += loss
-
-		// Step 3: estimation upload, then adversary and channel.
+		losses[i] = loss
 		up, err := scheme.Upload(v.ID, v.Model)
 		if err != nil {
-			return nil, fmt.Errorf("fl: vehicle %d upload: %w", v.ID, err)
+			return fmt.Errorf("fl: vehicle %d upload: %w", v.ID, err)
 		}
+		honest[i] = up
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 3b: adversary and channel, applied SEQUENTIALLY in vehicle
+	// order. The corruption behaviours and channel models consume shared
+	// seeded RNG streams whose draw order is part of the reproducibility
+	// contract; keeping this cheap scalar pass off the pool preserves the
+	// exact sequential stream at every worker count.
+	var lossSum float64
+	for i, v := range s.vehicles {
+		lossSum += losses[i]
+		up := honest[i]
 		sent := make([]float64, len(up))
-		for j, honest := range up {
-			val := honest
+		for j, h := range up {
+			val := h
 			if plan != nil {
 				val = plan.Apply(v.ID, val)
 			}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/channel"
+	"repro/internal/parallel"
 )
 
 // RunParamRound executes one round of TRADITIONAL parameter-upload FL —
@@ -28,19 +29,34 @@ func (s *System) RunParamRound(plan *adversary.Plan, ch channel.Model) (*RoundSt
 	sharedParams := s.shared.Params()
 
 	stats := &RoundStats{Round: s.round + 1}
-	var received [][]float64
-	var lossSum float64
-	for _, v := range s.vehicles {
+
+	// Train in parallel (per-vehicle models and RNG streams), then apply
+	// adversary and channel sequentially in vehicle order — the same
+	// determinism split as RunRound.
+	losses := make([]float64, len(s.vehicles))
+	params := make([][]float64, len(s.vehicles))
+	err := parallel.ForEach(parallel.Workers(s.cfg.Workers), len(s.vehicles), func(i int) error {
+		v := s.vehicles[i]
 		if err := v.Model.SetParams(sharedParams); err != nil {
-			return nil, fmt.Errorf("fl: vehicle %d: %w", v.ID, err)
+			return fmt.Errorf("fl: vehicle %d: %w", v.ID, err)
 		}
 		loss, err := v.Model.TrainSGDProximal(v.Data, s.cfg.LocalRate, s.cfg.LocalEpochs, v.rng, s.cfg.ProximalMu, sharedParams)
 		if err != nil {
-			return nil, fmt.Errorf("fl: vehicle %d training: %w", v.ID, err)
+			return fmt.Errorf("fl: vehicle %d training: %w", v.ID, err)
 		}
-		lossSum += loss
+		losses[i] = loss
+		params[i] = v.Model.Params()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
-		upload := v.Model.Params()
+	var received [][]float64
+	var lossSum float64
+	for i, v := range s.vehicles {
+		lossSum += losses[i]
+		upload := params[i]
 		vector := make([]float64, len(upload))
 		dropped := false
 		for j, honest := range upload {

@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"repro/internal/field"
+	"repro/internal/parallel"
 )
 
 // Coder encodes batches over GF(p) with fixed nodes and worker points.
@@ -32,6 +33,7 @@ type Coder struct {
 	nodes    []field.Element // ℓ_1..ℓ_M, one per batch
 	points   []field.Element // ρ_1..ρ_V, one per worker
 	denomInv []field.Element // 1 / Π_{n≠m}(ℓ_m - ℓ_n)
+	workers  int             // pool width for EncodeVectors/EvalAtNodes; 1 = sequential
 }
 
 // NewCoder validates that nodes and points are pairwise distinct and
@@ -47,6 +49,8 @@ func NewCoder(nodes, points []field.Element) (*Coder, error) {
 	if !field.Distinct(all) {
 		return nil, fmt.Errorf("lagrange: nodes and points must be pairwise distinct and disjoint")
 	}
+	// Denominators are inverted in one BatchInv pass (Montgomery's trick:
+	// one Inv plus 3(M-1) multiplications) instead of M full inversions.
 	denomInv := make([]field.Element, len(nodes))
 	for m := range nodes {
 		d := field.One
@@ -55,13 +59,23 @@ func NewCoder(nodes, points []field.Element) (*Coder, error) {
 				d = d.Mul(nodes[m].Sub(nodes[n]))
 			}
 		}
-		denomInv[m] = d.Inv()
+		denomInv[m] = d
 	}
+	field.BatchInv(denomInv)
 	return &Coder{
 		nodes:    append([]field.Element(nil), nodes...),
 		points:   append([]field.Element(nil), points...),
 		denomInv: denomInv,
+		workers:  1,
 	}, nil
+}
+
+// SetParallelism fixes the worker count EncodeVectors, EncodeScalars and
+// EvalAtNodes fan out across (values < 1 select GOMAXPROCS). Results are
+// bit-identical at every worker count; only wall-clock changes. The
+// default is 1 (sequential).
+func (c *Coder) SetParallelism(workers int) {
+	c.workers = parallel.Workers(workers)
 }
 
 // NumBatches returns M, the number of interpolation nodes.
@@ -84,24 +98,67 @@ func (c *Coder) Points() []field.Element {
 // evaluation position z. If z coincides with a node ℓ_m the weights are
 // the indicator of that node (H(ℓ_m) = X_m).
 func (c *Coder) WeightsAt(z field.Element) []field.Element {
-	w := make([]field.Element, len(c.nodes))
+	s := newWeightScratch(len(c.nodes))
+	c.weightsInto(z, s)
+	return s.w
+}
+
+// weightScratch holds the per-evaluation buffers of the basis-weight
+// recurrence so hot loops (and each pool worker) allocate them once and
+// reuse them across evaluation points.
+type weightScratch struct {
+	w      []field.Element
+	prefix []field.Element
+}
+
+func newWeightScratch(m int) *weightScratch {
+	return &weightScratch{
+		w:      make([]field.Element, m),
+		prefix: make([]field.Element, m+1),
+	}
+}
+
+// weightsInto computes the basis weights p_m(z) into s.w.
+func (c *Coder) weightsInto(z field.Element, s *weightScratch) {
 	// prefix[m] = Π_{n<m}(z-ℓ_n), suffix accumulated backwards: O(M).
-	prefix := make([]field.Element, len(c.nodes)+1)
-	prefix[0] = field.One
+	s.prefix[0] = field.One
 	for m, node := range c.nodes {
-		prefix[m+1] = prefix[m].Mul(z.Sub(node))
+		s.prefix[m+1] = s.prefix[m].Mul(z.Sub(node))
 	}
 	suffix := field.One
 	for m := len(c.nodes) - 1; m >= 0; m-- {
-		w[m] = prefix[m].Mul(suffix).Mul(c.denomInv[m])
+		s.w[m] = s.prefix[m].Mul(suffix).Mul(c.denomInv[m])
 		suffix = suffix.Mul(z.Sub(c.nodes[m]))
 	}
-	return w
 }
 
 // WorkerWeights returns the basis weights p_m(ρ_i) for worker i.
 func (c *Coder) WorkerWeights(i int) []field.Element {
 	return c.WeightsAt(c.points[i])
+}
+
+// forEachChunk splits [0, n) into one contiguous chunk per pool worker
+// and runs fn on the chunks concurrently. Each invocation of fn receives
+// a private weightScratch, allocated once per chunk rather than once per
+// index. Output slots are disjoint by index, so results are bit-identical
+// to a sequential loop regardless of the worker count.
+func (c *Coder) forEachChunk(n int, fn func(lo, hi int, s *weightScratch)) {
+	workers := c.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n, newWeightScratch(len(c.nodes)))
+		return
+	}
+	// fn never fails; ForEach is used for its pool and panic plumbing.
+	_ = parallel.ForEach(workers, workers, func(ci int) error {
+		lo, hi := ci*n/workers, (ci+1)*n/workers
+		if lo < hi {
+			fn(lo, hi, newWeightScratch(len(c.nodes)))
+		}
+		return nil
+	})
 }
 
 // EncodeScalars encodes scalar batches: given one field element per batch,
@@ -111,9 +168,12 @@ func (c *Coder) EncodeScalars(batches []field.Element) ([]field.Element, error) 
 		return nil, fmt.Errorf("lagrange: got %d batches, coder has %d nodes", len(batches), len(c.nodes))
 	}
 	out := make([]field.Element, len(c.points))
-	for i := range c.points {
-		out[i] = field.Dot(c.WorkerWeights(i), batches)
-	}
+	c.forEachChunk(len(c.points), func(lo, hi int, s *weightScratch) {
+		for i := lo; i < hi; i++ {
+			c.weightsInto(c.points[i], s)
+			out[i] = field.Dot(s.w, batches)
+		}
+	})
 	return out, nil
 }
 
@@ -131,17 +191,19 @@ func (c *Coder) EncodeVectors(batches [][]field.Element) ([][]field.Element, err
 		}
 	}
 	out := make([][]field.Element, len(c.points))
-	for i := range c.points {
-		w := c.WorkerWeights(i)
-		enc := make([]field.Element, width)
-		for m, b := range batches {
-			wm := w[m]
-			for j, x := range b {
-				enc[j] = enc[j].Add(wm.Mul(x))
+	c.forEachChunk(len(c.points), func(lo, hi int, s *weightScratch) {
+		for i := lo; i < hi; i++ {
+			c.weightsInto(c.points[i], s)
+			enc := make([]field.Element, width)
+			for m, b := range batches {
+				wm := s.w[m]
+				for j, x := range b {
+					enc[j] = enc[j].Add(wm.Mul(x))
+				}
 			}
+			out[i] = enc
 		}
-		out[i] = enc
-	}
+	})
 	return out, nil
 }
 
@@ -153,9 +215,12 @@ func (c *Coder) EvalAtNodes(batches []field.Element, targets []field.Element) ([
 		return nil, fmt.Errorf("lagrange: got %d batches, coder has %d nodes", len(batches), len(c.nodes))
 	}
 	out := make([]field.Element, len(targets))
-	for t, z := range targets {
-		out[t] = field.Dot(c.WeightsAt(z), batches)
-	}
+	c.forEachChunk(len(targets), func(lo, hi int, s *weightScratch) {
+		for t := lo; t < hi; t++ {
+			c.weightsInto(targets[t], s)
+			out[t] = field.Dot(s.w, batches)
+		}
+	})
 	return out, nil
 }
 

@@ -2,8 +2,10 @@ package reedsolomon
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/field"
+	"repro/internal/parallel"
 	"repro/internal/poly"
 )
 
@@ -22,6 +24,23 @@ import (
 // is singular the actual error count is below the attempted E and the
 // decoder retries with a smaller budget.
 func DecodeBW(xs, ys []field.Element, k int) (*Result, error) {
+	return DecodeBWParallel(xs, ys, k, 1)
+}
+
+// DecodeBWParallel is DecodeBW with its per-error-count bwAttempt
+// Gaussian eliminations raced across a bounded worker pool. The
+// sequential search scans e from MaxErrors down to 0 and returns the
+// first budget whose attempt succeeds and verifies; the parallel search
+// runs the independent attempts concurrently and selects the HIGHEST
+// passing budget, which is exactly the budget that descending scan would
+// have stopped at — so the returned Result is bit-identical to the
+// sequential one at any worker count (see DESIGN.md "Parallel execution
+// engine"). Attempts for budgets below an already-confirmed success are
+// skipped as they can no longer affect the answer.
+//
+// workers < 1 selects GOMAXPROCS; workers == 1 runs the pre-pool
+// sequential scan with its early exit.
+func DecodeBWParallel(xs, ys []field.Element, k, workers int) (*Result, error) {
 	n := len(xs)
 	if len(ys) != n {
 		return nil, fmt.Errorf("reedsolomon: %d points but %d values", n, len(ys))
@@ -35,23 +54,66 @@ func DecodeBW(xs, ys []field.Element, k int) (*Result, error) {
 	if !field.Distinct(xs) {
 		return nil, fmt.Errorf("reedsolomon: evaluation points must be distinct")
 	}
-	for e := MaxErrors(n, k); e >= 0; e-- {
-		f, ok := bwAttempt(xs, ys, k, e)
-		if !ok {
-			continue
-		}
-		var errPos []int
-		for i, x := range xs {
-			if f.Eval(x) != ys[i] {
-				errPos = append(errPos, i)
+	maxE := MaxErrors(n, k)
+	workers = parallel.Workers(workers)
+	if workers == 1 {
+		for e := maxE; e >= 0; e-- {
+			if res := bwVerifiedAttempt(xs, ys, k, e, maxE); res != nil {
+				return res, nil
 			}
 		}
-		if len(errPos) > MaxErrors(n, k) {
-			continue
+		return nil, ErrTooManyErrors
+	}
+
+	// Race every budget. Task t attempts e = maxE - t, so the pool claims
+	// high budgets (the ones the sequential scan tries first) earliest.
+	// best tracks the highest budget confirmed so far: once budget e
+	// succeeds, tasks for e' < e are skipped — their outcome cannot win.
+	results := make([]*Result, maxE+1)
+	var best atomic.Int64
+	best.Store(-1)
+	_ = parallel.ForEach(workers, maxE+1, func(t int) error {
+		e := maxE - t
+		if int64(e) <= best.Load() {
+			return nil
 		}
-		return &Result{Poly: f, ErrorPositions: errPos}, nil
+		if res := bwVerifiedAttempt(xs, ys, k, e, maxE); res != nil {
+			results[e] = res
+			for {
+				cur := best.Load()
+				if int64(e) <= cur || best.CompareAndSwap(cur, int64(e)) {
+					break
+				}
+			}
+		}
+		return nil
+	})
+	for e := maxE; e >= 0; e-- {
+		if results[e] != nil {
+			return results[e], nil
+		}
 	}
 	return nil, ErrTooManyErrors
+}
+
+// bwVerifiedAttempt runs one error-budget attempt plus the decoder's
+// post-check: the recovered polynomial must disagree with the received
+// word in at most maxE positions. It returns nil when the budget fails.
+func bwVerifiedAttempt(xs, ys []field.Element, k, e, maxE int) *Result {
+	f, ok := bwAttempt(xs, ys, k, e)
+	if !ok {
+		return nil
+	}
+	var errPos []int
+	for i, x := range xs {
+		if f.Eval(x) != ys[i] {
+			errPos = append(errPos, i)
+		}
+	}
+	if len(errPos) > maxE {
+		return nil
+	}
+	return &Result{Poly: f, ErrorPositions: errPos}
 }
 
 // bwAttempt solves the Berlekamp–Welch system for a fixed error budget e.

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# bench.sh measures the parallel execution engine and writes the speedup
+# report BENCH_parallel.json: the workers-sweep benchmarks (Fig. 3 end to
+# end, Lagrange vector encode, Berlekamp–Welch decode racing) at workers
+# 1/2/4, reduced to per-benchmark speedup ratios by cmd/benchreport.
+#
+#   scripts/bench.sh            # full measurement (benchtime 3x)
+#   scripts/bench.sh --quick    # CI smoke: 1 iteration, exercises the
+#                               # whole pipeline without meaningful timings
+#
+# The report records the host core count — interpret the ratios against
+# it (a 1-core host cannot show wall-clock speedup by construction).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-3x}"
+if [[ "${1:-}" == "--quick" ]]; then
+    benchtime=1x
+fi
+
+out="${BENCH_OUT:-BENCH_parallel.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench Workers -benchtime $benchtime"
+go test -run NONE -bench 'Workers' -benchtime "$benchtime" . | tee "$raw"
+
+echo "== benchreport -> $out"
+go run ./cmd/benchreport -out "$out" < "$raw"
