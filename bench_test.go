@@ -9,8 +9,10 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/field"
 	"repro/internal/lagrange"
+	"repro/internal/nn"
 	"repro/internal/poly"
 	"repro/internal/reedsolomon"
+	"repro/internal/traffic"
 )
 
 // benchOptions shrinks each figure run so a single benchmark iteration
@@ -294,6 +296,68 @@ func BenchmarkAblationElementSelection(b *testing.B) {
 			}
 			b.ReportMetric(d, "redundancyD")
 		})
+	}
+}
+
+// BenchmarkAggregateBatch measures the fusion centre's verification
+// decode for one Aggregate call at growing slot counts, batch
+// (shared-locator fast path, DESIGN.md §9) against per-slot decoding.
+// The adversary count sits at the full eq. 6 budget, the regime where
+// per-slot decoding is slowest; the batch advantage grows with S.
+func BenchmarkAggregateBatch(b *testing.B) {
+	const v, m, degree = 40, 8, 2
+	act := approx.SymmetricSigmoid()
+	p, err := approx.LeastSquares{SamplePoints: 21}.Fit(act.F, -2, 2, degree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := nn.New(nn.Config{
+		LayerSizes: []int{traffic.NumFeatures, 1},
+		Activation: approx.FromPolynomial("ls", p),
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, slots := range []int{8, 32} {
+		ds, err := traffic.Generate(traffic.GenConfig{Rows: m * slots, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ref := ds.Features()
+		for _, mode := range []string{"perslot", "batch"} {
+			b.Run(sizeName("slots", slots)+"/mode="+mode, func(b *testing.B) {
+				s, err := core.NewScheme(ref, core.SchemeConfig{
+					NumVehicles: v, NumBatches: m, Degree: degree,
+					Seed: 3, Workers: 1, DisableBatchDecode: mode == "perslot",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.BeginRound(net); err != nil {
+					b.Fatal(err)
+				}
+				ups := make([][]float64, v)
+				for i := range ups {
+					if ups[i], err = s.Upload(i, net); err != nil {
+						b.Fatal(err)
+					}
+				}
+				rng := rand.New(rand.NewSource(9))
+				for _, id := range rng.Perm(v)[:s.MaxMalicious()] {
+					for j := range ups[id] {
+						ups[id][j] = ups[id][j]*2 + 7
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Aggregate(ups); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -1,12 +1,18 @@
-// Command benchreport converts `go test -bench` output into the
-// machine-readable speedup report BENCH_parallel.json. It groups the
-// workers-sweep benchmarks (sub-benchmarks named workers=N) and computes,
-// per benchmark, the speedup of every worker count against workers=1 —
-// the number the parallel execution engine is judged by.
+// Command benchreport converts `go test -bench` output into a
+// machine-readable JSON report. Every benchmark line is recorded under
+// its full sub-benchmark name; benchmarks following the workers-sweep
+// convention (sub-benchmarks named workers=N) additionally get per-count
+// speedups against workers=1 — the number the parallel execution engine
+// is judged by.
 //
 // Usage:
 //
 //	go test -run NONE -bench Workers -benchtime 3x . | go run ./cmd/benchreport -out BENCH_parallel.json
+//
+// With -compare old.json the freshly parsed report is checked against a
+// previously written one: any benchmark whose ns/op grew by more than
+// -max-regress (fraction, default 0.20) fails the run with exit code 1,
+// making the report a CI regression gate.
 //
 // The report deliberately carries the host's core count: on a single-core
 // machine the pool degrades to interleaving and speedups hover at 1×, so
@@ -45,7 +51,17 @@ type Bench struct {
 	SpeedupAtMaxWorkers float64 `json:"speedup_at_max_workers"`
 }
 
-// Report is the BENCH_parallel.json schema.
+// Entry is one benchmark measurement under its full sub-benchmark name
+// (GOMAXPROCS suffix stripped) — the unit of -compare matching.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the benchmark-report JSON schema.
 type Report struct {
 	GoOS   string `json:"goos"`
 	GoArch string `json:"goarch"`
@@ -53,8 +69,10 @@ type Report struct {
 	// Cores is runtime.NumCPU() on the measuring host. Wall-clock speedup
 	// is bounded by it; ratios near 1 on cores=1 are expected, not a
 	// regression of the engine.
-	Cores      int     `json:"cores"`
-	Benchmarks []Bench `json:"benchmarks"`
+	Cores int `json:"cores"`
+	// Entries lists every benchmark line, workers-sweep or not.
+	Entries    []Entry `json:"entries,omitempty"`
+	Benchmarks []Bench `json:"benchmarks,omitempty"`
 	// TargetSpeedup/TargetMet record the ≥2×-at-4-workers acceptance bar
 	// evaluated on this host (only meaningful with cores >= 2).
 	TargetSpeedup float64 `json:"target_speedup"`
@@ -69,13 +87,42 @@ type Report struct {
 // (the -P GOMAXPROCS suffix is absent when GOMAXPROCS=1).
 var benchLine = regexp.MustCompile(`^Benchmark(\S+?)/workers=(\d+)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
+// anyBenchLine matches ANY benchmark result line; the lazy name plus the
+// optional trailing -N strips the GOMAXPROCS suffix Go appends.
+var anyBenchLine = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
 func parse(lines []string) (*Report, error) {
 	rep := &Report{GoOS: runtime.GOOS, GoArch: runtime.GOARCH, Cores: runtime.NumCPU(), TargetSpeedup: 2.0}
 	byName := map[string][]Run{}
+	entryIdx := map[string]int{}
 	for _, line := range lines {
 		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
 			rep.CPU = strings.TrimSpace(cpu)
 			continue
+		}
+		if m := anyBenchLine.FindStringSubmatch(line); m != nil {
+			iters, err := strconv.Atoi(m[2])
+			if err != nil {
+				return nil, fmt.Errorf("benchreport: bad iteration count in %q: %w", line, err)
+			}
+			ns, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchreport: bad ns/op in %q: %w", line, err)
+			}
+			e := Entry{Name: m[1], Iterations: iters, NsPerOp: ns}
+			if m[4] != "" {
+				e.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			}
+			if m[5] != "" {
+				e.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			}
+			// Repeated names (go test -count) keep the last measurement.
+			if i, seen := entryIdx[e.Name]; seen {
+				rep.Entries[i] = e
+			} else {
+				entryIdx[e.Name] = len(rep.Entries)
+				rep.Entries = append(rep.Entries, e)
+			}
 		}
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
@@ -102,8 +149,8 @@ func parse(lines []string) (*Report, error) {
 		}
 		byName[m[1]] = append(byName[m[1]], run)
 	}
-	if len(byName) == 0 {
-		return nil, fmt.Errorf("benchreport: no workers-sweep benchmark lines found in input")
+	if len(rep.Entries) == 0 {
+		return nil, fmt.Errorf("benchreport: no benchmark lines found in input")
 	}
 
 	names := make([]string, 0, len(byName))
@@ -144,8 +191,41 @@ func parse(lines []string) (*Report, error) {
 	return rep, nil
 }
 
+// regression is one benchmark whose ns/op grew beyond the tolerance.
+type regression struct {
+	Name     string
+	OldNs    float64
+	NewNs    float64
+	Fraction float64 // (new-old)/old
+}
+
+// compareReports matches new entries against old ones by name and returns
+// every regression beyond maxRegress (a fraction: 0.20 = 20% slower).
+// Benchmarks present on only one side are ignored — adding or retiring a
+// benchmark is not a performance regression.
+func compareReports(oldRep, newRep *Report, maxRegress float64) []regression {
+	oldByName := make(map[string]Entry, len(oldRep.Entries))
+	for _, e := range oldRep.Entries {
+		oldByName[e.Name] = e
+	}
+	var regs []regression
+	for _, e := range newRep.Entries {
+		prev, ok := oldByName[e.Name]
+		if !ok || prev.NsPerOp <= 0 {
+			continue
+		}
+		frac := (e.NsPerOp - prev.NsPerOp) / prev.NsPerOp
+		if frac > maxRegress {
+			regs = append(regs, regression{Name: e.Name, OldNs: prev.NsPerOp, NewNs: e.NsPerOp, Fraction: frac})
+		}
+	}
+	return regs
+}
+
 func main() {
 	out := flag.String("out", "BENCH_parallel.json", "output JSON path (- for stdout)")
+	compare := flag.String("compare", "", "baseline report JSON to compare against; regressions fail with exit 1")
+	maxRegress := flag.Float64("max-regress", 0.20, "tolerated ns/op growth over the baseline, as a fraction")
 	flag.Parse()
 
 	var lines []string
@@ -163,6 +243,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// Load the baseline before writing -out, so comparing against the
+	// report being refreshed in place works.
+	var base *Report
+	if *compare != "" {
+		baseData, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(2)
+		}
+		base = new(Report)
+		if err := json.Unmarshal(baseData, base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: parsing baseline %s: %v\n", *compare, err)
+			os.Exit(2)
+		}
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
@@ -174,11 +269,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
 			os.Exit(2)
 		}
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d entr(ies), cores=%d)\n", *out, len(rep.Entries), rep.Cores)
+	}
+
+	if base == nil {
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchreport:", err)
-		os.Exit(2)
+	regs := compareReports(base, rep, *maxRegress)
+	if len(regs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchreport: no regressions beyond %.0f%% against %s\n", *maxRegress*100, *compare)
+		return
 	}
-	fmt.Fprintf(os.Stderr, "benchreport: wrote %s (%d benchmark(s), cores=%d)\n", *out, len(rep.Benchmarks), rep.Cores)
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "benchreport: REGRESSION %s: %.0f -> %.0f ns/op (+%.1f%%)\n",
+			r.Name, r.OldNs, r.NewNs, r.Fraction*100)
+	}
+	os.Exit(1)
 }

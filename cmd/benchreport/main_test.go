@@ -1,0 +1,129 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEncodeVectorsWorkers/workers=1-8         	     100	    643345 ns/op	  262144 B/op	     120 allocs/op
+BenchmarkEncodeVectorsWorkers/workers=4-8         	     100	    180000 ns/op	  262144 B/op	     130 allocs/op
+BenchmarkDecodeBatch/slots=32/mode=batch-8        	     310	   3747009 ns/op	  198784 B/op	     857 allocs/op
+BenchmarkDecodeBatch/slots=32/mode=perslot        	      15	  75091930 ns/op	 3802885 B/op	   16608 allocs/op
+PASS
+`
+
+func parseSample(t *testing.T, text string) *Report {
+	t.Helper()
+	rep, err := parse(strings.Split(text, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParseRecordsEveryEntry(t *testing.T) {
+	rep := parseSample(t, sampleOutput)
+	if rep.CPU == "" {
+		t.Error("cpu line not captured")
+	}
+	want := map[string]float64{
+		"EncodeVectorsWorkers/workers=1":    643345,
+		"EncodeVectorsWorkers/workers=4":    180000,
+		"DecodeBatch/slots=32/mode=batch":   3747009,
+		"DecodeBatch/slots=32/mode=perslot": 75091930,
+	}
+	if len(rep.Entries) != len(want) {
+		t.Fatalf("got %d entries, want %d: %+v", len(rep.Entries), len(want), rep.Entries)
+	}
+	for _, e := range rep.Entries {
+		ns, ok := want[e.Name]
+		if !ok {
+			t.Errorf("unexpected entry %q (GOMAXPROCS suffix not stripped?)", e.Name)
+			continue
+		}
+		if e.NsPerOp != ns {
+			t.Errorf("%s: ns/op = %g, want %g", e.Name, e.NsPerOp, ns)
+		}
+	}
+	// Alloc columns parse when present.
+	for _, e := range rep.Entries {
+		if e.Name == "DecodeBatch/slots=32/mode=batch" && (e.BytesPerOp != 198784 || e.AllocsPerOp != 857) {
+			t.Errorf("alloc columns = %d B/op %d allocs/op", e.BytesPerOp, e.AllocsPerOp)
+		}
+	}
+}
+
+func TestParseWorkersSweepSpeedups(t *testing.T) {
+	rep := parseSample(t, sampleOutput)
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("got %d workers-sweep benchmarks, want 1", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "EncodeVectorsWorkers" {
+		t.Fatalf("sweep name = %q", b.Name)
+	}
+	if s := b.Speedups["workers=4"]; s < 3.5 || s > 3.6 {
+		t.Errorf("speedup at 4 workers = %g, want ~3.574", s)
+	}
+}
+
+func TestParseNoSweepStillSucceeds(t *testing.T) {
+	// A suite without workers= sub-benchmarks (the batch-decode suite)
+	// must produce a valid entries-only report.
+	rep := parseSample(t, "BenchmarkDotAcc/n=100/kernel=dotacc-8  100  140 ns/op\n")
+	if len(rep.Entries) != 1 || len(rep.Benchmarks) != 0 {
+		t.Fatalf("entries=%d benchmarks=%d", len(rep.Entries), len(rep.Benchmarks))
+	}
+}
+
+func TestParseNoBenchLinesFails(t *testing.T) {
+	if _, err := parse([]string{"PASS", "ok  repro  1.2s"}); err == nil {
+		t.Fatal("no benchmark lines accepted")
+	}
+}
+
+func TestParseRepeatedNamesKeepLast(t *testing.T) {
+	rep := parseSample(t, strings.Join([]string{
+		"BenchmarkX/a=1-8  100  500 ns/op",
+		"BenchmarkX/a=1-8  100  400 ns/op",
+	}, "\n"))
+	if len(rep.Entries) != 1 || rep.Entries[0].NsPerOp != 400 {
+		t.Fatalf("entries = %+v, want one entry at 400 ns/op", rep.Entries)
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	oldRep := &Report{Entries: []Entry{
+		{Name: "A", NsPerOp: 1000},
+		{Name: "B", NsPerOp: 1000},
+		{Name: "Retired", NsPerOp: 1000},
+	}}
+	newRep := &Report{Entries: []Entry{
+		{Name: "A", NsPerOp: 1190}, // +19%: inside tolerance
+		{Name: "B", NsPerOp: 1300}, // +30%: regression
+		{Name: "Fresh", NsPerOp: 5000},
+	}}
+	regs := compareReports(oldRep, newRep, 0.20)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %+v", len(regs), regs)
+	}
+	if regs[0].Name != "B" || regs[0].Fraction < 0.29 || regs[0].Fraction > 0.31 {
+		t.Fatalf("regression = %+v", regs[0])
+	}
+	// Faster is never a regression; looser tolerance passes everything.
+	if regs := compareReports(oldRep, newRep, 0.50); len(regs) != 0 {
+		t.Fatalf("50%% tolerance flagged %+v", regs)
+	}
+}
+
+func TestCompareIgnoresZeroBaseline(t *testing.T) {
+	oldRep := &Report{Entries: []Entry{{Name: "A", NsPerOp: 0}}}
+	newRep := &Report{Entries: []Entry{{Name: "A", NsPerOp: 100}}}
+	if regs := compareReports(oldRep, newRep, 0.2); len(regs) != 0 {
+		t.Fatalf("zero baseline flagged %+v", regs)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/field"
 	"repro/internal/fixedpoint"
@@ -78,6 +79,11 @@ type SchemeConfig struct {
 	// are bit-identical at any worker count: slots are independent and the
 	// per-slot outcomes are merged in slot order.
 	Workers int
+	// DisableBatchDecode forces Aggregate's verification decodes down the
+	// per-slot path instead of the shared-locator batch fast path. The two
+	// paths produce bit-identical results (DESIGN.md §9); the knob exists
+	// for A/B benchmarks and as an escape hatch.
+	DisableBatchDecode bool
 }
 
 // Scheme is the L-CoFL upload/aggregate strategy; it implements fl.Scheme.
@@ -93,12 +99,22 @@ type Scheme struct {
 	fpm     *fpModel // broadcast model, quantised per round
 	workers int      // resolved parallelism for slot-level fan-out
 
+	// batchSrc supplies the random combination coefficients for batch
+	// decoding; seeded from cfg.Seed, and immaterial to results (the batch
+	// decoder is result-equivalent for any coefficients, DESIGN.md §9).
+	batchSrc field.Source
+
 	// DecodeFailures counts verification slots whose decode exceeded the
 	// error budget in the last Aggregate.
 	DecodeFailures int
 	// DetectedMalicious holds per-vehicle error counts from the last
 	// Aggregate's verification decodes.
 	DetectedMalicious []int
+	// BatchRecovered and BatchFallbacks count how the last Aggregate's
+	// verification decodes split between the shared-locator fast path and
+	// the per-slot fallback (both stay zero under DisableBatchDecode).
+	BatchRecovered int
+	BatchFallbacks int
 }
 
 // NewScheme quantises and Lagrange-encodes the reference features and
@@ -187,15 +203,16 @@ func NewScheme(refX [][]float64, cfg SchemeConfig) (*Scheme, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return &Scheme{
-		cfg:     cfg,
-		codec:   codec,
-		coder:   coder,
-		refX:    refCopy,
-		shares:  shares,
-		slots:   s,
-		k:       k,
-		dec:     dec,
-		workers: workers,
+		cfg:      cfg,
+		codec:    codec,
+		coder:    coder,
+		refX:     refCopy,
+		shares:   shares,
+		slots:    s,
+		k:        k,
+		dec:      dec,
+		workers:  workers,
+		batchSrc: field.NewSeededSource(cfg.Seed),
 	}, nil
 }
 
@@ -304,50 +321,62 @@ func (s *Scheme) Aggregate(uploads [][]float64) ([]float64, error) {
 	}
 	s.DecodeFailures = 0
 	s.DetectedMalicious = make([]int, s.cfg.NumVehicles)
+	s.BatchRecovered = 0
+	s.BatchFallbacks = 0
 	points := s.coder.Points()
 
-	// Decode the verification slots in parallel — each is an independent
-	// Reed–Solomon word — then merge the per-slot outcomes in slot order.
-	// DecodeFailures and DetectedMalicious are order-independent sums, so
-	// the merged counters match the sequential loop exactly.
-	type slotOutcome struct {
-		failed  bool
-		flagged []int // vehicle IDs with erroneous symbols in this slot
-	}
-	outcomes := make([]slotOutcome, s.slots)
+	// Gather each slot's received word and the IDs of the vehicles present
+	// in it. Slots are independent, so the gather fans out; each writes
+	// only its own index.
+	words := make([]slotWord, s.slots)
 	_ = parallel.ForEach(s.workers, s.slots, func(j int) error {
-		var xs, ys []field.Element
-		var ids []int
 		for i, up := range uploads {
 			if up == nil || fl.IsDropped(up[2*j]) || fl.IsDropped(up[2*j+1]) {
 				continue
 			}
-			xs = append(xs, points[i])
-			ys = append(ys, floatsToSymbol(up[2*j], up[2*j+1]))
-			ids = append(ids, i)
-		}
-		if len(xs) < s.k {
-			outcomes[j].failed = true
-			return nil
-		}
-		// The common case — every vehicle present — reuses the cached
-		// decoder; straggler rounds fall back to the one-shot path.
-		var res *reedsolomon.Result
-		var err error
-		if len(xs) == s.cfg.NumVehicles {
-			res, err = s.dec.Decode(ys)
-		} else {
-			res, err = reedsolomon.Decode(xs, ys, s.k)
-		}
-		if err != nil {
-			outcomes[j].failed = true
-			return nil
-		}
-		for _, idx := range res.ErrorPositions {
-			outcomes[j].flagged = append(outcomes[j].flagged, ids[idx])
+			words[j].ys = append(words[j].ys, floatsToSymbol(up[2*j], up[2*j+1]))
+			words[j].ids = append(words[j].ids, i)
 		}
 		return nil
 	})
+
+	// Decode the verification slots — each is an independent Reed–Solomon
+	// word — then merge the per-slot outcomes in slot order.
+	// DecodeFailures and DetectedMalicious are order-independent sums, so
+	// the merged counters match the sequential loop exactly.
+	outcomes := make([]slotOutcome, s.slots)
+	if s.cfg.DisableBatchDecode {
+		_ = parallel.ForEach(s.workers, s.slots, func(j int) error {
+			w := words[j]
+			if len(w.ids) < s.k {
+				outcomes[j].failed = true
+				return nil
+			}
+			// The common case — every vehicle present — reuses the cached
+			// decoder; straggler rounds fall back to the one-shot path.
+			var res *reedsolomon.Result
+			var err error
+			if len(w.ids) == s.cfg.NumVehicles {
+				res, err = s.dec.Decode(w.ys)
+			} else {
+				xs := make([]field.Element, len(w.ids))
+				for t, i := range w.ids {
+					xs[t] = points[i]
+				}
+				res, err = reedsolomon.Decode(xs, w.ys, s.k)
+			}
+			if err != nil {
+				outcomes[j].failed = true
+				return nil
+			}
+			for _, idx := range res.ErrorPositions {
+				outcomes[j].flagged = append(outcomes[j].flagged, w.ids[idx])
+			}
+			return nil
+		})
+	} else {
+		s.aggregateBatch(words, outcomes, points)
+	}
 	for _, o := range outcomes {
 		if o.failed {
 			s.DecodeFailures++
@@ -400,18 +429,97 @@ func (s *Scheme) Aggregate(uploads [][]float64) ([]float64, error) {
 	return targets, nil
 }
 
-func median(vals []float64) float64 {
-	tmp := append([]float64(nil), vals...)
-	// Insertion sort: per-slot counts are small.
-	for i := 1; i < len(tmp); i++ {
-		for k := i; k > 0 && tmp[k] < tmp[k-1]; k-- {
-			tmp[k], tmp[k-1] = tmp[k-1], tmp[k]
+// slotWord is one verification slot's received word: the present
+// vehicles' symbols in vehicle-ID order, and those IDs.
+type slotWord struct {
+	ys  []field.Element
+	ids []int
+}
+
+// slotOutcome is one slot's verification verdict.
+type slotOutcome struct {
+	failed  bool
+	flagged []int // vehicle IDs with erroneous symbols in this slot
+}
+
+// aggregateBatch decodes the gathered slot words through the batch
+// shared-locator decoder (DESIGN.md §9), writing outcomes in place.
+// Per-value drops mean slots can see different vehicle subsets, and the
+// batch decoder requires one common point set, so slots are grouped by
+// presence mask (in first-appearance order, deterministically) and each
+// group decoded as one batch. The common case is a single full-presence
+// group reusing the cached decoder; straggler masks amortise one decoder
+// construction across their slots.
+func (s *Scheme) aggregateBatch(words []slotWord, outcomes []slotOutcome, points []field.Element) {
+	groups := make(map[string][]int)
+	var order []string
+	for j := range words {
+		if len(words[j].ids) < s.k {
+			outcomes[j].failed = true
+			continue
+		}
+		key := maskKey(words[j].ids, s.cfg.NumVehicles)
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], j)
+	}
+	for _, key := range order {
+		slots := groups[key]
+		ids := words[slots[0]].ids
+		dec := s.dec
+		if len(ids) != s.cfg.NumVehicles {
+			xs := make([]field.Element, len(ids))
+			for t, i := range ids {
+				xs[t] = points[i]
+			}
+			var err error
+			dec, err = reedsolomon.NewDecoder(xs, s.k)
+			if err != nil {
+				// Unreachable given the scheme's invariants (k ≥ 1, enough
+				// distinct points); treat the group as undecodable.
+				for _, j := range slots {
+					outcomes[j].failed = true
+				}
+				continue
+			}
+		}
+		batch := make([][]field.Element, len(slots))
+		for t, j := range slots {
+			batch[t] = words[j].ys
+		}
+		results, errs, stats := dec.DecodeBatch(batch, s.batchSrc, s.workers)
+		s.BatchRecovered += stats.Recovered
+		s.BatchFallbacks += stats.Fallbacks
+		for t, j := range slots {
+			if errs[t] != nil {
+				outcomes[j].failed = true
+				continue
+			}
+			for _, idx := range results[t].ErrorPositions {
+				outcomes[j].flagged = append(outcomes[j].flagged, ids[idx])
+			}
 		}
 	}
-	n := len(tmp)
+}
+
+// maskKey packs the presence set into a bitmask string usable as a map
+// key; ids are strictly increasing vehicle IDs below numVehicles.
+func maskKey(ids []int, numVehicles int) string {
+	mask := make([]byte, (numVehicles+7)/8)
+	for _, i := range ids {
+		mask[i/8] |= 1 << (i % 8)
+	}
+	return string(mask)
+}
+
+func median(vals []float64) float64 {
+	n := len(vals)
 	if n == 0 {
 		return math.NaN()
 	}
+	tmp := append([]float64(nil), vals...)
+	sort.Float64s(tmp)
 	if n%2 == 1 {
 		return tmp[n/2]
 	}

@@ -609,3 +609,201 @@ func TestPropertySchemeIdentifiesAnyMaliciousSubset(t *testing.T) {
 		}
 	}
 }
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median = %g, want 2", got)
+	}
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %g, want 2.5", got)
+	}
+	if got := median(nil); !math.IsNaN(got) {
+		t.Errorf("empty median = %g, want NaN", got)
+	}
+	if got := median([]float64{7}); got != 7 {
+		t.Errorf("single median = %g, want 7", got)
+	}
+	in := []float64{3, 1, 2}
+	_ = median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("median mutated its input: %v", in)
+	}
+}
+
+// newSchemePair builds two schemes with identical parameters (hence
+// identical encoding elements and shares), one on the batch decode path
+// and one forced down the per-slot path.
+func newSchemePair(t *testing.T, ref [][]float64, cfg SchemeConfig) (batch, perslot *Scheme) {
+	t.Helper()
+	batch, err := NewScheme(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DisableBatchDecode = true
+	perslot, err = NewScheme(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return batch, perslot
+}
+
+// assertAggregateEquivalent feeds the same uploads to both schemes and
+// requires bit-identical outcomes: targets (via Float64bits, so NaN
+// fallbacks compare too), DecodeFailures and DetectedMalicious.
+func assertAggregateEquivalent(t *testing.T, batch, perslot *Scheme, ups [][]float64) []float64 {
+	t.Helper()
+	gotT, err := batch.Aggregate(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT, err := perslot.Aggregate(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range wantT {
+		if math.Float64bits(gotT[j]) != math.Float64bits(wantT[j]) {
+			t.Fatalf("target[%d]: batch %g, per-slot %g (not bit-identical)", j, gotT[j], wantT[j])
+		}
+	}
+	if batch.DecodeFailures != perslot.DecodeFailures {
+		t.Fatalf("DecodeFailures: batch %d, per-slot %d", batch.DecodeFailures, perslot.DecodeFailures)
+	}
+	for i := range perslot.DetectedMalicious {
+		if batch.DetectedMalicious[i] != perslot.DetectedMalicious[i] {
+			t.Fatalf("DetectedMalicious[%d]: batch %d, per-slot %d",
+				i, batch.DetectedMalicious[i], perslot.DetectedMalicious[i])
+		}
+	}
+	if perslot.BatchRecovered != 0 || perslot.BatchFallbacks != 0 {
+		t.Fatalf("per-slot path recorded batch stats %d/%d", perslot.BatchRecovered, perslot.BatchFallbacks)
+	}
+	return gotT
+}
+
+func TestSchemeBatchEquivalence(t *testing.T) {
+	// The tentpole guarantee: batch and per-slot verification decoding are
+	// bit-identical across worker counts and adversary fractions from zero
+	// through the eq. 6 budget and beyond it (median-fallback regime).
+	ref := refFeatures(t, 8*4) // S = 4 slots
+	const v, m, degree = 40, 8, 2
+	model := polyActivationModel(t, degree, 21)
+	rng := rand.New(rand.NewSource(22))
+	for _, workers := range []int{1, 2, 8} {
+		cfg := SchemeConfig{NumVehicles: v, NumBatches: m, Degree: degree, Workers: workers, Seed: 3}
+		batch, perslot := newSchemePair(t, ref, cfg)
+		maxE := batch.MaxMalicious()
+		for _, e := range []int{0, 1, maxE / 2, maxE, maxE + 5} {
+			ups := roundUploads(t, batch, model, nil)
+			for _, id := range rng.Perm(v)[:e] {
+				for j := range ups[id] {
+					ups[id][j] = ups[id][j]*2 + 7
+				}
+			}
+			assertAggregateEquivalent(t, batch, perslot, ups)
+			if e <= maxE {
+				if batch.DecodeFailures != 0 {
+					t.Fatalf("workers=%d e=%d: %d decode failures within budget", workers, e, batch.DecodeFailures)
+				}
+				if batch.BatchRecovered != batch.Slots() {
+					t.Fatalf("workers=%d e=%d: fast path recovered %d of %d slots",
+						workers, e, batch.BatchRecovered, batch.Slots())
+				}
+			}
+		}
+	}
+}
+
+func TestSchemeBatchEquivalenceWithDrops(t *testing.T) {
+	// Straggler rounds: dropped vehicles and scattered dropped scalars give
+	// slots different presence masks, exercising the group-by-mask path.
+	ref := refFeatures(t, 8*4)
+	const v, m, degree = 40, 8, 1 // K=8, generous slack for drops
+	model := polyActivationModel(t, degree, 23)
+	rng := rand.New(rand.NewSource(24))
+	cfg := SchemeConfig{NumVehicles: v, NumBatches: m, Degree: degree, Workers: 2, Seed: 5}
+	batch, perslot := newSchemePair(t, ref, cfg)
+	for trial := 0; trial < 5; trial++ {
+		ups := roundUploads(t, batch, model, nil)
+		for _, id := range rng.Perm(v)[:3] {
+			ups[id] = nil
+		}
+		// Per-value drops: distinct masks across slots.
+		for d := 0; d < 6; d++ {
+			if ups[4+d] == nil {
+				continue
+			}
+			ups[4+d][2*rng.Intn(batch.Slots())] = fl.Dropped
+		}
+		for _, id := range rng.Perm(v)[:4] {
+			if ups[id] == nil {
+				continue
+			}
+			for j := range ups[id] {
+				ups[id][j] = ups[id][j]*2 + 7
+			}
+		}
+		assertAggregateEquivalent(t, batch, perslot, ups)
+	}
+}
+
+func TestPropertyPartialSlotCorruptionFlagged(t *testing.T) {
+	// An adversary corrupting only a SUBSET of its verification slots is
+	// still caught: any corrupted slot flags the vehicle, and the batch
+	// path agrees with the per-slot path bit for bit.
+	ref := refFeatures(t, 8*4) // S = 4 slots
+	const v, m, degree = 40, 8, 2
+	model := polyActivationModel(t, degree, 31)
+	rng := rand.New(rand.NewSource(32))
+	cfg := SchemeConfig{NumVehicles: v, NumBatches: m, Degree: degree, Workers: 3, Seed: 9}
+	batch, perslot := newSchemePair(t, ref, cfg)
+	maxE := batch.MaxMalicious()
+	for trial := 0; trial < 10; trial++ {
+		ups := roundUploads(t, batch, model, nil)
+		e := 1 + rng.Intn(maxE)
+		planted := map[int]int{} // vehicle -> corrupted slot count
+		for _, id := range rng.Perm(v)[:e] {
+			nSlots := 1 + rng.Intn(batch.Slots())
+			for _, slot := range rng.Perm(batch.Slots())[:nSlots] {
+				// Affine-bump the hi half: always lands on a different
+				// transported symbol (see floatsToSymbol).
+				ups[id][2*slot] = ups[id][2*slot]*2 + 7
+			}
+			planted[id] = nSlots
+		}
+		targets := assertAggregateEquivalent(t, batch, perslot, ups)
+		if batch.DecodeFailures != 0 {
+			t.Fatalf("trial %d: %d decode failures within budget", trial, batch.DecodeFailures)
+		}
+		for id, nSlots := range planted {
+			if batch.DetectedMalicious[id] != nSlots {
+				t.Fatalf("trial %d: vehicle %d flagged on %d slots, corrupted %d",
+					trial, id, batch.DetectedMalicious[id], nSlots)
+			}
+		}
+		if got := len(batch.SuspectedMalicious()); got != len(planted) {
+			t.Fatalf("trial %d: flagged %d vehicles, want %d", trial, got, len(planted))
+		}
+		// Learning channel untouched, so targets must equal the honest
+		// mean exactly: partial-slot liars are excluded wholesale.
+		for j, x := range ref {
+			want := 0.0
+			count := 0
+			for i := 0; i < v; i++ {
+				if _, bad := planted[i]; bad {
+					continue
+				}
+				pi, err := model.EstimateClamped(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want += pi
+				count++
+				_ = i
+			}
+			want /= float64(count)
+			if math.Abs(targets[j]-want) > 1e-12 {
+				t.Fatalf("trial %d: target[%d] = %g, want honest mean %g", trial, j, targets[j], want)
+			}
+		}
+	}
+}

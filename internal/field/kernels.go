@@ -1,0 +1,117 @@
+package field
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Lazy-reduction kernels.
+//
+// Element.Mul reduces every 128-bit product immediately. The hot loops of
+// Lagrange encoding and batch decoding are inner products and
+// accumulate-scaled-vector updates, where reducing per term wastes most of
+// the work: products can instead be summed in a raw 128-bit accumulator
+// and reduced once per chunk. The chunk bound is arithmetic, not tuning:
+// each product is at most (p-1)² < 2^122, so a sum of lazyTerms = 64
+// products plus one carried reduced value (< p < 2^61) stays strictly
+// below 64·2^122 + 2^61 < 2^128 and never overflows the (hi, lo) pair.
+const lazyTerms = 64
+
+// reduce128 returns hi·2^64 + lo mod p. Since 2^64 = 8·2^61 ≡ 8 (mod p),
+// the value folds as 8·hi + lo; 8·hi is a 67-bit quantity that folds the
+// same way once more: with 8·hi = h2·2^64 + l2 (h2 < 8), the total is
+// congruent to 8·h2 + l2 + lo, three canonical additions.
+func reduce128(hi, lo uint64) Element {
+	h2, l2 := bits.Mul64(hi, 8)
+	return New(lo).Add(New(l2)).Add(Element(h2 * 8))
+}
+
+// DotAcc returns the inner product of equal-length vectors a and b,
+// bit-identical to Dot but with one modular reduction per lazyTerms
+// products instead of one per term. It panics on length mismatch.
+func DotAcc(a, b []Element) Element {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("field: dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s Element
+	var hi, lo uint64
+	terms := 0
+	for i := range a {
+		ph, pl := bits.Mul64(uint64(a[i]), uint64(b[i]))
+		var carry uint64
+		lo, carry = bits.Add64(lo, pl, 0)
+		hi += ph + carry
+		if terms++; terms == lazyTerms {
+			s = s.Add(reduce128(hi, lo))
+			hi, lo, terms = 0, 0, 0
+		}
+	}
+	return s.Add(reduce128(hi, lo))
+}
+
+// Accumulator is a fixed-width vector of lazy 128-bit sums of field
+// products, the kernel under accumulate-many-scaled-vectors loops:
+//
+//	acc.VecMulAddScalar(c_1, x_1); …; acc.VecMulAddScalar(c_n, x_n)
+//	acc.Reduce(dst)   // dst[i] = Σ_j c_j·x_j[i]
+//
+// Each lane spills (reduces into itself) every lazyTerms scaled adds, so
+// the amortised cost per term is one 128-bit add instead of a full
+// Mersenne reduction. An Accumulator is not safe for concurrent use; give
+// each worker its own.
+type Accumulator struct {
+	hi, lo  []uint64
+	pending int // scaled-vector adds since the last spill
+}
+
+// NewAccumulator returns a zeroed accumulator of the given width.
+func NewAccumulator(n int) *Accumulator {
+	return &Accumulator{hi: make([]uint64, n), lo: make([]uint64, n)}
+}
+
+// Len returns the accumulator width.
+func (a *Accumulator) Len() int { return len(a.lo) }
+
+// VecMulAddScalar accumulates c·xs into the lanes: a[i] += c·xs[i].
+// It panics when len(xs) differs from the accumulator width.
+func (a *Accumulator) VecMulAddScalar(c Element, xs []Element) {
+	if len(xs) != len(a.lo) {
+		panic(fmt.Sprintf("field: accumulator width %d, vector length %d", len(a.lo), len(xs)))
+	}
+	if a.pending == lazyTerms-1 {
+		a.spill()
+	}
+	cu := uint64(c)
+	for i, x := range xs {
+		ph, pl := bits.Mul64(cu, uint64(x))
+		var carry uint64
+		a.lo[i], carry = bits.Add64(a.lo[i], pl, 0)
+		a.hi[i] += ph + carry
+	}
+	a.pending++
+}
+
+// spill folds every lane to its canonical value so the lazy headroom
+// resets; the folded value (< p) counts as less than one product toward
+// the next chunk's bound.
+func (a *Accumulator) spill() {
+	for i := range a.lo {
+		a.lo[i] = uint64(reduce128(a.hi[i], a.lo[i]))
+		a.hi[i] = 0
+	}
+	a.pending = 0
+}
+
+// Reduce writes the canonical value of every lane into dst and resets the
+// accumulator to zero, ready for the next accumulation. It panics when
+// len(dst) differs from the accumulator width.
+func (a *Accumulator) Reduce(dst []Element) {
+	if len(dst) != len(a.lo) {
+		panic(fmt.Sprintf("field: accumulator width %d, destination length %d", len(a.lo), len(dst)))
+	}
+	for i := range a.lo {
+		dst[i] = reduce128(a.hi[i], a.lo[i])
+		a.hi[i], a.lo[i] = 0, 0
+	}
+	a.pending = 0
+}

@@ -27,13 +27,16 @@ import (
 )
 
 // Coder encodes batches over GF(p) with fixed nodes and worker points.
-// It precomputes the basis denominators so that per-worker encoding is
-// O(M) multiplications per batch element.
+// It precomputes the basis denominators and the full V×M worker-weight
+// matrix p_m(ρ_i), so per-worker encoding is a cached-matrix kernel:
+// O(M) lazy-reduced multiplications per batch element with zero weight
+// recomputation per call.
 type Coder struct {
-	nodes    []field.Element // ℓ_1..ℓ_M, one per batch
-	points   []field.Element // ρ_1..ρ_V, one per worker
-	denomInv []field.Element // 1 / Π_{n≠m}(ℓ_m - ℓ_n)
-	workers  int             // pool width for EncodeVectors/EvalAtNodes; 1 = sequential
+	nodes    []field.Element   // ℓ_1..ℓ_M, one per batch
+	points   []field.Element   // ρ_1..ρ_V, one per worker
+	denomInv []field.Element   // 1 / Π_{n≠m}(ℓ_m - ℓ_n)
+	weights  [][]field.Element // weights[i][m] = p_m(ρ_i), cached at construction
+	workers  int               // pool width for EncodeVectors/EvalAtNodes; 1 = sequential
 }
 
 // NewCoder validates that nodes and points are pairwise distinct and
@@ -62,12 +65,26 @@ func NewCoder(nodes, points []field.Element) (*Coder, error) {
 		denomInv[m] = d
 	}
 	field.BatchInv(denomInv)
-	return &Coder{
+	c := &Coder{
 		nodes:    append([]field.Element(nil), nodes...),
 		points:   append([]field.Element(nil), points...),
 		denomInv: denomInv,
 		workers:  1,
-	}, nil
+	}
+	// The worker points are fixed for the coder's lifetime, so the V×M
+	// basis-weight matrix is computed exactly once here; every encode call
+	// then reads cached rows instead of re-running the weight recurrence
+	// per point per call. One flat backing array keeps the rows contiguous.
+	flat := make([]field.Element, len(points)*len(nodes))
+	c.weights = make([][]field.Element, len(points))
+	s := newWeightScratch(len(nodes))
+	for i, pt := range c.points {
+		row := flat[i*len(nodes) : (i+1)*len(nodes)]
+		c.weightsInto(pt, s)
+		copy(row, s.w)
+		c.weights[i] = row
+	}
+	return c, nil
 }
 
 // SetParallelism fixes the worker count EncodeVectors, EncodeScalars and
@@ -132,30 +149,32 @@ func (c *Coder) weightsInto(z field.Element, s *weightScratch) {
 	}
 }
 
-// WorkerWeights returns the basis weights p_m(ρ_i) for worker i.
+// WorkerWeights returns a copy of the cached basis weights p_m(ρ_i) for
+// worker i.
 func (c *Coder) WorkerWeights(i int) []field.Element {
-	return c.WeightsAt(c.points[i])
+	return append([]field.Element(nil), c.weights[i]...)
 }
 
 // forEachChunk splits [0, n) into one contiguous chunk per pool worker
-// and runs fn on the chunks concurrently. Each invocation of fn receives
-// a private weightScratch, allocated once per chunk rather than once per
-// index. Output slots are disjoint by index, so results are bit-identical
-// to a sequential loop regardless of the worker count.
-func (c *Coder) forEachChunk(n int, fn func(lo, hi int, s *weightScratch)) {
+// and runs fn on the chunks concurrently. Chunk-private scratch (weight
+// buffers, lazy accumulators) is allocated inside fn, once per chunk
+// rather than once per index. Output slots are disjoint by index, so
+// results are bit-identical to a sequential loop regardless of the
+// worker count.
+func (c *Coder) forEachChunk(n int, fn func(lo, hi int)) {
 	workers := c.workers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		fn(0, n, newWeightScratch(len(c.nodes)))
+		fn(0, n)
 		return
 	}
 	// fn never fails; ForEach is used for its pool and panic plumbing.
 	_ = parallel.ForEach(workers, workers, func(ci int) error {
 		lo, hi := ci*n/workers, (ci+1)*n/workers
 		if lo < hi {
-			fn(lo, hi, newWeightScratch(len(c.nodes)))
+			fn(lo, hi)
 		}
 		return nil
 	})
@@ -168,10 +187,9 @@ func (c *Coder) EncodeScalars(batches []field.Element) ([]field.Element, error) 
 		return nil, fmt.Errorf("lagrange: got %d batches, coder has %d nodes", len(batches), len(c.nodes))
 	}
 	out := make([]field.Element, len(c.points))
-	c.forEachChunk(len(c.points), func(lo, hi int, s *weightScratch) {
+	c.forEachChunk(len(c.points), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			c.weightsInto(c.points[i], s)
-			out[i] = field.Dot(s.w, batches)
+			out[i] = field.DotAcc(c.weights[i], batches)
 		}
 	})
 	return out, nil
@@ -191,16 +209,14 @@ func (c *Coder) EncodeVectors(batches [][]field.Element) ([][]field.Element, err
 		}
 	}
 	out := make([][]field.Element, len(c.points))
-	c.forEachChunk(len(c.points), func(lo, hi int, s *weightScratch) {
+	c.forEachChunk(len(c.points), func(lo, hi int) {
+		acc := field.NewAccumulator(width)
 		for i := lo; i < hi; i++ {
-			c.weightsInto(c.points[i], s)
-			enc := make([]field.Element, width)
 			for m, b := range batches {
-				wm := s.w[m]
-				for j, x := range b {
-					enc[j] = enc[j].Add(wm.Mul(x))
-				}
+				acc.VecMulAddScalar(c.weights[i][m], b)
 			}
+			enc := make([]field.Element, width)
+			acc.Reduce(enc)
 			out[i] = enc
 		}
 	})
@@ -215,10 +231,14 @@ func (c *Coder) EvalAtNodes(batches []field.Element, targets []field.Element) ([
 		return nil, fmt.Errorf("lagrange: got %d batches, coder has %d nodes", len(batches), len(c.nodes))
 	}
 	out := make([]field.Element, len(targets))
-	c.forEachChunk(len(targets), func(lo, hi int, s *weightScratch) {
+	c.forEachChunk(len(targets), func(lo, hi int) {
+		// Targets are arbitrary (not the fixed worker points), so their
+		// weights cannot come from the cache; the recurrence runs with
+		// chunk-private scratch as before.
+		s := newWeightScratch(len(c.nodes))
 		for t := lo; t < hi; t++ {
 			c.weightsInto(targets[t], s)
-			out[t] = field.Dot(s.w, batches)
+			out[t] = field.DotAcc(s.w, batches)
 		}
 	})
 	return out, nil
@@ -229,9 +249,11 @@ func (c *Coder) EvalAtNodes(batches []field.Element, targets []field.Element) ([
 // redundancy bound D = max_i Σ_m |p_m(ρ_i)| from paper eq. 9, which
 // callers compare against the approximation domain.
 type RealCoder struct {
-	nodes  []float64
-	points []float64
-	denom  []float64
+	nodes   []float64
+	points  []float64
+	denom   []float64
+	weights [][]float64 // weights[i][m] = p_m(ρ_i), cached at construction
+	redund  float64     // D = max_i Σ_m |p_m(ρ_i)|, cached at construction
 }
 
 // NewRealCoder validates distinctness/disjointness and returns the coder.
@@ -257,11 +279,26 @@ func NewRealCoder(nodes, points []float64) (*RealCoder, error) {
 		}
 		denom[m] = d
 	}
-	return &RealCoder{
+	c := &RealCoder{
 		nodes:  append([]float64(nil), nodes...),
 		points: append([]float64(nil), points...),
 		denom:  denom,
-	}, nil
+	}
+	// Mirror of the GF(p) coder: the worker points are fixed, so the
+	// float weight matrix and the eq. 9 redundancy bound are computed
+	// once here instead of per encode/Redundancy call.
+	c.weights = make([][]float64, len(c.points))
+	for i, pt := range c.points {
+		c.weights[i] = c.WeightsAt(pt)
+		var s float64
+		for _, w := range c.weights[i] {
+			s += math.Abs(w)
+		}
+		if s > c.redund {
+			c.redund = s
+		}
+	}
+	return c, nil
 }
 
 // NumBatches returns M.
@@ -292,24 +329,15 @@ func (c *RealCoder) WeightsAt(z float64) []float64 {
 	return w
 }
 
-// WorkerWeights returns p_m(ρ_i) for worker i.
-func (c *RealCoder) WorkerWeights(i int) []float64 { return c.WeightsAt(c.points[i]) }
+// WorkerWeights returns a copy of the cached weights p_m(ρ_i) for worker i.
+func (c *RealCoder) WorkerWeights(i int) []float64 {
+	return append([]float64(nil), c.weights[i]...)
+}
 
 // Redundancy returns D = max over workers of Σ_m |p_m(ρ_i)|: the factor by
 // which encoding can expand data normalised to [-1, 1] (paper eq. 9).
-func (c *RealCoder) Redundancy() float64 {
-	var worst float64
-	for i := range c.points {
-		var s float64
-		for _, w := range c.WorkerWeights(i) {
-			s += math.Abs(w)
-		}
-		if s > worst {
-			worst = s
-		}
-	}
-	return worst
-}
+// The bound is precomputed at construction.
+func (c *RealCoder) Redundancy() float64 { return c.redund }
 
 // EncodeScalars returns X̃_i = Σ_m p_m(ρ_i)·X_m for every worker.
 func (c *RealCoder) EncodeScalars(batches []float64) ([]float64, error) {
@@ -318,10 +346,9 @@ func (c *RealCoder) EncodeScalars(batches []float64) ([]float64, error) {
 	}
 	out := make([]float64, len(c.points))
 	for i := range c.points {
-		w := c.WorkerWeights(i)
 		var s float64
 		for m, x := range batches {
-			s += w[m] * x
+			s += c.weights[i][m] * x
 		}
 		out[i] = s
 	}
@@ -341,7 +368,7 @@ func (c *RealCoder) EncodeVectors(batches [][]float64) ([][]float64, error) {
 	}
 	out := make([][]float64, len(c.points))
 	for i := range c.points {
-		w := c.WorkerWeights(i)
+		w := c.weights[i]
 		enc := make([]float64, width)
 		for m, b := range batches {
 			for j, x := range b {

@@ -442,3 +442,95 @@ func TestSetParallelismDefault(t *testing.T) {
 		t.Errorf("SetParallelism(0) left workers = %d", c.workers)
 	}
 }
+
+// --- Cached weight matrices ---
+
+// TestWorkerWeightsCachedMatchRecurrence pins the construction-time weight
+// cache against the on-demand recurrence, and checks the returned slice is
+// a defensive copy of the cache.
+func TestWorkerWeightsCachedMatchRecurrence(t *testing.T) {
+	c := mustCoder(t, 8, 20, 94)
+	for i := 0; i < c.NumWorkers(); i++ {
+		want := c.WeightsAt(c.points[i])
+		got := c.WorkerWeights(i)
+		for m := range want {
+			if got[m] != want[m] {
+				t.Fatalf("worker %d weight %d: cached %v, recurrence %v", i, m, got[m], want[m])
+			}
+		}
+		got[0] = got[0].Add(field.One) // must not corrupt the cache
+	}
+	scalars := make([]field.Element, 8)
+	scalars[0] = field.One
+	enc, err := c.EncodeScalars(scalars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range enc {
+		if want := c.WeightsAt(c.points[i])[0]; enc[i] != want {
+			t.Fatalf("worker %d: cache corrupted by WorkerWeights mutation (enc %v, want %v)", i, enc[i], want)
+		}
+	}
+}
+
+// TestRealCoderCachedWeightsAndRedundancy mirrors the cache pinning for
+// the float coder: cached rows match the recurrence, the returned slice
+// is a copy, and the precomputed redundancy equals the direct maximum.
+func TestRealCoderCachedWeightsAndRedundancy(t *testing.T) {
+	nodes := ChebyshevNodes(8, -1, 1)
+	points := InteriorPoints(20, -1, 1, nodes)
+	c, err := NewRealCoder(nodes, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := range points {
+		want := c.WeightsAt(points[i])
+		got := c.WorkerWeights(i)
+		var s float64
+		for m := range want {
+			if got[m] != want[m] {
+				t.Fatalf("worker %d weight %d: cached %g, recurrence %g", i, m, got[m], want[m])
+			}
+			s += math.Abs(want[m])
+		}
+		if s > worst {
+			worst = s
+		}
+		got[0] += 1 // must not corrupt the cache
+	}
+	if c.Redundancy() != worst {
+		t.Fatalf("cached Redundancy = %g, direct maximum %g", c.Redundancy(), worst)
+	}
+	if c.weights[0][0] != c.WeightsAt(points[0])[0] {
+		t.Fatal("cache corrupted by WorkerWeights mutation")
+	}
+}
+
+// BenchmarkEncodeVectorsCached measures the cached-matrix vector encode
+// (paper scale M=16, V=100) — the per-call cost after the weight matrix
+// and lazy-reduction kernels removed all per-slot weight recomputation.
+func BenchmarkEncodeVectorsCached(b *testing.B) {
+	rng := rand.New(rand.NewSource(95))
+	const m, v, features = 16, 100, 64
+	nodes := field.RandDistinct(rng, m, nil)
+	points := field.RandDistinct(rng, v, nodes)
+	c, err := NewCoder(nodes, points)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := make([][]field.Element, m)
+	for i := range batches {
+		batches[i] = make([]field.Element, features)
+		for j := range batches[i] {
+			batches[i][j] = field.Rand(rng)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeVectors(batches); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package reedsolomon
+
+import (
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/parallel"
+	"repro/internal/poly"
+)
+
+// Batch decoding (DESIGN.md §9).
+//
+// The L-CoFL fusion centre decodes one Reed–Solomon word per verification
+// slot per round, all at the same evaluation points. In the paper's threat
+// model a malicious vehicle corrupts what it reports wholesale, so the
+// error POSITIONS repeat across slots even though the error values differ.
+// DecodeBatch exploits that: it locates the errors once on a random GF(p)
+// linear combination of all S words (one full decode), then recovers every
+// slot by erasure-only interpolation at the surviving positions — O(V·K)
+// per slot instead of a full O(V³)-class decode per slot.
+//
+// Correctness does not rest on the randomness. Every fast-path result is
+// verified against its own received word and accepted only when it is a
+// valid decoding (degree ≤ K−1, at most E disagreements), which by unique
+// decoding pins it to exactly what the per-slot decoder would return;
+// any slot that fails that check falls back to the per-slot Decode. The
+// random combination only governs how often the fast path is taken.
+
+// BatchStats reports how a DecodeBatch call split its work, for
+// benchmarks and tests asserting the fast path engaged.
+type BatchStats struct {
+	// CombinedOK records whether the shared-locator decode of the random
+	// linear combination succeeded. When false every slot fell back.
+	CombinedOK bool
+	// Recovered counts slots recovered by erasure interpolation at the
+	// shared surviving positions (the fast path).
+	Recovered int
+	// Fallbacks counts slots that re-ran the full per-slot Decode.
+	Fallbacks int
+}
+
+// DecodeBatch decodes many received words that share the decoder's
+// evaluation points, one word per verification slot. It returns one
+// Result or one error per word, index-aligned with words; each slot's
+// outcome is bit-identical to d.Decode(words[s]) by construction (see the
+// package comment above and DESIGN.md §9 for the argument).
+//
+// src supplies the random combination coefficients; any Source is sound
+// here because the coefficients affect only performance, never results.
+// workers bounds the per-slot recovery fan-out (< 1 selects GOMAXPROCS,
+// 1 is sequential); outcomes are slot-indexed, so they are identical at
+// any worker count.
+func (d *Decoder) DecodeBatch(words [][]field.Element, src field.Source, workers int) ([]*Result, []error, BatchStats) {
+	n := len(d.xs)
+	S := len(words)
+	results := make([]*Result, S)
+	errs := make([]error, S)
+	var stats BatchStats
+
+	ok := make([]bool, S) // words with a valid length, eligible for combination
+	eligible := 0
+	for s, w := range words {
+		if len(w) != n {
+			errs[s] = fmt.Errorf("reedsolomon: %d values for %d points", len(w), n)
+			continue
+		}
+		ok[s] = true
+		eligible++
+	}
+
+	fallback := func(s int) {
+		results[s], errs[s] = d.Decode(words[s])
+	}
+
+	// A single word gains nothing from combination: the locator decode IS
+	// a full decode of that word.
+	if eligible < 2 {
+		for s := range words {
+			if ok[s] {
+				fallback(s)
+				stats.Fallbacks++
+			}
+		}
+		return results, errs, stats
+	}
+
+	// Locate the shared error positions: decode Σ_s r_s·y_s with random
+	// non-zero r_s. Honest positions carry evaluations of Σ_s r_s·f_s
+	// (degree ≤ K−1); a position corrupted in any slot survives the
+	// combination except when its error values conspire to cancel, which
+	// happens with probability ≤ 1/(p−1) per position (§9).
+	combined := make([]field.Element, n)
+	acc := field.NewAccumulator(n)
+	for s := range words {
+		if ok[s] {
+			acc.VecMulAddScalar(field.RandNonZero(src), words[s])
+		}
+	}
+	acc.Reduce(combined)
+
+	comb, err := d.Decode(combined)
+	if err != nil {
+		// The union of corrupted positions exceeds the budget (or the
+		// slots disagree on the message polynomial's degree support in a
+		// way no single word does). Decode each slot on its own.
+		for s := range words {
+			if ok[s] {
+				fallback(s)
+				stats.Fallbacks++
+			}
+		}
+		return results, errs, stats
+	}
+	stats.CombinedOK = true
+
+	// Erasure support: the first K positions the locator did not flag.
+	// n − |flagged| ≥ n − ⌊(n−K)/2⌋ ≥ K, so the support always fills.
+	flagged := make([]bool, n)
+	for _, i := range comb.ErrorPositions {
+		flagged[i] = true
+	}
+	support := make([]int, 0, d.k)
+	for i := 0; i < n && len(support) < d.k; i++ {
+		if !flagged[i] {
+			support = append(support, i)
+		}
+	}
+	basis := d.erasureBasis(support)
+	maxE := d.MaxErrors()
+
+	// Recover each slot independently: interpolate through the support
+	// values (a cached-basis mat-vec, no divisions), then verify against
+	// the slot's own word. Acceptance requires a valid decoding, so a
+	// cancelled error inside the support can only force a fallback, never
+	// a wrong result. All writes are slot-indexed, so outcomes are
+	// identical at any worker count.
+	recovered := make([]bool, S)
+	_ = parallel.ForEach(parallel.Workers(workers), S, func(s int) error {
+		if !ok[s] {
+			return nil
+		}
+		acc := field.NewAccumulator(d.k)
+		for j, i := range support {
+			acc.VecMulAddScalar(words[s][i], basis[j])
+		}
+		coeffs := make(poly.Poly, d.k)
+		acc.Reduce(coeffs)
+		f := coeffsToPoly(coeffs)
+
+		var errPos []int
+		for i, x := range d.xs {
+			if f.Eval(x) != words[s][i] {
+				errPos = append(errPos, i)
+			}
+		}
+		if len(errPos) > maxE {
+			fallback(s)
+			return nil
+		}
+		results[s] = &Result{Poly: f, ErrorPositions: errPos}
+		recovered[s] = true
+		return nil
+	})
+	// Tally outside the pool so the counters need no atomics.
+	for s := range words {
+		if !ok[s] {
+			continue
+		}
+		if recovered[s] {
+			stats.Recovered++
+		} else {
+			stats.Fallbacks++
+		}
+	}
+	return results, errs, stats
+}
+
+// erasureBasis returns, for each support index j, the monomial
+// coefficients of the Lagrange basis polynomial L_j over the support
+// points: L_j(x_{support[i]}) = [i == j]. A polynomial interpolating
+// values y over the support is then the mat-vec Σ_j y_j·L_j, which the
+// batch fast path evaluates with the lazy-reduction accumulator — no
+// per-slot divisions, unlike Newton interpolation.
+func (d *Decoder) erasureBasis(support []int) [][]field.Element {
+	k := len(support)
+	ts := make([]field.Element, k)
+	for j, i := range support {
+		ts[j] = d.xs[i]
+	}
+	// Φ(x) = Π_j (x − ts[j]), degree k.
+	phi := make([]field.Element, k+1)
+	phi[0] = field.One
+	deg := 0
+	for _, t := range ts {
+		phi[deg+1] = phi[deg]
+		for c := deg; c > 0; c-- {
+			phi[c] = phi[c-1].Sub(t.Mul(phi[c]))
+		}
+		phi[0] = phi[0].Mul(t.Neg())
+		deg++
+	}
+	// Denominators Π_{i≠j}(ts[j] − ts[i]), inverted in one batch pass.
+	denomInv := make([]field.Element, k)
+	for j := range ts {
+		dj := field.One
+		for i := range ts {
+			if i != j {
+				dj = dj.Mul(ts[j].Sub(ts[i]))
+			}
+		}
+		denomInv[j] = dj
+	}
+	field.BatchInv(denomInv)
+	// L_j = (Φ / (x − ts[j])) · denomInv[j] by synthetic division: O(k)
+	// per basis polynomial, O(k²) total.
+	basis := make([][]field.Element, k)
+	flat := make([]field.Element, k*k)
+	for j := range ts {
+		row := flat[j*k : (j+1)*k]
+		row[k-1] = phi[k]
+		for c := k - 1; c > 0; c-- {
+			row[c-1] = phi[c].Add(ts[j].Mul(row[c]))
+		}
+		for c := range row {
+			row[c] = row[c].Mul(denomInv[j])
+		}
+		basis[j] = row
+	}
+	return basis
+}
+
+// coeffsToPoly canonicalises raw interpolation coefficients, matching
+// Decode's representation exactly: trailing zeros stripped and the zero
+// polynomial as nil (Decode returns Poly: nil for the all-zero word).
+func coeffsToPoly(coeffs poly.Poly) poly.Poly {
+	n := len(coeffs)
+	for n > 0 && coeffs[n-1] == field.Zero {
+		n--
+	}
+	if n == 0 {
+		return nil
+	}
+	return coeffs[:n]
+}

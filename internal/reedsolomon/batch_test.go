@@ -1,0 +1,268 @@
+package reedsolomon
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/field"
+	"repro/internal/poly"
+)
+
+// batchWords builds S received words over the same points: one random
+// codeword per slot, with e positions corrupted in every slot. When
+// shared is true the corrupted positions are the same across slots (the
+// L-CoFL threat model: a malicious worker lies in every slot), otherwise
+// each slot draws its own positions.
+func batchWords(rng *rand.Rand, n, k, S, e int, shared bool) (xs []field.Element, words [][]field.Element) {
+	xs = field.RandDistinct(rng, n, nil)
+	sharedPos := rng.Perm(n)[:e]
+	words = make([][]field.Element, S)
+	for s := range words {
+		coeffs := make([]field.Element, k)
+		for i := range coeffs {
+			coeffs[i] = field.Rand(rng)
+		}
+		ys := poly.New(coeffs...).EvalMany(xs)
+		pos := sharedPos
+		if !shared {
+			pos = rng.Perm(n)[:e]
+		}
+		for _, p := range pos {
+			for {
+				v := field.Rand(rng)
+				if v != ys[p] {
+					ys[p] = v
+					break
+				}
+			}
+		}
+		words[s] = ys
+	}
+	return xs, words
+}
+
+// assertBatchMatchesPerSlot checks every slot of a DecodeBatch call is
+// bit-identical to the per-slot Decode: same error value (by message),
+// same polynomial, same error positions in the same order.
+func assertBatchMatchesPerSlot(t *testing.T, d *Decoder, words [][]field.Element, results []*Result, errs []error) {
+	t.Helper()
+	for s, w := range words {
+		wantRes, wantErr := d.Decode(w)
+		gotRes, gotErr := results[s], errs[s]
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("slot %d: batch err %v, per-slot err %v", s, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("slot %d: batch err %q, per-slot err %q", s, gotErr, wantErr)
+			}
+			continue
+		}
+		if !gotRes.Poly.Equal(wantRes.Poly) {
+			t.Fatalf("slot %d: batch poly %v, per-slot poly %v", s, gotRes.Poly, wantRes.Poly)
+		}
+		if len(gotRes.ErrorPositions) != len(wantRes.ErrorPositions) {
+			t.Fatalf("slot %d: batch positions %v, per-slot %v", s, gotRes.ErrorPositions, wantRes.ErrorPositions)
+		}
+		for i := range gotRes.ErrorPositions {
+			if gotRes.ErrorPositions[i] != wantRes.ErrorPositions[i] {
+				t.Fatalf("slot %d: batch positions %v, per-slot %v", s, gotRes.ErrorPositions, wantRes.ErrorPositions)
+			}
+		}
+	}
+}
+
+func TestDecodeBatchEquivalence(t *testing.T) {
+	const n, k, S = 40, 10, 8
+	maxE := MaxErrors(n, k)
+	for _, workers := range []int{1, 2, 8} {
+		for _, shared := range []bool{true, false} {
+			for _, e := range []int{0, 1, maxE / 2, maxE, maxE + 3} {
+				name := fmt.Sprintf("workers=%d/shared=%v/e=%d", workers, shared, e)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(100*workers + 10*e + btoi(shared))))
+					xs, words := batchWords(rng, n, k, S, e, shared)
+					d, err := NewDecoder(xs, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					src := field.NewSeededSource(7)
+					results, errs, _ := d.DecodeBatch(words, src, workers)
+					assertBatchMatchesPerSlot(t, d, words, results, errs)
+				})
+			}
+		}
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestDecodeBatchFastPathEngages(t *testing.T) {
+	// Shared error positions within budget: the combined decode locates
+	// them and every slot should take the erasure fast path.
+	rng := rand.New(rand.NewSource(42))
+	const n, k, S = 40, 10, 16
+	e := MaxErrors(n, k)
+	xs, words := batchWords(rng, n, k, S, e, true)
+	d, err := NewDecoder(xs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errs, stats := d.DecodeBatch(words, field.NewSeededSource(1), 1)
+	for s, err := range errs {
+		if err != nil {
+			t.Fatalf("slot %d: %v", s, err)
+		}
+	}
+	if !stats.CombinedOK {
+		t.Fatal("combined decode failed on in-budget shared errors")
+	}
+	if stats.Recovered != S || stats.Fallbacks != 0 {
+		t.Fatalf("stats = %+v, want all %d slots recovered", stats, S)
+	}
+}
+
+func TestDecodeBatchAllFallBackWhenUnionExceedsBudget(t *testing.T) {
+	// Disjoint per-slot error positions whose union exceeds the budget:
+	// the combined word is undecodable, so every slot must fall back —
+	// and still match the per-slot decoder exactly.
+	rng := rand.New(rand.NewSource(43))
+	const n, k, S = 40, 10, 12
+	maxE := MaxErrors(n, k)
+	xs, words := batchWords(rng, n, k, S, maxE, false)
+	d, err := NewDecoder(xs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs, stats := d.DecodeBatch(words, field.NewSeededSource(1), 2)
+	if stats.CombinedOK {
+		t.Skip("random positions happened to overlap within budget")
+	}
+	if stats.Fallbacks != S || stats.Recovered != 0 {
+		t.Fatalf("stats = %+v, want all %d slots fallen back", stats, S)
+	}
+	assertBatchMatchesPerSlot(t, d, words, results, errs)
+}
+
+func TestDecodeBatchMixedValidAndMalformedSlots(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	const n, k = 20, 5
+	xs, words := batchWords(rng, n, k, 4, 2, true)
+	words[1] = words[1][:n-1] // malformed: short word
+	d, err := NewDecoder(xs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs, _ := d.DecodeBatch(words, field.NewSeededSource(1), 1)
+	if errs[1] == nil || results[1] != nil {
+		t.Fatalf("malformed slot: res %v err %v, want length error", results[1], errs[1])
+	}
+	assertBatchMatchesPerSlot(t, d, words, results, errs)
+}
+
+func TestDecodeBatchSmallBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	const n, k = 20, 5
+	xs, words := batchWords(rng, n, k, 3, 2, true)
+	d, err := NewDecoder(xs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty batch.
+	results, errs, stats := d.DecodeBatch(nil, field.NewSeededSource(1), 1)
+	if len(results) != 0 || len(errs) != 0 || stats.Recovered+stats.Fallbacks != 0 {
+		t.Fatalf("empty batch: results=%v errs=%v stats=%+v", results, errs, stats)
+	}
+	// Single word: combination buys nothing, expect a per-slot fallback.
+	results, errs, stats = d.DecodeBatch(words[:1], field.NewSeededSource(1), 1)
+	if stats.Fallbacks != 1 || stats.Recovered != 0 {
+		t.Fatalf("single word stats = %+v, want one fallback", stats)
+	}
+	assertBatchMatchesPerSlot(t, d, words[:1], results, errs)
+}
+
+func TestDecodeBatchZeroWords(t *testing.T) {
+	// All-zero words decode to the nil polynomial with no error positions,
+	// exactly as Decode does.
+	rng := rand.New(rand.NewSource(46))
+	const n, k, S = 20, 5, 4
+	xs := field.RandDistinct(rng, n, nil)
+	d, err := NewDecoder(xs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := make([][]field.Element, S)
+	for s := range words {
+		words[s] = make([]field.Element, n)
+	}
+	results, errs, _ := d.DecodeBatch(words, field.NewSeededSource(1), 1)
+	for s := range words {
+		if errs[s] != nil {
+			t.Fatalf("slot %d: %v", s, errs[s])
+		}
+		if results[s].Poly != nil || results[s].ErrorPositions != nil {
+			t.Fatalf("slot %d: %+v, want nil poly and positions", s, *results[s])
+		}
+	}
+	assertBatchMatchesPerSlot(t, d, words, results, errs)
+}
+
+func TestDecodeBatchManySeeds(t *testing.T) {
+	// The combination coefficients must never affect results, only the
+	// fast-path rate: sweep sources and check equivalence every time.
+	rng := rand.New(rand.NewSource(47))
+	const n, k, S = 30, 7, 6
+	e := MaxErrors(n, k)
+	xs, words := batchWords(rng, n, k, S, e, true)
+	d, err := NewDecoder(xs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		results, errs, _ := d.DecodeBatch(words, field.NewSeededSource(seed), 3)
+		assertBatchMatchesPerSlot(t, d, words, results, errs)
+	}
+}
+
+// BenchmarkDecodeBatch compares batch decoding against per-slot Decode at
+// the paper scale (V=100, K=46) for growing slot counts. The batch mode
+// amortises the single O(V³)-class locator decode over S slots of O(V·K)
+// erasure recovery, so its advantage grows with S.
+func BenchmarkDecodeBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(48))
+	const n, k = 100, 46
+	e := MaxErrors(n, k)
+	for _, S := range []int{8, 32} {
+		xs, words := batchWords(rng, n, k, S, e, true)
+		d, err := NewDecoder(xs, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("slots=%d/mode=batch", S), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				src := field.NewSeededSource(int64(i))
+				_, _, stats := d.DecodeBatch(words, src, 1)
+				if stats.Recovered != S {
+					b.Fatalf("fast path disengaged: %+v", stats)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("slots=%d/mode=perslot", S), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, w := range words {
+					if _, err := d.Decode(w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package reedsolomon
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/field"
@@ -116,6 +117,37 @@ func bwVerifiedAttempt(xs, ys []field.Element, k, e, maxE int) *Result {
 	return &Result{Poly: f, ErrorPositions: errPos}
 }
 
+// bwScratch holds the augmented-matrix storage of one bwAttempt. The
+// racing budget search runs many attempts (across budgets and across
+// goroutines); pooling the matrix turns an O(n·cols) allocation per
+// attempt into a near-free checkout.
+type bwScratch struct {
+	flat []field.Element
+	rows [][]field.Element
+}
+
+var bwScratchPool = sync.Pool{New: func() any { return new(bwScratch) }}
+
+// matrix returns an n×width row view over the scratch, growing the
+// backing storage as needed. Callers overwrite every cell before reading,
+// so stale values from a previous attempt never need zeroing. The rows are
+// re-sliced from the flat backing on every call, which also undoes any row
+// permutation a previous solveField left behind.
+func (s *bwScratch) matrix(n, width int) [][]field.Element {
+	if cap(s.flat) < n*width {
+		s.flat = make([]field.Element, n*width)
+	}
+	flat := s.flat[:n*width]
+	if cap(s.rows) < n {
+		s.rows = make([][]field.Element, n)
+	}
+	rows := s.rows[:n]
+	for i := range rows {
+		rows[i] = flat[i*width : (i+1)*width]
+	}
+	return rows
+}
+
 // bwAttempt solves the Berlekamp–Welch system for a fixed error budget e.
 // Unknowns: q_0..q_{k+e-1} and e_0..e_{e-1} (the locator is monic, so its
 // leading coefficient is fixed at 1). Equations, one per received point:
@@ -127,10 +159,12 @@ func bwAttempt(xs, ys []field.Element, k, e int) (poly.Poly, bool) {
 	if cols > n {
 		return nil, false
 	}
-	// Build the augmented matrix [A | b].
-	a := make([][]field.Element, n)
+	// Build the augmented matrix [A | b] in pooled scratch.
+	scratch := bwScratchPool.Get().(*bwScratch)
+	defer bwScratchPool.Put(scratch)
+	a := scratch.matrix(n, cols+1)
 	for i := 0; i < n; i++ {
-		row := make([]field.Element, cols+1)
+		row := a[i]
 		pw := field.One
 		for j := 0; j < k+e; j++ {
 			row[j] = pw
@@ -143,7 +177,6 @@ func bwAttempt(xs, ys []field.Element, k, e int) (poly.Poly, bool) {
 		}
 		// pw is now x^e.
 		row[cols] = ys[i].Mul(pw)
-		a[i] = row
 	}
 	sol, ok := solveField(a, cols)
 	if !ok {

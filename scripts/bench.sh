@@ -1,24 +1,40 @@
 #!/usr/bin/env bash
-# bench.sh measures the parallel execution engine and writes the speedup
-# report BENCH_parallel.json: the workers-sweep benchmarks (Fig. 3 end to
-# end, Lagrange vector encode, Berlekamp–Welch decode racing) at workers
-# 1/2/4, reduced to per-benchmark speedup ratios by cmd/benchreport.
+# bench.sh measures the performance-critical paths and writes two
+# machine-readable reports:
+#
+#   BENCH_parallel.json    — the workers-sweep benchmarks (Fig. 3 end to
+#                            end, Lagrange vector encode, Berlekamp–Welch
+#                            decode racing) at workers 1/2/4, reduced to
+#                            per-benchmark speedup ratios by cmd/benchreport.
+#   BENCH_batchdecode.json — the batch-decoding suite (DESIGN.md §9):
+#                            Aggregate batch vs per-slot, DecodeBatch vs
+#                            Decode, cached-weights encode, lazy-reduction
+#                            dot kernel. When a previous report exists it
+#                            doubles as the regression baseline: benchreport
+#                            -compare fails the run on >20% ns/op growth
+#                            (tolerance widened in --quick mode, where 1x
+#                            timings are noise).
 #
 #   scripts/bench.sh            # full measurement (benchtime 3x)
 #   scripts/bench.sh --quick    # CI smoke: 1 iteration, exercises the
 #                               # whole pipeline without meaningful timings
 #
-# The report records the host core count — interpret the ratios against
-# it (a 1-core host cannot show wall-clock speedup by construction).
+# The reports record the host core count — interpret speedup ratios
+# against it (a 1-core host cannot show wall-clock speedup by construction).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-3x}"
+max_regress="${MAX_REGRESS:-0.20}"
 if [[ "${1:-}" == "--quick" ]]; then
     benchtime=1x
+    # Single-iteration timings swing wildly; keep the compare step as a
+    # pipeline/schema check that only catches order-of-magnitude blowups.
+    max_regress=10
 fi
 
 out="${BENCH_OUT:-BENCH_parallel.json}"
+batch_out="${BENCH_BATCH_OUT:-BENCH_batchdecode.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -27,3 +43,16 @@ go test -run NONE -bench 'Workers' -benchtime "$benchtime" . | tee "$raw"
 
 echo "== benchreport -> $out"
 go run ./cmd/benchreport -out "$out" < "$raw"
+
+echo "== go test -bench batch-decode suite -benchtime $benchtime"
+go test -run NONE -bench 'AggregateBatch|DecodeBatch|EncodeVectorsCached|DotAcc' \
+    -benchtime "$benchtime" ./... | tee "$raw"
+
+compare_args=()
+if [[ -f "$batch_out" ]]; then
+    echo "== benchreport -> $batch_out (regression gate vs previous, max +${max_regress})"
+    compare_args=(-compare "$batch_out" -max-regress "$max_regress")
+else
+    echo "== benchreport -> $batch_out (no baseline yet)"
+fi
+go run ./cmd/benchreport -out "$batch_out" "${compare_args[@]}" < "$raw"
