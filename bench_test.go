@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"io"
 	"math/rand"
 	"testing"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/field"
 	"repro/internal/lagrange"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/poly"
 	"repro/internal/reedsolomon"
 	"repro/internal/traffic"
@@ -358,6 +360,76 @@ func BenchmarkAggregateBatch(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkAggregateObs measures the observability layer's overhead on
+// the fusion centre's hot path: the BenchmarkAggregateBatch workload
+// with obs detached (mode=off), with counters and histograms only
+// (mode=metrics), and with the JSONL tracer also attached, writing to
+// io.Discard (mode=trace). scripts/bench.sh gates mode=off against the
+// checked-in baseline so instrumentation cost can never creep into the
+// disabled path.
+func BenchmarkAggregateObs(b *testing.B) {
+	const v, m, degree, slots = 40, 8, 2, 32
+	act := approx.SymmetricSigmoid()
+	p, err := approx.LeastSquares{SamplePoints: 21}.Fit(act.F, -2, 2, degree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := nn.New(nn.Config{
+		LayerSizes: []int{traffic.NumFeatures, 1},
+		Activation: approx.FromPolynomial("ls", p),
+		Seed:       1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := traffic.Generate(traffic.GenConfig{Rows: m * slots, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := ds.Features()
+	for _, mode := range []string{"off", "metrics", "trace"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			var o *obs.Obs
+			switch mode {
+			case "metrics":
+				o = obs.New(obs.NewRegistry(), nil, obs.NewRealClock())
+			case "trace":
+				clk := obs.NewRealClock()
+				o = obs.New(obs.NewRegistry(), obs.NewTracer(io.Discard, clk), clk)
+			}
+			s, err := core.NewScheme(ref, core.SchemeConfig{
+				NumVehicles: v, NumBatches: m, Degree: degree,
+				Seed: 3, Workers: 1, Obs: o,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.BeginRound(net); err != nil {
+				b.Fatal(err)
+			}
+			ups := make([][]float64, v)
+			for i := range ups {
+				if ups[i], err = s.Upload(i, net); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rng := rand.New(rand.NewSource(9))
+			for _, id := range rng.Perm(v)[:s.MaxMalicious()] {
+				for j := range ups[id] {
+					ups[id][j] = ups[id][j]*2 + 7
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Aggregate(ups); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -99,6 +99,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"floatpurity", func(p string) *Analyzer { return newFloatPurityAnalyzer(map[string]bool{p: true}) }},
 		{"determinism", func(p string) *Analyzer { return newDeterminismAnalyzer(map[string]bool{p: true}) }},
 		{"rawgo", func(string) *Analyzer { return newRawGoAnalyzer(nil) }},
+		{"wallclock", func(string) *Analyzer { return newWallClockAnalyzer(nil) }},
 	}
 	for _, tc := range tests {
 		t.Run(tc.fixture, func(t *testing.T) {

@@ -15,6 +15,7 @@ func defaultAnalyzers() []*Analyzer {
 		newFloatPurityAnalyzer(defaultFloatExact()),
 		newDeterminismAnalyzer(defaultReproducible()),
 		newRawGoAnalyzer(defaultRawGoAllowed()),
+		newWallClockAnalyzer(defaultWallClockAllowed()),
 	}
 }
 

@@ -1,0 +1,42 @@
+// Package wallclock exercises the wallclock analyzer: direct wall-clock
+// reads must be flagged; clock injection and pure scheduling primitives
+// must not.
+package wallclock
+
+import "time"
+
+// Clock mirrors obs.Clock: the sanctioned way to observe time.
+type Clock interface {
+	Now() time.Duration
+}
+
+// DirectRead observes the wall clock — non-deterministic under test.
+func DirectRead() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+// Elapsed measures against the wall clock twice over.
+func Elapsed(t0 time.Time) (time.Duration, time.Duration) {
+	return time.Since(t0), time.Until(t0.Add(time.Second)) // want "wall-clock read time.Since" "wall-clock read time.Until"
+}
+
+// Injected takes time from a clock — the deterministic pattern.
+func Injected(c Clock) time.Duration {
+	return c.Now()
+}
+
+// Scheduling consumes time without observing it; all of it stays legal.
+func Scheduling() {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-time.After(time.Millisecond):
+	}
+}
+
+// Suppressed documents an acknowledged wall-clock read.
+func Suppressed() time.Time {
+	//lint:ignore wallclock fixture demonstrates an acknowledged wall-clock read
+	return time.Now()
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package-level time functions that read the wall
+// clock. Scheduling primitives (time.After, time.NewTicker, time.Sleep)
+// stay legal everywhere: they consume time without observing it, so they
+// cannot leak nondeterminism into traces or figures.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+// newWallClockAnalyzer confines wall-clock reads to the observability
+// package. Everything else must take time from an injected obs.Clock, so
+// a test can substitute obs.ManualClock and get byte-identical traces —
+// one stray time.Now() in a library quietly breaks that contract.
+// Test files never reach the analyzer (the driver loads only GoFiles).
+func newWallClockAnalyzer(allowed map[string]bool) *Analyzer {
+	return &Analyzer{
+		Name: "wallclock",
+		Doc: "confine wall-clock reads (time.Now/Since/Until) to internal/obs, so all " +
+			"other packages stay deterministic under an injected obs.Clock",
+		Run: func(pass *Pass) error {
+			if allowed[pass.Pkg.Path] {
+				return nil
+			}
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+					if !ok || !wallClockFuncs[sel.Sel.Name] {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					pkgName, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+					if !ok || pkgName.Imported().Path() != "time" {
+						return true
+					}
+					pass.Reportf(call.Pos(), "wall-clock read time.%s outside internal/obs; take time from an injected obs.Clock so traces stay deterministic", sel.Sel.Name)
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// defaultWallClockAllowed lists the packages permitted to read the wall
+// clock: only the observability layer, whose NewRealClock is the single
+// sanctioned bridge to real time.
+func defaultWallClockAllowed() map[string]bool {
+	return map[string]bool{
+		"repro/internal/obs": true,
+	}
+}

@@ -32,6 +32,8 @@ import (
 	"repro/internal/fl"
 	"repro/internal/nn"
 	"repro/internal/node"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/plot"
 	"repro/internal/traffic"
 	"repro/internal/transport"
@@ -135,7 +137,72 @@ func addProfileFlags(fs *flag.FlagSet) func() (stop func() error, err error) {
 	}
 }
 
-func cmdRun(args []string) error {
+// addObsFlags registers -trace/-metrics and returns a builder. The
+// builder yields the run's Obs (nil when neither flag is set, so the
+// whole stack stays uninstrumented) and a close function that stops the
+// runtime sampler, publishes the worker-pool counters, flushes the
+// trace, and writes the metrics snapshot. See DESIGN.md §10.
+func addObsFlags(fs *flag.FlagSet) func() (*obs.Obs, func() error, error) {
+	trace := fs.String("trace", "", "write a JSONL event trace to this file (summarise with cmd/tracereport)")
+	metricsPath := fs.String("metrics", "", "write a JSON counter/gauge/histogram snapshot to this file on exit")
+	return func() (*obs.Obs, func() error, error) {
+		if *trace == "" && *metricsPath == "" {
+			return nil, func() error { return nil }, nil
+		}
+		reg := obs.NewRegistry()
+		clock := obs.NewRealClock()
+		var tr *obs.Tracer
+		var traceFile *os.File
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				return nil, nil, err
+			}
+			traceFile = f
+			tr = obs.NewTracer(f, clock)
+		}
+		o := obs.New(reg, tr, clock)
+		sampler := obs.NewRuntimeSampler(reg)
+		sampler.Start(obs.DefaultSampleInterval)
+		closeObs := func() error {
+			sampler.Stop()
+			ps := parallel.Snapshot()
+			reg.Gauge("parallel.pool_runs").Set(ps.PoolRuns)
+			reg.Gauge("parallel.seq_runs").Set(ps.SeqRuns)
+			reg.Gauge("parallel.tasks").Set(ps.Tasks)
+			reg.Gauge("parallel.workers_spawned").Set(ps.WorkersSpawned)
+			reg.Gauge("parallel.group_tasks").Set(ps.GroupTasks)
+			var firstErr error
+			if traceFile != nil {
+				if err := tr.Flush(); err != nil {
+					firstErr = err
+				}
+				if err := traceFile.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			if *metricsPath != "" {
+				f, err := os.Create(*metricsPath)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					if err := reg.WriteJSON(f); err != nil && firstErr == nil {
+						firstErr = err
+					}
+					if err := f.Close(); err != nil && firstErr == nil {
+						firstErr = err
+					}
+				}
+			}
+			return firstErr
+		}
+		return o, closeObs, nil
+	}
+}
+
+func cmdRun(args []string) (retErr error) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	o := addOptionFlags(fs)
 	figure := fs.String("figure", "", "figure to regenerate (fig2..fig9, ext-*)")
@@ -143,6 +210,7 @@ func cmdRun(args []string) error {
 	repeat := fs.Int("repeat", 1, "repeat over this many consecutive seeds and report mean ± std")
 	asPlot := fs.Bool("plot", false, "render an ASCII chart instead of TSV")
 	profiles := addProfileFlags(fs)
+	observe := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -153,11 +221,22 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	ob, closeObs, err := observe()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeObs(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	o.Obs = ob
 	stopProfiles, err := profiles()
 	if err != nil {
 		return err
 	}
-	start := time.Now()
+	clock := obs.NewRealClock()
+	start := clock.Now()
 	var fig *experiments.Figure
 	if *repeat > 1 {
 		seeds := make([]int64, *repeat)
@@ -174,7 +253,7 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "lcofl: %s computed in %s\n", *figure, time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "lcofl: %s computed in %s\n", *figure, (clock.Now() - start).Round(time.Millisecond))
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -190,17 +269,28 @@ func cmdRun(args []string) error {
 	return fig.WriteTSV(w)
 }
 
-func cmdAll(args []string) error {
+func cmdAll(args []string) (retErr error) {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	o := addOptionFlags(fs)
 	outdir := fs.String("outdir", "results", "output directory")
 	profiles := addProfileFlags(fs)
+	observe := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
 		return err
 	}
+	ob, closeObs, err := observe()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeObs(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	o.Obs = ob
 	stopProfiles, err := profiles()
 	if err != nil {
 		return err
@@ -230,14 +320,24 @@ func cmdAll(args []string) error {
 	return nil
 }
 
-func cmdDemo(args []string) error {
+func cmdDemo(args []string) (retErr error) {
 	fs := flag.NewFlagSet("demo", flag.ExitOnError)
 	vehicles := fs.Int("vehicles", 40, "fleet size")
 	malicious := fs.Float64("malicious", 0.3, "malicious fraction")
 	seed := fs.Int64("seed", 1, "seed")
+	observe := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ob, closeObs, err := observe()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeObs(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
 
 	fmt.Printf("L-CoFL demo: %d vehicles, %.0f%% malicious\n\n", *vehicles, *malicious*100)
 
@@ -268,6 +368,7 @@ func cmdDemo(args []string) error {
 	cfg := fl.Config{
 		InputSize: traffic.NumFeatures, LocalEpochs: 5, LocalRate: 0.2,
 		DistillEpochs: 30, DistillRate: 0.2, ServerStep: 0.5, Seed: *seed + 4,
+		Obs: ob,
 	}
 	sys, err := fl.NewSystem(cfg, parts, refX, approx.FromPolynomial("demo", p))
 	if err != nil {
@@ -275,6 +376,7 @@ func cmdDemo(args []string) error {
 	}
 	scheme, err := core.NewScheme(refX, core.SchemeConfig{
 		NumVehicles: *vehicles, NumBatches: 16, Degree: 1, Seed: *seed + 5,
+		Obs: ob,
 	})
 	if err != nil {
 		return err
@@ -342,16 +444,26 @@ func distributedSetup(vehicles int, seed int64) ([][]float64, *traffic.Dataset, 
 	return refDS.Features(), train, test.Features(), test.Labels(), nil
 }
 
-func cmdServe(args []string) error {
+func cmdServe(args []string) (retErr error) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":9444", "listen address")
 	vehicles := fs.Int("vehicles", 20, "expected fleet size")
 	rounds := fs.Int("rounds", 10, "global rounds")
 	seed := fs.Int64("seed", 1, "shared scenario seed")
 	checkpoint := fs.String("checkpoint", "", "write the final shared model as JSON")
+	observe := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ob, closeObs, err := observe()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeObs(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
 	refX, _, testX, testY, err := distributedSetup(*vehicles, *seed)
 	if err != nil {
 		return err
@@ -372,6 +484,7 @@ func cmdServe(args []string) error {
 		RefX:             refX,
 		ActivationCoeffs: p,
 		Rounds:           *rounds,
+		Obs:              ob,
 	})
 	if err != nil {
 		return err
@@ -388,7 +501,9 @@ func cmdServe(args []string) error {
 		if err != nil {
 			return err
 		}
-		conns = append(conns, c)
+		// Initial label by accept order; the server relabels to the
+		// handshaken vehicle ID once hello arrives.
+		conns = append(conns, transport.Instrument(c, ob, fmt.Sprintf("conn-%d", len(conns))))
 		fmt.Printf("lcofl serve: %d/%d vehicles connected\n", len(conns), *vehicles)
 	}
 	report, err := srv.Run(conns)
@@ -479,16 +594,26 @@ func cmdPredict(args []string) error {
 	return nil
 }
 
-func cmdVehicle(args []string) error {
+func cmdVehicle(args []string) (retErr error) {
 	fs := flag.NewFlagSet("vehicle", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:9444", "fusion centre address")
 	id := fs.Int("id", 0, "vehicle ID (0..V-1)")
 	vehicles := fs.Int("vehicles", 20, "fleet size (must match the server)")
 	seed := fs.Int64("seed", 1, "shared scenario seed")
 	malicious := fs.Bool("malicious", false, "lie on every upload")
+	observe := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ob, closeObs, err := observe()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeObs(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
 	_, train, _, _, err := distributedSetup(*vehicles, *seed)
 	if err != nil {
 		return err
@@ -500,10 +625,11 @@ func cmdVehicle(args []string) error {
 	if *id < 0 || *id >= len(parts) {
 		return fmt.Errorf("vehicle: id %d outside fleet of %d", *id, len(parts))
 	}
-	conn, err := transport.DialTCP(*addr)
+	raw, err := transport.DialTCP(*addr)
 	if err != nil {
 		return err
 	}
+	conn := transport.Instrument(raw, ob, "server")
 	defer conn.Close()
 	cc := node.ClientConfig{VehicleID: *id, Data: parts[*id], Seed: *seed + 100 + int64(*id)}
 	if *malicious {

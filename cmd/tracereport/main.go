@@ -1,0 +1,377 @@
+// Command tracereport summarises a JSONL event trace written by
+// `lcofl -trace` (see DESIGN.md §10): rounds, decode outcomes, stage
+// latency percentiles, per-peer transport traffic and per-vehicle
+// training time.
+//
+// Usage:
+//
+//	tracereport [-json] [-check-metrics metrics.json] [trace.jsonl]
+//
+// With no file argument the trace is read from stdin. -json replaces
+// the text tables with a machine-readable summary. -check-metrics
+// cross-checks the trace-derived counts against the counter snapshot
+// written by `lcofl -metrics` and fails when the two ledgers disagree —
+// CI runs this so the tracer and the registry can never drift apart
+// silently.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracereport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tracereport", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the summary as JSON instead of text tables")
+	checkMetrics := fs.String("check-metrics", "", "cross-check against this `lcofl -metrics` snapshot and fail on disagreement")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	name := "stdin"
+	if fs.NArg() > 1 {
+		return fmt.Errorf("at most one trace file, got %d", fs.NArg())
+	}
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r, name = f, fs.Arg(0)
+	}
+	sum, err := summarize(r)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	if *checkMetrics != "" {
+		if err := crossCheck(sum, *checkMetrics); err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sum)
+	}
+	return writeText(w, sum)
+}
+
+// decodeSummary aggregates the verification-channel events. Every field
+// mirrors a registry counter (crossCheck pins the pairing).
+type decodeSummary struct {
+	SlotFailures   int64 `json:"slot_failures"`
+	BWAttempts     int64 `json:"bw_attempts"`
+	BWWins         int64 `json:"bw_wins"`
+	BatchGroups    int64 `json:"batch_groups"`
+	BatchWords     int64 `json:"batch_words"`
+	BatchRecovered int64 `json:"batch_recovered"`
+	BatchFallbacks int64 `json:"batch_fallbacks"`
+}
+
+// stageStats holds exact (nearest-rank over every sample) latency
+// percentiles for one event kind.
+type stageStats struct {
+	Count int   `json:"count"`
+	P50   int64 `json:"p50_ns"`
+	P95   int64 `json:"p95_ns"`
+	P99   int64 `json:"p99_ns"`
+	Max   int64 `json:"max_ns"`
+}
+
+type peerStats struct {
+	SentMsgs  int64 `json:"sent_msgs"`
+	SentBytes int64 `json:"sent_bytes"`
+	RecvMsgs  int64 `json:"recv_msgs"`
+	RecvBytes int64 `json:"recv_bytes"`
+}
+
+type vehicleStats struct {
+	Rounds  int   `json:"rounds"`
+	TrainNs int64 `json:"train_ns"`
+}
+
+type summary struct {
+	Events     int                      `json:"events"`
+	Runs       int                      `json:"runs"`
+	FLRounds   int                      `json:"fl_rounds"`
+	NodeRounds int                      `json:"node_rounds"`
+	RecvErrors int64                    `json:"recv_errors"`
+	Stragglers int64                    `json:"stragglers"`
+	Decode     decodeSummary            `json:"decode"`
+	Stages     map[string]*stageStats   `json:"stages"`
+	Peers      map[string]*peerStats    `json:"peers"`
+	Vehicles   map[string]*vehicleStats `json:"vehicles"`
+}
+
+// num reads a numeric field; JSON numbers decode as float64.
+func num(rec map[string]any, key string) (int64, bool) {
+	f, ok := rec[key].(float64)
+	return int64(f), ok
+}
+
+func str(rec map[string]any, key string) string {
+	s, _ := rec[key].(string)
+	return s
+}
+
+func summarize(r io.Reader) (*summary, error) {
+	sum := &summary{
+		Stages:   map[string]*stageStats{},
+		Peers:    map[string]*peerStats{},
+		Vehicles: map[string]*vehicleStats{},
+	}
+	durs := map[string][]int64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		ev := str(rec, "ev")
+		if ev == "" {
+			return nil, fmt.Errorf("line %d: event has no \"ev\" field", lineNo)
+		}
+		if _, ok := rec["t_ns"].(float64); !ok {
+			return nil, fmt.Errorf("line %d: event %q has no numeric \"t_ns\"", lineNo, ev)
+		}
+		sum.Events++
+		if d, ok := num(rec, "dur_ns"); ok {
+			durs[ev] = append(durs[ev], d)
+		}
+		switch ev {
+		case "experiments.run_start":
+			sum.Runs++
+		case "fl.round":
+			sum.FLRounds++
+		case "node.round":
+			sum.NodeRounds++
+		case "node.recv_error":
+			sum.RecvErrors++
+		case "node.straggler":
+			sum.Stragglers++
+		case "core.slot_fail":
+			sum.Decode.SlotFailures++
+		case "rs.bw_attempt":
+			sum.Decode.BWAttempts++
+			if ok, _ := rec["ok"].(bool); ok {
+				sum.Decode.BWWins++
+			}
+		case "rs.batch":
+			sum.Decode.BatchGroups++
+			w, _ := num(rec, "words")
+			rec2, _ := num(rec, "recovered")
+			fb, _ := num(rec, "fallbacks")
+			sum.Decode.BatchWords += w
+			sum.Decode.BatchRecovered += rec2
+			sum.Decode.BatchFallbacks += fb
+		case "transport.send":
+			p := sum.peer(str(rec, "peer"))
+			b, _ := num(rec, "bytes")
+			p.SentMsgs++
+			p.SentBytes += b
+		case "transport.recv":
+			p := sum.peer(str(rec, "peer"))
+			b, _ := num(rec, "bytes")
+			p.RecvMsgs++
+			p.RecvBytes += b
+		case "fl.vehicle":
+			id, _ := num(rec, "vehicle")
+			v := sum.vehicle(strconv.FormatInt(id, 10))
+			t, _ := num(rec, "train_ns")
+			v.Rounds++
+			v.TrainNs += t
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+	}
+	for ev, ds := range durs {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		sum.Stages[ev] = &stageStats{
+			Count: len(ds),
+			P50:   percentile(ds, 0.50),
+			P95:   percentile(ds, 0.95),
+			P99:   percentile(ds, 0.99),
+			Max:   ds[len(ds)-1],
+		}
+	}
+	return sum, nil
+}
+
+func (s *summary) peer(name string) *peerStats {
+	p := s.Peers[name]
+	if p == nil {
+		p = &peerStats{}
+		s.Peers[name] = p
+	}
+	return p
+}
+
+func (s *summary) vehicle(id string) *vehicleStats {
+	v := s.Vehicles[id]
+	if v == nil {
+		v = &vehicleStats{}
+		s.Vehicles[id] = v
+	}
+	return v
+}
+
+// percentile is the exact nearest-rank percentile of a sorted sample.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// crossCheck pins the trace-derived counts to the registry snapshot:
+// both observe the same execution through independent code paths, so any
+// disagreement is an instrumentation bug.
+func crossCheck(sum *summary, metricsPath string) error {
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		return err
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: %w", metricsPath, err)
+	}
+	checks := []struct {
+		counter string
+		trace   int64
+	}{
+		{"fl.rounds", int64(sum.FLRounds)},
+		{"node.rounds", int64(sum.NodeRounds)},
+		{"node.recv_errors", sum.RecvErrors},
+		{"node.stragglers", sum.Stragglers},
+		{"core.decode_failures", sum.Decode.SlotFailures},
+		{"rs.bw.attempts", sum.Decode.BWAttempts},
+		{"rs.bw.wins", sum.Decode.BWWins},
+		{"rs.batch.words", sum.Decode.BatchWords},
+		{"rs.batch.recovered", sum.Decode.BatchRecovered},
+		{"rs.batch.fallbacks", sum.Decode.BatchFallbacks},
+	}
+	for _, c := range checks {
+		if got := snap.Counters[c.counter]; got != c.trace {
+			return fmt.Errorf("trace disagrees with %s: %s = %d in counters, %d derived from trace",
+				metricsPath, c.counter, got, c.trace)
+		}
+	}
+	return nil
+}
+
+// writeText renders the tables into memory first so only the final Write
+// can fail — table building against a bytes.Buffer never does.
+func writeText(w io.Writer, sum *summary) error {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "trace: %d events, %d runs, %d fl rounds, %d node rounds\n",
+		sum.Events, sum.Runs, sum.FLRounds, sum.NodeRounds)
+	fmt.Fprintf(&b, "decode: %d slot failures, %d/%d BW attempts won, %d batch groups (%d words, %d recovered, %d fallbacks)\n",
+		sum.Decode.SlotFailures, sum.Decode.BWWins, sum.Decode.BWAttempts,
+		sum.Decode.BatchGroups, sum.Decode.BatchWords, sum.Decode.BatchRecovered, sum.Decode.BatchFallbacks)
+	if sum.RecvErrors > 0 || sum.Stragglers > 0 {
+		fmt.Fprintf(&b, "node: %d receive errors, %d straggler timeouts\n", sum.RecvErrors, sum.Stragglers)
+	}
+
+	if len(sum.Stages) > 0 {
+		fmt.Fprintf(&b, "\nstage latencies (ns):\n")
+		tw := tabwriter.NewWriter(&b, 2, 8, 2, ' ', 0)
+		mustFprintf(tw, "stage\tcount\tp50\tp95\tp99\tmax\n")
+		for _, ev := range sortedKeys(sum.Stages) {
+			s := sum.Stages[ev]
+			mustFprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\n", ev, s.Count, s.P50, s.P95, s.P99, s.Max)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(sum.Peers) > 0 {
+		fmt.Fprintf(&b, "\ntransport by peer:\n")
+		tw := tabwriter.NewWriter(&b, 2, 8, 2, ' ', 0)
+		mustFprintf(tw, "peer\tsent_msgs\tsent_bytes\trecv_msgs\trecv_bytes\n")
+		for _, name := range sortedKeys(sum.Peers) {
+			p := sum.Peers[name]
+			mustFprintf(tw, "%s\t%d\t%d\t%d\t%d\n", name, p.SentMsgs, p.SentBytes, p.RecvMsgs, p.RecvBytes)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if len(sum.Vehicles) > 0 {
+		fmt.Fprintf(&b, "\nvehicle training:\n")
+		tw := tabwriter.NewWriter(&b, 2, 8, 2, ' ', 0)
+		mustFprintf(tw, "vehicle\trounds\ttotal_train_ns\tmean_train_ns\n")
+		ids := sortedKeys(sum.Vehicles)
+		sort.Slice(ids, func(i, j int) bool {
+			a, erra := strconv.Atoi(ids[i])
+			b, errb := strconv.Atoi(ids[j])
+			if erra != nil || errb != nil {
+				return ids[i] < ids[j]
+			}
+			return a < b
+		})
+		for _, id := range ids {
+			v := sum.Vehicles[id]
+			mean := int64(0)
+			if v.Rounds > 0 {
+				mean = v.TrainNs / int64(v.Rounds)
+			}
+			mustFprintf(tw, "%s\t%d\t%d\t%d\n", id, v.Rounds, v.TrainNs, mean)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// mustFprintf writes a table row into a tabwriter backed by an in-memory
+// buffer, where writes cannot fail (any error would surface at Flush).
+func mustFprintf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

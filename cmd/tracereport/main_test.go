@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleTrace = `{"ev":"experiments.run_start","t_ns":0,"variant":"l-cofl"}
+{"ev":"fl.round","t_ns":100,"dur_ns":1000,"round":1}
+{"ev":"fl.round","t_ns":2000,"dur_ns":3000,"round":2}
+{"ev":"fl.vehicle","t_ns":150,"round":1,"vehicle":0,"train_ns":500}
+{"ev":"fl.vehicle","t_ns":160,"round":2,"vehicle":0,"train_ns":700}
+{"ev":"fl.vehicle","t_ns":170,"round":1,"vehicle":3,"train_ns":900}
+{"ev":"core.slot_fail","t_ns":200,"slot":4}
+{"ev":"rs.bw_attempt","t_ns":210,"budget":1,"ok":false}
+{"ev":"rs.bw_attempt","t_ns":220,"budget":2,"ok":true}
+{"ev":"rs.batch","t_ns":230,"words":8,"points":20,"recovered":6,"fallbacks":2,"combined_ok":true}
+{"ev":"transport.send","t_ns":240,"peer":"vehicle-0","kind":"round","bytes":100}
+{"ev":"transport.send","t_ns":250,"peer":"vehicle-0","kind":"round","bytes":60}
+{"ev":"transport.recv","t_ns":260,"peer":"vehicle-0","kind":"upload","bytes":300}
+{"ev":"node.round","t_ns":300,"dur_ns":5000,"round":1}
+{"ev":"node.recv_error","t_ns":310,"round":1,"vehicle":2,"error":"closed"}
+{"ev":"node.straggler","t_ns":320,"round":1,"vehicle":5}
+`
+
+func TestSummarize(t *testing.T) {
+	sum, err := summarize(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events != 16 || sum.Runs != 1 || sum.FLRounds != 2 || sum.NodeRounds != 1 {
+		t.Fatalf("headline counts wrong: %+v", sum)
+	}
+	if sum.RecvErrors != 1 || sum.Stragglers != 1 {
+		t.Fatalf("node counts wrong: %+v", sum)
+	}
+	d := sum.Decode
+	if d.SlotFailures != 1 || d.BWAttempts != 2 || d.BWWins != 1 ||
+		d.BatchGroups != 1 || d.BatchWords != 8 || d.BatchRecovered != 6 || d.BatchFallbacks != 2 {
+		t.Fatalf("decode summary wrong: %+v", d)
+	}
+	fr := sum.Stages["fl.round"]
+	if fr == nil || fr.Count != 2 || fr.P50 != 1000 || fr.P95 != 3000 || fr.Max != 3000 {
+		t.Fatalf("fl.round stage stats wrong: %+v", fr)
+	}
+	p := sum.Peers["vehicle-0"]
+	if p == nil || p.SentMsgs != 2 || p.SentBytes != 160 || p.RecvMsgs != 1 || p.RecvBytes != 300 {
+		t.Fatalf("peer stats wrong: %+v", p)
+	}
+	v0 := sum.Vehicles["0"]
+	if v0 == nil || v0.Rounds != 2 || v0.TrainNs != 1200 {
+		t.Fatalf("vehicle 0 stats wrong: %+v", v0)
+	}
+	if v3 := sum.Vehicles["3"]; v3 == nil || v3.Rounds != 1 || v3.TrainNs != 900 {
+		t.Fatalf("vehicle 3 stats wrong: %+v", sum.Vehicles["3"])
+	}
+}
+
+func TestSummarizeRejectsMalformed(t *testing.T) {
+	for _, tc := range []struct{ name, trace, want string }{
+		{"bad json", "{\"ev\":\"a\",\"t_ns\":0}\nnot json\n", "line 2"},
+		{"missing ev", "{\"t_ns\":0}\n", "no \"ev\""},
+		{"missing t_ns", "{\"ev\":\"a\"}\n", "t_ns"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := summarize(strings.NewReader(tc.trace))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	s := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if got := percentile(s, 0.50); got != 50 {
+		t.Fatalf("p50 = %d, want 50", got)
+	}
+	if got := percentile(s, 0.95); got != 100 {
+		t.Fatalf("p95 = %d, want 100", got)
+	}
+	if got := percentile([]int64{7}, 0.99); got != 7 {
+		t.Fatalf("single-sample p99 = %d, want 7", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %d, want 0", got)
+	}
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCrossCheck(t *testing.T) {
+	sum, err := summarize(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := `{"counters":{"fl.rounds":2,"node.rounds":1,"node.recv_errors":1,"node.stragglers":1,
+		"core.decode_failures":1,"rs.bw.attempts":2,"rs.bw.wins":1,
+		"rs.batch.words":8,"rs.batch.recovered":6,"rs.batch.fallbacks":2}}`
+	if err := crossCheck(sum, writeTemp(t, "good.json", good)); err != nil {
+		t.Fatalf("consistent snapshot rejected: %v", err)
+	}
+	bad := strings.Replace(good, `"rs.batch.fallbacks":2`, `"rs.batch.fallbacks":5`, 1)
+	err = crossCheck(sum, writeTemp(t, "bad.json", bad))
+	if err == nil || !strings.Contains(err.Error(), "rs.batch.fallbacks") {
+		t.Fatalf("inconsistent snapshot accepted: %v", err)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	trace := writeTemp(t, "trace.jsonl", sampleTrace)
+	var buf bytes.Buffer
+	if err := run([]string{"-json", trace}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var sum summary
+	if err := json.Unmarshal(buf.Bytes(), &sum); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if sum.FLRounds != 2 || sum.Decode.BWAttempts != 2 {
+		t.Fatalf("JSON summary wrong: %+v", sum)
+	}
+}
+
+func TestRunText(t *testing.T) {
+	trace := writeTemp(t, "trace.jsonl", sampleTrace)
+	var buf bytes.Buffer
+	if err := run([]string{trace}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2 fl rounds", "1/2 BW attempts won", "vehicle-0", "stage latencies"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/lagrange"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/poly"
 	"repro/internal/reedsolomon"
@@ -84,6 +85,10 @@ type SchemeConfig struct {
 	// paths produce bit-identical results (DESIGN.md §9); the knob exists
 	// for A/B benchmarks and as an escape hatch.
 	DisableBatchDecode bool
+	// Obs attaches the observability layer (metrics + tracing) to the
+	// scheme, its Lagrange coder and its Reed–Solomon decoders. Nil (the
+	// default) disables all instrumentation at near-zero cost.
+	Obs *obs.Obs
 }
 
 // Scheme is the L-CoFL upload/aggregate strategy; it implements fl.Scheme.
@@ -115,6 +120,19 @@ type Scheme struct {
 	// the per-slot fallback (both stay zero under DisableBatchDecode).
 	BatchRecovered int
 	BatchFallbacks int
+
+	// Observability handles, resolved once in NewScheme. The cumulative
+	// counters core.decode_failures / core.batch_recovered /
+	// core.batch_fallbacks mirror the per-round fields above: after every
+	// Aggregate the round's deltas are added, so counter totals equal the
+	// sum of the field values across rounds (asserted in obs_test.go).
+	obs             *obs.Obs
+	cDecodeFailures *obs.Counter
+	cBatchRecovered *obs.Counter
+	cBatchFallbacks *obs.Counter
+	cAggregates     *obs.Counter
+	cFlagged        *obs.Counter
+	hAggregateNs    *obs.Histogram
 }
 
 // NewScheme quantises and Lagrange-encodes the reference features and
@@ -156,6 +174,9 @@ func NewScheme(refX [][]float64, cfg SchemeConfig) (*Scheme, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	// Attach obs before the one-time reference-share encode below so the
+	// construction cost shows up in lagrange.encode_* too.
+	coder.SetObs(cfg.Obs)
 
 	s := len(refX) / cfg.NumBatches
 	features := len(refX[0])
@@ -202,7 +223,7 @@ func NewScheme(refX [][]float64, cfg SchemeConfig) (*Scheme, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Scheme{
+	sch := &Scheme{
 		cfg:      cfg,
 		codec:    codec,
 		coder:    coder,
@@ -213,7 +234,19 @@ func NewScheme(refX [][]float64, cfg SchemeConfig) (*Scheme, error) {
 		dec:      dec,
 		workers:  workers,
 		batchSrc: field.NewSeededSource(cfg.Seed),
-	}, nil
+	}
+	if cfg.Obs.Enabled() {
+		o := cfg.Obs
+		sch.obs = o
+		dec.SetObs(o)
+		sch.cDecodeFailures = o.Counter("core.decode_failures")
+		sch.cBatchRecovered = o.Counter("core.batch_recovered")
+		sch.cBatchFallbacks = o.Counter("core.batch_fallbacks")
+		sch.cAggregates = o.Counter("core.aggregates")
+		sch.cFlagged = o.Counter("core.flagged_vehicles")
+		sch.hAggregateNs = o.Histogram("core.aggregate_ns", obs.LatencyBuckets())
+	}
+	return sch, nil
 }
 
 // TrimToMultiple returns the largest prefix of refX whose length is a
@@ -319,6 +352,20 @@ func (s *Scheme) Aggregate(uploads [][]float64) ([]float64, error) {
 			return nil, fmt.Errorf("core: vehicle %d uploaded %d values, want %d", i, len(up), s.UploadLen())
 		}
 	}
+	if s.obs.Enabled() {
+		start := s.obs.Now()
+		defer func() {
+			elapsed := s.obs.Now() - start
+			s.cAggregates.Inc()
+			s.hAggregateNs.Observe(int64(elapsed))
+			s.obs.EmitSpan("core.aggregate", start, elapsed,
+				obs.F("slots", s.slots),
+				obs.F("decode_failures", s.DecodeFailures),
+				obs.F("batch_recovered", s.BatchRecovered),
+				obs.F("batch_fallbacks", s.BatchFallbacks),
+				obs.F("flagged", len(s.SuspectedMalicious())))
+		}()
+	}
 	s.DecodeFailures = 0
 	s.DetectedMalicious = make([]int, s.cfg.NumVehicles)
 	s.BatchRecovered = 0
@@ -377,14 +424,27 @@ func (s *Scheme) Aggregate(uploads [][]float64) ([]float64, error) {
 	} else {
 		s.aggregateBatch(words, outcomes, points)
 	}
-	for _, o := range outcomes {
+	// The merge runs sequentially in slot order, so slot_fail events land
+	// in the trace deterministically even when the decodes fanned out.
+	for j, o := range outcomes {
 		if o.failed {
 			s.DecodeFailures++
+			if s.obs.TraceEnabled() {
+				s.obs.Emit("core.slot_fail", obs.F("slot", j))
+			}
 			continue
 		}
 		for _, id := range o.flagged {
 			s.DetectedMalicious[id]++
 		}
+	}
+	if s.obs.Enabled() {
+		// Cumulative counters mirror the per-round fields: add this round's
+		// deltas so totals stay in lock-step with the legacy ints.
+		s.cDecodeFailures.Add(int64(s.DecodeFailures))
+		s.cBatchRecovered.Add(int64(s.BatchRecovered))
+		s.cBatchFallbacks.Add(int64(s.BatchFallbacks))
+		s.cFlagged.Add(int64(len(s.SuspectedMalicious())))
 	}
 
 	n := len(s.refX)
@@ -475,6 +535,9 @@ func (s *Scheme) aggregateBatch(words []slotWord, outcomes []slotOutcome, points
 			}
 			var err error
 			dec, err = reedsolomon.NewDecoder(xs, s.k)
+			if err == nil && s.obs.Enabled() {
+				dec.SetObs(s.obs)
+			}
 			if err != nil {
 				// Unreachable given the scheme's invariants (k ≥ 1, enough
 				// distinct points); treat the group as undecodable.
@@ -491,6 +554,14 @@ func (s *Scheme) aggregateBatch(words []slotWord, outcomes []slotOutcome, points
 		results, errs, stats := dec.DecodeBatch(batch, s.batchSrc, s.workers)
 		s.BatchRecovered += stats.Recovered
 		s.BatchFallbacks += stats.Fallbacks
+		if s.obs.TraceEnabled() {
+			s.obs.Emit("core.batch_group",
+				obs.F("slots", len(slots)),
+				obs.F("present", len(ids)),
+				obs.F("recovered", stats.Recovered),
+				obs.F("fallbacks", stats.Fallbacks),
+				obs.F("combined_ok", stats.CombinedOK))
+		}
 		for t, j := range slots {
 			if errs[t] != nil {
 				outcomes[j].failed = true

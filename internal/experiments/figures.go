@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Options scales the harness: Full reproduces the paper's configuration;
@@ -24,6 +25,9 @@ type Options struct {
 	// sweeps). 0 selects GOMAXPROCS, 1 runs sequentially; results are
 	// bit-identical at every setting.
 	Workers int
+	// Obs attaches the observability layer to every run launched through
+	// these options. Nil disables instrumentation.
+	Obs *obs.Obs
 }
 
 func (o Options) scenario() Scenario {
@@ -33,6 +37,7 @@ func (o Options) scenario() Scenario {
 		Rows:     o.Rows,
 		Seed:     o.Seed,
 		Workers:  o.Workers,
+		Obs:      o.Obs,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Repeat runs a figure driver across several seeds and aggregates the
@@ -27,7 +28,9 @@ func Repeat(driver func(Options) (*Figure, error), o Options, seeds []int64) (*F
 	for _, seed := range seeds {
 		run := o
 		run.Seed = seed
+		seedSpan := o.Obs.Start("experiments.seed", obs.F("seed", seed))
 		fig, err := driver(run)
+		seedSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
 		}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/iov"
 	"repro/internal/metrics"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/traffic"
 )
 
@@ -92,6 +93,10 @@ type Scenario struct {
 	DistillEpochs int
 	DistillRate   float64
 	ServerStep    float64
+
+	// Obs attaches the observability layer to the run's FL system and
+	// (for L-CoFL) coding scheme. Nil disables instrumentation.
+	Obs *obs.Obs
 }
 
 // withDefaults fills unset fields.
@@ -157,6 +162,12 @@ type RunOutput struct {
 // Run executes one comparison model over the scenario.
 func (s Scenario) Run(v Variant) (*RunOutput, error) {
 	sc := s.withDefaults()
+	sc.Obs.Emit("experiments.run_start",
+		obs.F("variant", string(v)),
+		obs.F("seed", sc.Seed),
+		obs.F("vehicles", sc.Vehicles),
+		obs.F("rounds", sc.Rounds))
+	runSpan := sc.Obs.Start("experiments.run", obs.F("variant", string(v)), obs.F("seed", sc.Seed))
 	ds, err := traffic.Generate(traffic.GenConfig{Rows: sc.Rows, Seed: sc.Seed})
 	if err != nil {
 		return nil, err
@@ -217,6 +228,7 @@ func (s Scenario) Run(v Variant) (*RunOutput, error) {
 		ServerStep:    sc.ServerStep,
 		Seed:          sc.Seed + 5,
 		Workers:       sc.Workers,
+		Obs:           sc.Obs,
 	}
 	if act.Poly != nil && sc.Degree > 1 {
 		// Higher-degree polynomial activations have fast-growing
@@ -243,6 +255,7 @@ func (s Scenario) Run(v Variant) (*RunOutput, error) {
 			Degree:      sc.Degree,
 			Seed:        sc.Seed + 6,
 			Workers:     sc.Workers,
+			Obs:         sc.Obs,
 		})
 		scheme = coded
 	case CodedFL24:
@@ -308,6 +321,9 @@ func (s Scenario) Run(v Variant) (*RunOutput, error) {
 		}
 		out.TestEstimates[i] = pi
 	}
+	runSpan.End(
+		obs.F("decode_failures", out.DecodeFailures),
+		obs.F("suspected_malicious", out.SuspectedMalicious))
 	return out, nil
 }
 

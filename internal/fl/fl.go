@@ -31,12 +31,14 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/approx"
 	"repro/internal/channel"
 	"repro/internal/linalg"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -90,6 +92,10 @@ type Config struct {
 	Workers int
 	// Seed makes the whole system deterministic.
 	Seed int64
+	// Obs attaches the observability layer: per-round spans, per-vehicle
+	// training timings and drop counters. Nil (the default) disables all
+	// instrumentation at near-zero cost.
+	Obs *obs.Obs
 }
 
 func (c Config) validate() error {
@@ -136,6 +142,13 @@ type System struct {
 	refX     [][]float64
 	rng      *rand.Rand
 	round    int
+
+	// Observability handles, resolved once in NewSystem so the per-round
+	// and per-vehicle paths never touch the registry.
+	obs      *obs.Obs
+	cRounds  *obs.Counter
+	cDropped *obs.Counter
+	hTrainNs *obs.Histogram
 }
 
 // NewSystem builds the deployment: one vehicle per local dataset, a shared
@@ -170,6 +183,12 @@ func NewSystem(cfg Config, localData [][]nn.Sample, refX [][]float64, act approx
 		shared: shared,
 		refX:   cloneRows(refX),
 		rng:    rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+	if cfg.Obs.Enabled() {
+		s.obs = cfg.Obs
+		s.cRounds = cfg.Obs.Counter("fl.rounds")
+		s.cDropped = cfg.Obs.Counter("fl.dropped_scalars")
+		s.hTrainNs = cfg.Obs.Histogram("fl.train_ns", obs.LatencyBuckets())
 	}
 	for i, data := range localData {
 		if len(data) == 0 {
@@ -263,16 +282,29 @@ func (s *System) RunRound(scheme Scheme, plan *adversary.Plan, ch channel.Model)
 
 	stats := &RoundStats{Round: s.round + 1}
 	uploads := make([][]float64, len(s.vehicles))
+	roundSpan := s.obs.Start("fl.round", obs.F("round", stats.Round), obs.F("scheme", scheme.Name()))
+	s.obs.Emit("round.start", obs.F("round", stats.Round), obs.F("vehicles", len(s.vehicles)))
 
 	// Steps 1–3a: broadcast, local training (eq. 1), and honest upload,
 	// fanned out across the pool. Each vehicle mutates only its own model
 	// with its own RNG stream and writes only its own result slot, so the
 	// outcome is independent of scheduling. Schemes are read-only during
 	// Upload (they mutate state in BeginRound/Aggregate only).
+	// Per-vehicle durations are recorded into trainNs slots here and
+	// emitted sequentially below, so trace event ORDER never depends on
+	// pool scheduling (only the timing values do).
 	honest := make([][]float64, len(s.vehicles))
 	losses := make([]float64, len(s.vehicles))
+	var trainNs []int64
+	if s.obs.Enabled() {
+		trainNs = make([]int64, len(s.vehicles))
+	}
 	err := parallel.ForEach(parallel.Workers(s.cfg.Workers), len(s.vehicles), func(i int) error {
 		v := s.vehicles[i]
+		var t0 time.Duration
+		if trainNs != nil {
+			t0 = s.obs.Now()
+		}
 		if err := v.Model.SetParams(sharedParams); err != nil {
 			return fmt.Errorf("fl: vehicle %d: %w", v.ID, err)
 		}
@@ -286,10 +318,25 @@ func (s *System) RunRound(scheme Scheme, plan *adversary.Plan, ch channel.Model)
 			return fmt.Errorf("fl: vehicle %d upload: %w", v.ID, err)
 		}
 		honest[i] = up
+		if trainNs != nil {
+			trainNs[i] = int64(s.obs.Now() - t0)
+		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if s.obs.Enabled() {
+		for i, v := range s.vehicles {
+			s.hTrainNs.Observe(trainNs[i])
+			if s.obs.TraceEnabled() {
+				s.obs.Emit("fl.vehicle",
+					obs.F("round", stats.Round),
+					obs.F("vehicle", v.ID),
+					obs.F("train_ns", trainNs[i]),
+					obs.F("loss", losses[i]))
+			}
+		}
 	}
 
 	// Step 3b: adversary and channel, applied SEQUENTIALLY in vehicle
@@ -320,7 +367,9 @@ func (s *System) RunRound(scheme Scheme, plan *adversary.Plan, ch channel.Model)
 	stats.MeanLocalLoss = lossSum / float64(len(s.vehicles))
 
 	// Step 4: aggregation and distillation update.
+	aggSpan := s.obs.Start("fl.aggregate", obs.F("round", stats.Round))
 	targets, err := scheme.Aggregate(uploads)
+	aggSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("fl: aggregate: %w", err)
 	}
@@ -345,6 +394,14 @@ func (s *System) RunRound(scheme Scheme, plan *adversary.Plan, ch channel.Model)
 	}
 	stats.DistillLoss = dl
 	s.round++
+	if s.obs.Enabled() {
+		s.cRounds.Inc()
+		s.cDropped.Add(int64(stats.DroppedScalars))
+	}
+	roundSpan.End(
+		obs.F("mean_local_loss", stats.MeanLocalLoss),
+		obs.F("distill_loss", stats.DistillLoss),
+		obs.F("dropped_scalars", stats.DroppedScalars))
 	return stats, nil
 }
 

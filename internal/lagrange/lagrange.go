@@ -21,8 +21,10 @@ package lagrange
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/field"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -37,6 +39,14 @@ type Coder struct {
 	denomInv []field.Element   // 1 / Π_{n≠m}(ℓ_m - ℓ_n)
 	weights  [][]field.Element // weights[i][m] = p_m(ρ_i), cached at construction
 	workers  int               // pool width for EncodeVectors/EvalAtNodes; 1 = sequential
+
+	// Observability handles, resolved once in SetObs so the encode hot
+	// path pays one nil check when disabled and atomic ops when enabled —
+	// never a registry lookup.
+	obs         *obs.Obs
+	cEncCalls   *obs.Counter
+	cEncWords   *obs.Counter
+	hEncVectors *obs.Histogram
 }
 
 // NewCoder validates that nodes and points are pairwise distinct and
@@ -93,6 +103,20 @@ func NewCoder(nodes, points []field.Element) (*Coder, error) {
 // default is 1 (sequential).
 func (c *Coder) SetParallelism(workers int) {
 	c.workers = parallel.Workers(workers)
+}
+
+// SetObs attaches an observability handle: EncodeVectors then counts
+// calls and encoded words (lagrange.encode_calls / lagrange.encode_words),
+// records wall time in the lagrange.encode_ns histogram, and emits a
+// lagrange.encode trace event per call. A nil handle (the default)
+// disables all of it at the cost of one pointer check per call.
+func (c *Coder) SetObs(o *obs.Obs) {
+	c.obs = o
+	if o.Enabled() {
+		c.cEncCalls = o.Counter("lagrange.encode_calls")
+		c.cEncWords = o.Counter("lagrange.encode_words")
+		c.hEncVectors = o.Histogram("lagrange.encode_ns", obs.LatencyBuckets())
+	}
 }
 
 // NumBatches returns M, the number of interpolation nodes.
@@ -208,6 +232,10 @@ func (c *Coder) EncodeVectors(batches [][]field.Element) ([][]field.Element, err
 			return nil, fmt.Errorf("lagrange: batch %d has length %d, want %d", m, len(b), width)
 		}
 	}
+	var start time.Duration
+	if c.obs.Enabled() {
+		start = c.obs.Now()
+	}
 	out := make([][]field.Element, len(c.points))
 	c.forEachChunk(len(c.points), func(lo, hi int) {
 		acc := field.NewAccumulator(width)
@@ -220,6 +248,16 @@ func (c *Coder) EncodeVectors(batches [][]field.Element) ([][]field.Element, err
 			out[i] = enc
 		}
 	})
+	if c.obs.Enabled() {
+		elapsed := c.obs.Now() - start
+		c.cEncCalls.Inc()
+		c.cEncWords.Add(int64(len(c.points) * width))
+		c.hEncVectors.Observe(int64(elapsed))
+		c.obs.EmitSpan("lagrange.encode", start, elapsed,
+			obs.F("batches", len(batches)),
+			obs.F("width", width),
+			obs.F("workers_out", len(c.points)))
+	}
 	return out, nil
 }
 

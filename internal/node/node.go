@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fl"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/poly"
 	"repro/internal/protocol"
 	"repro/internal/transport"
@@ -47,6 +48,10 @@ type ServerConfig struct {
 	// each round before treating missing vehicles as stragglers
 	// (default 30 s).
 	RoundTimeout time.Duration
+	// Obs attaches the observability layer to the fusion centre and (via
+	// Scheme.Obs, unless the caller already set one) to its coding scheme.
+	// Nil disables all instrumentation.
+	Obs *obs.Obs
 }
 
 // Report summarises a completed distributed session.
@@ -60,6 +65,10 @@ type Report struct {
 	SuspectedMalicious []int
 	// Stragglers counts upload timeouts across all rounds.
 	Stragglers int
+	// RecvErrors counts per-connection receive failures across all
+	// rounds — a vehicle whose connection broke mid-session shows up here
+	// (and is treated as dead thereafter), not silently as a straggler.
+	RecvErrors int
 }
 
 // Server is the fusion centre.
@@ -67,6 +76,12 @@ type Server struct {
 	cfg    ServerConfig
 	shared *nn.Network
 	scheme *core.Scheme
+
+	// Observability handles, resolved once in NewServer.
+	obs         *obs.Obs
+	cRecvErrors *obs.Counter
+	cStragglers *obs.Counter
+	cRoundsDone *obs.Counter
 }
 
 // NewServer builds the shared model and the coding scheme.
@@ -87,11 +102,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("node: shared model: %w", err)
 	}
+	if cfg.Obs.Enabled() && cfg.Scheme.Obs == nil {
+		cfg.Scheme.Obs = cfg.Obs
+	}
 	scheme, err := core.NewScheme(cfg.RefX, cfg.Scheme)
 	if err != nil {
 		return nil, fmt.Errorf("node: scheme: %w", err)
 	}
-	return &Server{cfg: cfg, shared: shared, scheme: scheme}, nil
+	srv := &Server{cfg: cfg, shared: shared, scheme: scheme}
+	if cfg.Obs.Enabled() {
+		srv.obs = cfg.Obs
+		srv.cRecvErrors = cfg.Obs.Counter("node.recv_errors")
+		srv.cStragglers = cfg.Obs.Counter("node.stragglers")
+		srv.cRoundsDone = cfg.Obs.Counter("node.rounds")
+	}
+	return srv, nil
 }
 
 // Shared exposes the fusion centre's model (for evaluation after Run).
@@ -134,6 +159,12 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 			return nil, fmt.Errorf("node: duplicate vehicle ID %d", id)
 		}
 		byID[id] = conn
+		// Relabel the instrumented connection now that the peer has
+		// identified itself: its transport events carry "vehicle-<id>"
+		// instead of the accept-order placeholder.
+		if sp, ok := conn.(interface{ SetPeer(string) }); ok {
+			sp.SetPeer(fmt.Sprintf("vehicle-%d", id))
+		}
 	}
 	setup := &protocol.Setup{
 		InputSize:        s.cfg.FL.InputSize,
@@ -175,6 +206,8 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 	flagged := map[int]bool{}
 	dead := map[int]bool{}
 	for round := 1; round <= s.cfg.Rounds; round++ {
+		s.obs.Emit("node.round_start", obs.F("round", round))
+		roundSpan := s.obs.Start("node.round", obs.F("round", round))
 		if err := s.scheme.BeginRound(s.shared.Clone()); err != nil {
 			return nil, fmt.Errorf("node: round %d: %w", round, err)
 		}
@@ -204,6 +237,12 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 				switch {
 				case u.err != nil:
 					dead[u.vehicleID] = true
+					report.RecvErrors++
+					s.cRecvErrors.Inc()
+					s.obs.Emit("node.recv_error",
+						obs.F("round", round),
+						obs.F("vehicle", u.vehicleID),
+						obs.F("error", u.err.Error()))
 				case u.round != round:
 					// Stale upload from a previous round's straggler.
 					pending++ // that vehicle still owes this round
@@ -214,9 +253,13 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 				break collect // stragglers: leave their uploads nil
 			}
 		}
+		roundStragglers := 0
 		for id := range byID {
 			if !dead[id] && uploads[id] == nil {
 				report.Stragglers++
+				roundStragglers++
+				s.cStragglers.Inc()
+				s.obs.Emit("node.straggler", obs.F("round", round), obs.F("vehicle", id))
 			}
 		}
 
@@ -240,6 +283,11 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 			}
 		}
 		report.Rounds = round
+		s.cRoundsDone.Inc()
+		roundSpan.End(
+			obs.F("stragglers", roundStragglers),
+			obs.F("decode_failures", s.scheme.DecodeFailures),
+			obs.F("flagged", len(s.scheme.SuspectedMalicious())))
 	}
 
 	fin := &protocol.Message{Finished: &protocol.Finished{Rounds: report.Rounds}}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// RuntimeSampler publishes Go runtime health — heap, goroutines, GC — as
+// registry gauges, either on demand (Sample) or periodically on a
+// background goroutine (Start/Stop) for long runs. Gauges published:
+//
+//	runtime.heap_alloc_bytes    live heap bytes
+//	runtime.heap_objects        live heap objects
+//	runtime.total_alloc_bytes   cumulative allocated bytes
+//	runtime.goroutines          current goroutine count
+//	runtime.gc_num              completed GC cycles
+//	runtime.gc_pause_total_ns   cumulative stop-the-world pause
+//
+// runtime.ReadMemStats briefly stops the world, so the sampling interval
+// should stay coarse (the 1 s default is safe for multi-second runs).
+type RuntimeSampler struct {
+	reg  *Registry
+	stop chan struct{}
+	g    parallel.Group
+
+	heapAlloc, heapObjects, totalAlloc *Gauge
+	goroutines, gcNum, gcPause         *Gauge
+}
+
+// DefaultSampleInterval is the Start interval used when none is given.
+const DefaultSampleInterval = time.Second
+
+// NewRuntimeSampler binds a sampler to a registry (nil registry → all
+// samples are dropped, but the sampler stays usable).
+func NewRuntimeSampler(reg *Registry) *RuntimeSampler {
+	return &RuntimeSampler{
+		reg:         reg,
+		heapAlloc:   reg.Gauge("runtime.heap_alloc_bytes"),
+		heapObjects: reg.Gauge("runtime.heap_objects"),
+		totalAlloc:  reg.Gauge("runtime.total_alloc_bytes"),
+		goroutines:  reg.Gauge("runtime.goroutines"),
+		gcNum:       reg.Gauge("runtime.gc_num"),
+		gcPause:     reg.Gauge("runtime.gc_pause_total_ns"),
+	}
+}
+
+// Sample reads the runtime once and updates the gauges.
+func (s *RuntimeSampler) Sample() {
+	if s == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.heapAlloc.Set(int64(ms.HeapAlloc))
+	s.heapObjects.Set(int64(ms.HeapObjects))
+	s.totalAlloc.Set(int64(ms.TotalAlloc))
+	s.goroutines.Set(int64(runtime.NumGoroutine()))
+	s.gcNum.Set(int64(ms.NumGC))
+	s.gcPause.Set(int64(ms.PauseTotalNs))
+}
+
+// Start samples every interval (<= 0 selects DefaultSampleInterval) on a
+// pool-tracked goroutine until Stop. Starting twice is a no-op.
+func (s *RuntimeSampler) Start(interval time.Duration) {
+	if s == nil || s.stop != nil {
+		return
+	}
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	s.stop = make(chan struct{})
+	stop := s.stop
+	s.g.Go(func() error {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				s.Sample()
+			case <-stop:
+				return nil
+			}
+		}
+	})
+}
+
+// Stop halts background sampling (if started), waits for the goroutine to
+// exit, and records one final sample so shutdown state is captured.
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	if s.stop != nil {
+		close(s.stop)
+		_ = s.g.Wait() // the sampling loop only returns nil
+		s.stop = nil
+	}
+	s.Sample()
+}

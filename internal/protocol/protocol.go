@@ -93,6 +93,21 @@ type Error struct {
 	Reason string `json:"reason"`
 }
 
+// Kind returns the message discriminator ("hello", "upload", …) — used
+// in errors and as the message-type label on transport telemetry.
+func (m *Message) Kind() string { return m.kind() }
+
+// EncodedSize returns the exact on-wire size of the message in bytes
+// (4-byte length prefix plus JSON body), or 0 when it cannot marshal.
+// The instrumented transport uses it to account bytes per connection.
+func EncodedSize(m *Message) int {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return 0
+	}
+	return 4 + len(body)
+}
+
 // kind returns the message discriminator for validation and errors.
 func (m *Message) kind() string {
 	switch {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/field"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/poly"
 )
@@ -51,6 +52,30 @@ type BatchStats struct {
 // 1 is sequential); outcomes are slot-indexed, so they are identical at
 // any worker count.
 func (d *Decoder) DecodeBatch(words [][]field.Element, src field.Source, workers int) ([]*Result, []error, BatchStats) {
+	results, errs, stats := d.decodeBatch(words, src, workers)
+	if d.obs.Enabled() {
+		d.cBatchWords.Add(int64(len(words)))
+		d.cBatchRecov.Add(int64(stats.Recovered))
+		d.cBatchFallback.Add(int64(stats.Fallbacks))
+		if stats.CombinedOK {
+			d.cCombinedOK.Inc()
+		} else {
+			d.cCombinedFail.Inc()
+		}
+		if d.obs.TraceEnabled() {
+			d.obs.Emit("rs.batch",
+				obs.F("words", len(words)),
+				obs.F("points", len(d.xs)),
+				obs.F("combined_ok", stats.CombinedOK),
+				obs.F("recovered", stats.Recovered),
+				obs.F("fallbacks", stats.Fallbacks))
+		}
+	}
+	return results, errs, stats
+}
+
+// decodeBatch is DecodeBatch without the observability wrapper.
+func (d *Decoder) decodeBatch(words [][]field.Element, src field.Source, workers int) ([]*Result, []error, BatchStats) {
 	n := len(d.xs)
 	S := len(words)
 	results := make([]*Result, S)

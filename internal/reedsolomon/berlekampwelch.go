@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/field"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/poly"
 )
@@ -42,6 +43,17 @@ func DecodeBW(xs, ys []field.Element, k int) (*Result, error) {
 // workers < 1 selects GOMAXPROCS; workers == 1 runs the pre-pool
 // sequential scan with its early exit.
 func DecodeBWParallel(xs, ys []field.Element, k, workers int) (*Result, error) {
+	return DecodeBWObs(xs, ys, k, workers, nil)
+}
+
+// DecodeBWObs is DecodeBWParallel with observability attached: every
+// error-budget attempt increments rs.bw.attempts (rs.bw.wins on success)
+// and, with tracing on, emits an rs.bw_attempt event carrying the budget
+// and outcome. With a nil handle it is exactly DecodeBWParallel. Note
+// that in the racing configuration (workers > 1) attempt events are
+// emitted from pool goroutines, so their ORDER in the trace follows the
+// scheduler; the racing outcome itself stays bit-identical (see above).
+func DecodeBWObs(xs, ys []field.Element, k, workers int, o *obs.Obs) (*Result, error) {
 	n := len(xs)
 	if len(ys) != n {
 		return nil, fmt.Errorf("reedsolomon: %d points but %d values", n, len(ys))
@@ -57,9 +69,29 @@ func DecodeBWParallel(xs, ys []field.Element, k, workers int) (*Result, error) {
 	}
 	maxE := MaxErrors(n, k)
 	workers = parallel.Workers(workers)
+	// Resolve the counters once per call; the per-attempt loop then pays
+	// one atomic add, not a registry lookup.
+	var cAttempts, cWins *obs.Counter
+	if o.Enabled() {
+		cAttempts = o.Counter("rs.bw.attempts")
+		cWins = o.Counter("rs.bw.wins")
+	}
+	attempt := func(e int) *Result {
+		res := bwVerifiedAttempt(xs, ys, k, e, maxE)
+		if o.Enabled() {
+			cAttempts.Inc()
+			if res != nil {
+				cWins.Inc()
+			}
+			if o.TraceEnabled() {
+				o.Emit("rs.bw_attempt", obs.F("budget", e), obs.F("ok", res != nil))
+			}
+		}
+		return res
+	}
 	if workers == 1 {
 		for e := maxE; e >= 0; e-- {
-			if res := bwVerifiedAttempt(xs, ys, k, e, maxE); res != nil {
+			if res := attempt(e); res != nil {
 				return res, nil
 			}
 		}
@@ -78,7 +110,7 @@ func DecodeBWParallel(xs, ys []field.Element, k, workers int) (*Result, error) {
 		if int64(e) <= best.Load() {
 			return nil
 		}
-		if res := bwVerifiedAttempt(xs, ys, k, e, maxE); res != nil {
+		if res := attempt(e); res != nil {
 			results[e] = res
 			for {
 				cur := best.Load()

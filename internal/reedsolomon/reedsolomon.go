@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/field"
 	"repro/internal/linalg"
+	"repro/internal/obs"
 	"repro/internal/poly"
 )
 
@@ -148,6 +149,29 @@ type Decoder struct {
 	xs []field.Element
 	k  int
 	g0 poly.Poly
+
+	// obs metric handles, resolved once in SetObs so the batch decoder's
+	// hot loops update lock-free counters without registry lookups. All
+	// nil (no-op) by default.
+	obs            *obs.Obs
+	cBatchWords    *obs.Counter
+	cBatchRecov    *obs.Counter
+	cBatchFallback *obs.Counter
+	cCombinedOK    *obs.Counter
+	cCombinedFail  *obs.Counter
+}
+
+// SetObs attaches observability to the decoder: DecodeBatch increments
+// the rs.batch.* counters and, when tracing is on, emits per-call
+// rs.batch events. A nil handle (the default) disables everything at the
+// cost of a few nil checks.
+func (d *Decoder) SetObs(o *obs.Obs) {
+	d.obs = o
+	d.cBatchWords = o.Counter("rs.batch.words")
+	d.cBatchRecov = o.Counter("rs.batch.recovered")
+	d.cBatchFallback = o.Counter("rs.batch.fallbacks")
+	d.cCombinedOK = o.Counter("rs.batch.combined_ok")
+	d.cCombinedFail = o.Counter("rs.batch.combined_fail")
 }
 
 // NewDecoder validates the points and message bound and precomputes the

@@ -1,0 +1,209 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// obsForTest builds a full Obs (registry + tracer + manual clock) whose
+// trace lands in the returned buffer. The buffer is only safe to read
+// after every emitting goroutine has finished.
+func obsForTest() (*obs.Obs, *obs.Registry, *bytes.Buffer) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	clk := &obs.ManualClock{}
+	return obs.New(reg, obs.NewTracer(&buf, clk), clk), reg, &buf
+}
+
+func TestInstrumentDisabledReturnsOriginal(t *testing.T) {
+	a, _ := Pipe()
+	if got := Instrument(a, nil, "x"); got != a {
+		t.Fatal("disabled Instrument wrapped the connection")
+	}
+}
+
+// TestInstrumentCountsTraffic checks the wrapper's three ledgers agree:
+// per-connection stats, registry counters, and trace events.
+func TestInstrumentCountsTraffic(t *testing.T) {
+	o, reg, buf := obsForTest()
+	a, b := Pipe()
+	ia := Instrument(a, o, "server")
+	ib := Instrument(b, o, "vehicle-0")
+
+	const n = 5
+	wantBytes := int64(0)
+	for i := 0; i < n; i++ {
+		m := stressMsg(i)
+		wantBytes += int64(protocol.EncodedSize(m))
+		if err := ia.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ib.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ia.(*instrumentedConn).Stats()
+	if st.SentMsgs != n || st.SentBytes != wantBytes || st.SendErrors != 0 {
+		t.Fatalf("sender stats %+v, want %d msgs / %d bytes", st, n, wantBytes)
+	}
+	st = ib.(*instrumentedConn).Stats()
+	if st.RecvMsgs != n || st.RecvBytes != wantBytes {
+		t.Fatalf("receiver stats %+v, want %d msgs / %d bytes", st, n, wantBytes)
+	}
+	if got := reg.Counter("transport.send_msgs").Value(); got != n {
+		t.Fatalf("transport.send_msgs = %d, want %d", got, n)
+	}
+	if got := reg.Counter("transport.recv_bytes").Value(); got != wantBytes {
+		t.Fatalf("transport.recv_bytes = %d, want %d", got, wantBytes)
+	}
+
+	// Sends fail after the local close (the peer-close race is covered by
+	// the stress tests); the error counter must move and the message
+	// counters must not.
+	_ = ia.Close()
+	if err := ia.Send(stressMsg(99)); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+	if got := reg.Counter("transport.send_errors").Value(); got != 1 {
+		t.Fatalf("transport.send_errors = %d, want 1", got)
+	}
+	if got := reg.Counter("transport.send_msgs").Value(); got != n {
+		t.Fatalf("send_msgs moved on a failed send: %d", got)
+	}
+
+	if err := o.Tracer().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var sends, recvs int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		switch rec["ev"] {
+		case "transport.send":
+			sends++
+			if rec["peer"] != "server" || rec["kind"] != "hello" {
+				t.Fatalf("send event mislabelled: %v", rec)
+			}
+		case "transport.recv":
+			recvs++
+			if rec["peer"] != "vehicle-0" {
+				t.Fatalf("recv event mislabelled: %v", rec)
+			}
+		}
+	}
+	if sends != n || recvs != n {
+		t.Fatalf("trace has %d sends / %d recvs, want %d each", sends, recvs, n)
+	}
+}
+
+func TestInstrumentSetPeerRelabels(t *testing.T) {
+	o, _, buf := obsForTest()
+	a, b := Pipe()
+	ia := Instrument(a, o, "conn-0")
+	ia.(interface{ SetPeer(string) }).SetPeer("vehicle-7")
+	if err := ia.Send(stressMsg(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Tracer().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"peer":"vehicle-7"`) {
+		t.Fatalf("trace kept stale peer label:\n%s", buf.String())
+	}
+}
+
+// TestInstrumentCloseRacesSend mirrors TestPipeCloseRacesSend with every
+// end wrapped: closes race sends and recvs on both instrumented ends
+// while a relabeler spins. Run under -race (scripts/check.sh does); the
+// test fails by deadlock or by the race detector.
+func TestInstrumentCloseRacesSend(t *testing.T) {
+	o, _, _ := obsForTest()
+	const rounds = 64
+	for r := 0; r < rounds; r++ {
+		a, b := Pipe()
+		ia, ib := Instrument(a, o, "a"), Instrument(b, o, "b")
+		var wg sync.WaitGroup
+		for _, c := range []Conn{ia, ib} {
+			wg.Add(3)
+			go func(c Conn) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					if err := c.Send(stressMsg(i)); err != nil {
+						return
+					}
+				}
+			}(c)
+			go func(c Conn) {
+				defer wg.Done()
+				for {
+					if _, err := c.Recv(); err != nil {
+						return
+					}
+				}
+			}(c)
+			go func(c Conn) {
+				defer wg.Done()
+				c.(interface{ SetPeer(string) }).SetPeer("relabelled")
+				_ = c.Close()
+			}(c)
+		}
+		wg.Wait()
+	}
+}
+
+// TestInstrumentConcurrentStress is TestPipeConcurrentStress over
+// instrumented pairs: traffic on many connections at once, with closes
+// in flight, all feeding one shared registry and tracer.
+func TestInstrumentConcurrentStress(t *testing.T) {
+	o, reg, _ := obsForTest()
+	const pairs = 16
+	const msgs = 50
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		a, b := Pipe()
+		ia, ib := Instrument(a, o, "a"), Instrument(b, o, "b")
+		wg.Add(2)
+		go func(c Conn) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				if err := c.Send(stressMsg(i)); err != nil {
+					return
+				}
+			}
+			_ = c.Close()
+		}(ia)
+		go func(c Conn) {
+			defer wg.Done()
+			for {
+				if _, err := c.Recv(); err != nil {
+					_ = c.Close()
+					return
+				}
+				delivered.Add(1)
+			}
+		}(ib)
+	}
+	wg.Wait()
+	if delivered.Load() == 0 {
+		t.Fatal("no messages survived the stress run")
+	}
+	if got := reg.Counter("transport.recv_msgs").Value(); got != delivered.Load() {
+		t.Fatalf("registry recv_msgs = %d, delivered = %d", got, delivered.Load())
+	}
+	if err := o.Tracer().Flush(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,12 @@
 #                            -compare fails the run on >20% ns/op growth
 #                            (tolerance widened in --quick mode, where 1x
 #                            timings are noise).
+#   BENCH_obs.json         — the observability-overhead suite (DESIGN.md
+#                            §10): Aggregate with obs off / counters only /
+#                            counters+tracer. The same -compare gate keeps
+#                            the mode=off timing pinned to the baseline, so
+#                            instrumentation cost cannot creep into the
+#                            disabled path.
 #
 #   scripts/bench.sh            # full measurement (benchtime 3x)
 #   scripts/bench.sh --quick    # CI smoke: 1 iteration, exercises the
@@ -35,6 +41,7 @@ fi
 
 out="${BENCH_OUT:-BENCH_parallel.json}"
 batch_out="${BENCH_BATCH_OUT:-BENCH_batchdecode.json}"
+obs_out="${BENCH_OBS_OUT:-BENCH_obs.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -56,3 +63,15 @@ else
     echo "== benchreport -> $batch_out (no baseline yet)"
 fi
 go run ./cmd/benchreport -out "$batch_out" "${compare_args[@]}" < "$raw"
+
+echo "== go test -bench observability-overhead suite -benchtime $benchtime"
+go test -run NONE -bench 'AggregateObs' -benchtime "$benchtime" . | tee "$raw"
+
+obs_compare_args=()
+if [[ -f "$obs_out" ]]; then
+    echo "== benchreport -> $obs_out (regression gate vs previous, max +${max_regress})"
+    obs_compare_args=(-compare "$obs_out" -max-regress "$max_regress")
+else
+    echo "== benchreport -> $obs_out (no baseline yet)"
+fi
+go run ./cmd/benchreport -out "$obs_out" "${obs_compare_args[@]}" < "$raw"
