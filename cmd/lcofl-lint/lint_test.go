@@ -156,6 +156,27 @@ func TestSelfClean(t *testing.T) {
 	}
 }
 
+// TestChaosLayerClean runs the full default suite over the fault-injection
+// package: the chaos layer must itself obey the invariants it perturbs —
+// delays through an injected obs.Sleeper (wallclock), no bare goroutines
+// (rawgo), and seeded randomness only (determinism).
+func TestChaosLayerClean(t *testing.T) {
+	pkgs, err := loadPackages(".", []string{"repro/internal/chaos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want internal/chaos alone", len(pkgs))
+	}
+	diags, err := runAnalyzers(pkgs, defaultAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("internal/chaos flagged: %s", d)
+	}
+}
+
 // TestDiagnosticOrdering checks the driver sorts findings by position.
 func TestDiagnosticOrdering(t *testing.T) {
 	pkg := loadFixture(t, "fieldarith")

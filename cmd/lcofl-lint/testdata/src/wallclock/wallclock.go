@@ -1,6 +1,6 @@
 // Package wallclock exercises the wallclock analyzer: direct wall-clock
-// reads must be flagged; clock injection and pure scheduling primitives
-// must not.
+// reads and blocking sleeps must be flagged; clock/sleeper injection and
+// non-blocking scheduling primitives must not.
 package wallclock
 
 import "time"
@@ -33,6 +33,22 @@ func Scheduling() {
 	case <-t.C:
 	case <-time.After(time.Millisecond):
 	}
+}
+
+// Sleeper mirrors obs.Sleeper: the sanctioned way to block on time.
+type Sleeper interface {
+	Sleep(time.Duration)
+}
+
+// Blocks stalls the caller on the wall clock — a chaos delay or retry
+// backoff written this way makes every test really wait.
+func Blocks() {
+	time.Sleep(time.Millisecond) // want "blocking time.Sleep outside internal/obs"
+}
+
+// InjectedSleep delays through a sleeper — the deterministic pattern.
+func InjectedSleep(s Sleeper) {
+	s.Sleep(time.Millisecond)
 }
 
 // Suppressed documents an acknowledged wall-clock read.

@@ -6,23 +6,34 @@ import (
 )
 
 // wallClockFuncs are the package-level time functions that read the wall
-// clock. Scheduling primitives (time.After, time.NewTicker, time.Sleep)
+// clock. Non-blocking scheduling primitives (time.After, time.NewTicker)
 // stay legal everywhere: they consume time without observing it, so they
 // cannot leak nondeterminism into traces or figures.
 var wallClockFuncs = map[string]bool{
 	"Now": true, "Since": true, "Until": true,
 }
 
-// newWallClockAnalyzer confines wall-clock reads to the observability
-// package. Everything else must take time from an injected obs.Clock, so
-// a test can substitute obs.ManualClock and get byte-identical traces —
-// one stray time.Now() in a library quietly breaks that contract.
+// blockingFuncs are the time functions that stall the caller on the wall
+// clock. Libraries must take an injected obs.Sleeper instead (the chaos
+// delay and retry-backoff paths do), so tests substitute
+// obs.ManualSleeper and never actually sleep.
+var blockingFuncs = map[string]bool{
+	"Sleep": true,
+}
+
+// newWallClockAnalyzer confines wall-clock reads and blocking sleeps to
+// the observability package. Everything else must take time from an
+// injected obs.Clock and delays from an injected obs.Sleeper, so a test
+// can substitute obs.ManualClock/ManualSleeper and get byte-identical,
+// instant runs — one stray time.Now() or time.Sleep() in a library
+// quietly breaks that contract.
 // Test files never reach the analyzer (the driver loads only GoFiles).
 func newWallClockAnalyzer(allowed map[string]bool) *Analyzer {
 	return &Analyzer{
 		Name: "wallclock",
-		Doc: "confine wall-clock reads (time.Now/Since/Until) to internal/obs, so all " +
-			"other packages stay deterministic under an injected obs.Clock",
+		Doc: "confine wall-clock reads (time.Now/Since/Until) and blocking sleeps " +
+			"(time.Sleep) to internal/obs, so all other packages stay deterministic " +
+			"under an injected obs.Clock/obs.Sleeper",
 		Run: func(pass *Pass) error {
 			if allowed[pass.Pkg.Path] {
 				return nil
@@ -34,7 +45,7 @@ func newWallClockAnalyzer(allowed map[string]bool) *Analyzer {
 						return true
 					}
 					sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-					if !ok || !wallClockFuncs[sel.Sel.Name] {
+					if !ok || (!wallClockFuncs[sel.Sel.Name] && !blockingFuncs[sel.Sel.Name]) {
 						return true
 					}
 					id, ok := sel.X.(*ast.Ident)
@@ -43,6 +54,10 @@ func newWallClockAnalyzer(allowed map[string]bool) *Analyzer {
 					}
 					pkgName, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
 					if !ok || pkgName.Imported().Path() != "time" {
+						return true
+					}
+					if blockingFuncs[sel.Sel.Name] {
+						pass.Reportf(call.Pos(), "blocking time.%s outside internal/obs; take delays from an injected obs.Sleeper so tests never sleep", sel.Sel.Name)
 						return true
 					}
 					pass.Reportf(call.Pos(), "wall-clock read time.%s outside internal/obs; take time from an injected obs.Clock so traces stay deterministic", sel.Sel.Name)

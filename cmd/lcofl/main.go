@@ -6,13 +6,17 @@
 //	lcofl all [-outdir results] [flags]
 //	lcofl demo [-vehicles 40] [-malicious 0.3]
 //	lcofl serve -addr :9444 [-vehicles 20] [-rounds 10] [-seed 1]
-//	lcofl vehicle -addr host:9444 -id 3 [-malicious] [-seed 1]
+//	lcofl vehicle -addr host:9444 -id 3 [-malicious] [-seed 1] [-chaos SPEC]
+//	lcofl dist [-vehicles 12] [-rounds 3] [-seed 1] [-chaos SPEC]
 //
 // "run" regenerates one paper figure's data as TSV; "all" writes every
 // figure to a directory; "demo" walks one verified round verbosely;
 // "serve"/"vehicle" run the genuinely distributed deployment over TCP
 // (both sides derive the dataset deterministically from the shared seed,
-// so no data file needs to be exchanged).
+// so no data file needs to be exchanged); "dist" runs the same
+// distributed session in one process over in-memory pipes, optionally
+// under a seeded fault-injection spec (see internal/chaos and DESIGN.md
+// §11) — the CI chaos gate.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/approx"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fl"
@@ -56,6 +61,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "vehicle":
 		err = cmdVehicle(os.Args[2:])
+	case "dist":
+		err = cmdDist(os.Args[2:])
 	case "predict":
 		err = cmdPredict(os.Args[2:])
 	case "-h", "--help", "help":
@@ -79,7 +86,8 @@ commands:
   all      regenerate every figure into a directory
   demo     walk one verified round verbosely
   serve    run a fusion centre over TCP (-checkpoint saves the model)
-  vehicle  run one vehicle over TCP
+  vehicle  run one vehicle over TCP (with bounded reconnect)
+  dist     run the distributed session in-process, optionally under -chaos faults
   predict  load a model checkpoint and score a dataset
 `)
 }
@@ -413,6 +421,31 @@ func cmdDemo(args []string) (retErr error) {
 	return nil
 }
 
+// addChaosFlag registers -chaos and returns a builder for the fault
+// injector. An empty spec yields a nil injector (fault-free run); the
+// grammar is documented in internal/chaos and DESIGN.md §11.
+func addChaosFlag(fs *flag.FlagSet) func(ob *obs.Obs) (*chaos.Injector, error) {
+	spec := fs.String("chaos", "", "seeded fault-injection spec, e.g. 'seed=7;drop.upload=0.15:max=4;crash@3=before-upload:2'")
+	return func(ob *obs.Obs) (*chaos.Injector, error) {
+		if *spec == "" {
+			return nil, nil
+		}
+		parsed, err := chaos.Parse(*spec)
+		if err != nil {
+			return nil, err
+		}
+		return chaos.New(parsed, chaos.Options{Obs: ob}), nil
+	}
+}
+
+// chaosWrap applies the injector when one is configured.
+func chaosWrap(inj *chaos.Injector, peer int, c transport.Conn) transport.Conn {
+	if inj == nil {
+		return c
+	}
+	return inj.Wrap(peer, c)
+}
+
 // chooseBatches picks M so the degree-1 recover threshold K = M fits the
 // fleet with room for errors (eq. 6).
 func chooseBatches(vehicles int) int {
@@ -506,12 +539,35 @@ func cmdServe(args []string) (retErr error) {
 		conns = append(conns, transport.Instrument(c, ob, fmt.Sprintf("conn-%d", len(conns))))
 		fmt.Printf("lcofl serve: %d/%d vehicles connected\n", len(conns), *vehicles)
 	}
+	// Keep accepting while the session runs: a vehicle that crashed (or
+	// was faulted by -chaos on its side) redials, and Server.Rejoin
+	// revives it mid-round. Rejoins after the session end are answered
+	// with Finished, so retrying vehicles always terminate.
+	var acceptLoop parallel.Group
+	acceptLoop.Go(func() error {
+		for n := 0; ; n++ {
+			c, err := l.Accept()
+			if err != nil {
+				return nil // listener closed: session over
+			}
+			fmt.Printf("lcofl serve: rejoin connection %d accepted\n", n)
+			srv.Rejoin(transport.Instrument(c, ob, fmt.Sprintf("rejoin-%d", n)))
+		}
+	})
 	report, err := srv.Run(conns)
+	_ = l.Close() // unblock the accept loop; the deferred Close becomes a no-op
+	if werr := acceptLoop.Wait(); werr != nil && err == nil {
+		err = werr
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("lcofl serve: completed %d rounds, flagged %v, stragglers %d\n",
 		report.Rounds, report.SuspectedMalicious, report.Stragglers)
+	if report.CorruptFrames+report.Retransmits+report.Rejoins+report.DegradedRounds+report.RecvErrors > 0 {
+		fmt.Printf("lcofl serve: recovery: %d corrupt frames, %d retransmits, %d rejoins, %d degraded rounds, %d recv errors\n",
+			report.CorruptFrames, report.Retransmits, report.Rejoins, report.DegradedRounds, report.RecvErrors)
+	}
 	correct := 0
 	for i, x := range testX {
 		pi, err := srv.Shared().EstimateClamped(x)
@@ -601,6 +657,9 @@ func cmdVehicle(args []string) (retErr error) {
 	vehicles := fs.Int("vehicles", 20, "fleet size (must match the server)")
 	seed := fs.Int64("seed", 1, "shared scenario seed")
 	malicious := fs.Bool("malicious", false, "lie on every upload")
+	retries := fs.Int("retries", 5, "consecutive failed connection attempts before giving up")
+	dialTimeout := fs.Duration("dial-timeout", transport.DefaultDialTimeout, "per-attempt connection timeout")
+	buildChaos := addChaosFlag(fs)
 	observe := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -614,6 +673,10 @@ func cmdVehicle(args []string) (retErr error) {
 			retErr = cerr
 		}
 	}()
+	inj, err := buildChaos(ob)
+	if err != nil {
+		return err
+	}
 	_, train, _, _, err := distributedSetup(*vehicles, *seed)
 	if err != nil {
 		return err
@@ -625,21 +688,169 @@ func cmdVehicle(args []string) (retErr error) {
 	if *id < 0 || *id >= len(parts) {
 		return fmt.Errorf("vehicle: id %d outside fleet of %d", *id, len(parts))
 	}
-	raw, err := transport.DialTCP(*addr)
-	if err != nil {
-		return err
-	}
-	conn := transport.Instrument(raw, ob, "server")
-	defer conn.Close()
 	cc := node.ClientConfig{VehicleID: *id, Data: parts[*id], Seed: *seed + 100 + int64(*id)}
 	if *malicious {
 		cc.Corrupt = adversary.ConstantLie{Value: 5}
 		fmt.Printf("lcofl vehicle %d: running MALICIOUSLY\n", *id)
 	}
-	fmt.Printf("lcofl vehicle %d: connected to %s with %d local samples\n", *id, *addr, len(parts[*id]))
-	if err := node.RunVehicle(conn, cc); err != nil {
+	if inj != nil {
+		fmt.Printf("lcofl vehicle %d: chaos spec %q active\n", *id, inj.Spec().String())
+	}
+	// The session survives connection loss: RunVehicleRetry redials with
+	// exponential backoff, and the fusion centre's rejoin path resends
+	// whatever the vehicle still owes. The injector persists across
+	// redials so a spec'd crash fires exactly once.
+	dial := func() (transport.Conn, error) {
+		raw, err := transport.DialTCPTimeout(*addr, *dialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		return chaosWrap(inj, *id, transport.Instrument(raw, ob, "server")), nil
+	}
+	fmt.Printf("lcofl vehicle %d: dialing %s with %d local samples\n", *id, *addr, len(parts[*id]))
+	if err := node.RunVehicleRetry(cc, node.RetryConfig{
+		Dial:        dial,
+		MaxAttempts: *retries,
+		Obs:         ob,
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("lcofl vehicle %d: session finished\n", *id)
+	return nil
+}
+
+// cmdDist runs the whole distributed deployment — fusion centre plus
+// fleet — inside one process over in-memory pipes, with every
+// vehicle-side connection optionally wrapped by the -chaos injector and
+// every vehicle running under bounded-reconnect retry. This is what the
+// CI chaos-smoke gate drives: a seeded fault schedule, then
+// cmd/tracereport cross-checks the recovery ledger.
+func cmdDist(args []string) (retErr error) {
+	fs := flag.NewFlagSet("dist", flag.ExitOnError)
+	vehicles := fs.Int("vehicles", 12, "fleet size")
+	rounds := fs.Int("rounds", 3, "global rounds")
+	seed := fs.Int64("seed", 1, "shared scenario seed")
+	malicious := fs.Float64("malicious", 0, "malicious fraction")
+	workers := fs.Int("workers", 0, "worker-pool size for the decode hot paths (0 = all cores)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-round upload deadline (dropped uploads surface as stragglers after this)")
+	retries := fs.Int("retries", 5, "per-vehicle consecutive failed connection attempts before giving up")
+	buildChaos := addChaosFlag(fs)
+	observe := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ob, closeObs, err := observe()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := closeObs(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	inj, err := buildChaos(ob)
+	if err != nil {
+		return err
+	}
+	refX, train, testX, testY, err := distributedSetup(*vehicles, *seed)
+	if err != nil {
+		return err
+	}
+	parts, err := train.PartitionIID(*vehicles, *seed+3)
+	if err != nil {
+		return err
+	}
+	exact := approx.SymmetricSigmoid()
+	p, err := approx.LeastSquares{SamplePoints: 21}.Fit(exact.F, -2, 2, 1)
+	if err != nil {
+		return err
+	}
+	srv, err := node.NewServer(node.ServerConfig{
+		FL: fl.Config{
+			InputSize: traffic.NumFeatures, LocalEpochs: 5, LocalRate: 0.2,
+			DistillEpochs: 30, DistillRate: 0.2, ServerStep: 0.5, Seed: *seed + 4,
+		},
+		Scheme: core.SchemeConfig{
+			NumVehicles: *vehicles, NumBatches: chooseBatches(*vehicles), Degree: 1, Seed: *seed + 5,
+			Workers: *workers,
+		},
+		RefX:             refX,
+		ActivationCoeffs: p,
+		Rounds:           *rounds,
+		RoundTimeout:     *timeout,
+		Obs:              ob,
+	})
+	if err != nil {
+		return err
+	}
+	var plan *adversary.Plan
+	if *malicious > 0 {
+		plan, err = adversary.NewPlan(*vehicles, *malicious, adversary.ConstantLie{Value: 5}, *seed+6)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("lcofl dist: %d malicious vehicles: %v\n", plan.Count(), plan.IDs())
+	}
+	if inj != nil {
+		fmt.Printf("lcofl dist: chaos spec %q active on every vehicle-side connection\n", inj.Spec().String())
+	}
+	fmt.Printf("lcofl dist: %d vehicles, %d rounds over in-memory pipes\n", *vehicles, *rounds)
+
+	conns := make([]transport.Conn, *vehicles)
+	var fleet parallel.Group
+	for i := 0; i < *vehicles; i++ {
+		serverEnd, vehicleEnd := transport.Pipe()
+		conns[i] = transport.Instrument(serverEnd, ob, fmt.Sprintf("conn-%d", i))
+		cc := node.ClientConfig{VehicleID: i, Data: parts[i], Seed: *seed + 100 + int64(i)}
+		if plan != nil && plan.IsMalicious(i) {
+			cc.Corrupt = adversary.ConstantLie{Value: 5}
+		}
+		first := vehicleEnd
+		dial := func() (transport.Conn, error) {
+			if first != nil {
+				c := first
+				first = nil
+				return chaosWrap(inj, i, c), nil
+			}
+			// Crash recovery: open a fresh pipe and hand the
+			// fusion-centre side to the running session.
+			se, ve := transport.Pipe()
+			srv.Rejoin(transport.Instrument(se, ob, fmt.Sprintf("conn-%d", i)))
+			return chaosWrap(inj, i, ve), nil
+		}
+		fleet.Go(func() error {
+			return node.RunVehicleRetry(cc, node.RetryConfig{
+				Dial:        dial,
+				MaxAttempts: *retries,
+				// Redialing a pipe is instant; keep the backoff short so
+				// a crashed vehicle rejoins within the session instead
+				// of finding it already finished.
+				BaseDelay: time.Millisecond,
+				Obs:       ob,
+			})
+		})
+	}
+	report, err := srv.Run(conns)
+	if werr := fleet.Wait(); werr != nil && err == nil {
+		err = werr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lcofl dist: completed %d rounds, flagged %v, stragglers %d\n",
+		report.Rounds, report.SuspectedMalicious, report.Stragglers)
+	fmt.Printf("lcofl dist: recovery: %d corrupt frames, %d retransmits, %d rejoins, %d degraded rounds, %d recv errors\n",
+		report.CorruptFrames, report.Retransmits, report.Rejoins, report.DegradedRounds, report.RecvErrors)
+	correct := 0
+	for i, x := range testX {
+		pi, err := srv.Shared().EstimateClamped(x)
+		if err != nil {
+			return err
+		}
+		if (pi > 0.5) == (testY[i] == 1) {
+			correct++
+		}
+	}
+	fmt.Printf("lcofl dist: final shared-model test accuracy %.3f\n", float64(correct)/float64(len(testX)))
 	return nil
 }

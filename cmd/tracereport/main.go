@@ -107,6 +107,28 @@ type vehicleStats struct {
 	TrainNs int64 `json:"train_ns"`
 }
 
+// recoverySummary aggregates the fault-recovery events the node layer
+// emits under chaos (DESIGN.md §11). Every field mirrors a registry
+// counter (crossCheck pins the pairing).
+type recoverySummary struct {
+	CorruptFrames       int64 `json:"corrupt_frames"`
+	Retransmits         int64 `json:"retransmits"`
+	Rejoins             int64 `json:"rejoins"`
+	Reconnects          int64 `json:"reconnects"`
+	DegradedRounds      int64 `json:"degraded_rounds"`
+	ClientCorruptFrames int64 `json:"client_corrupt_frames"`
+}
+
+// chaosSummary counts the faults the internal/chaos injector reported
+// having fired — the "what was done to the run" side of the ledger that
+// recoverySummary answers.
+type chaosSummary struct {
+	Drops    int64 `json:"drops"`
+	Corrupts int64 `json:"corrupts"`
+	Delays   int64 `json:"delays"`
+	Crashes  int64 `json:"crashes"`
+}
+
 type summary struct {
 	Events     int                      `json:"events"`
 	Runs       int                      `json:"runs"`
@@ -115,6 +137,8 @@ type summary struct {
 	RecvErrors int64                    `json:"recv_errors"`
 	Stragglers int64                    `json:"stragglers"`
 	Decode     decodeSummary            `json:"decode"`
+	Recovery   recoverySummary          `json:"recovery"`
+	Chaos      chaosSummary             `json:"chaos"`
 	Stages     map[string]*stageStats   `json:"stages"`
 	Peers      map[string]*peerStats    `json:"peers"`
 	Vehicles   map[string]*vehicleStats `json:"vehicles"`
@@ -173,6 +197,26 @@ func summarize(r io.Reader) (*summary, error) {
 			sum.RecvErrors++
 		case "node.straggler":
 			sum.Stragglers++
+		case "node.corrupt_frame":
+			sum.Recovery.CorruptFrames++
+		case "node.retransmit":
+			sum.Recovery.Retransmits++
+		case "node.rejoin":
+			sum.Recovery.Rejoins++
+		case "node.reconnect":
+			sum.Recovery.Reconnects++
+		case "node.degraded":
+			sum.Recovery.DegradedRounds++
+		case "node.client_corrupt_frame":
+			sum.Recovery.ClientCorruptFrames++
+		case "chaos.drop":
+			sum.Chaos.Drops++
+		case "chaos.corrupt":
+			sum.Chaos.Corrupts++
+		case "chaos.delay":
+			sum.Chaos.Delays++
+		case "chaos.crash":
+			sum.Chaos.Crashes++
 		case "core.slot_fail":
 			sum.Decode.SlotFailures++
 		case "rs.bw_attempt":
@@ -283,6 +327,16 @@ func crossCheck(sum *summary, metricsPath string) error {
 		{"rs.batch.words", sum.Decode.BatchWords},
 		{"rs.batch.recovered", sum.Decode.BatchRecovered},
 		{"rs.batch.fallbacks", sum.Decode.BatchFallbacks},
+		{"node.corrupt_frames", sum.Recovery.CorruptFrames},
+		{"node.retransmits", sum.Recovery.Retransmits},
+		{"node.rejoins", sum.Recovery.Rejoins},
+		{"node.reconnects", sum.Recovery.Reconnects},
+		{"node.degraded_rounds", sum.Recovery.DegradedRounds},
+		{"node.client_corrupt_frames", sum.Recovery.ClientCorruptFrames},
+		{"chaos.drops", sum.Chaos.Drops},
+		{"chaos.corrupts", sum.Chaos.Corrupts},
+		{"chaos.delays", sum.Chaos.Delays},
+		{"chaos.crashes", sum.Chaos.Crashes},
 	}
 	for _, c := range checks {
 		if got := snap.Counters[c.counter]; got != c.trace {
@@ -304,6 +358,15 @@ func writeText(w io.Writer, sum *summary) error {
 		sum.Decode.BatchGroups, sum.Decode.BatchWords, sum.Decode.BatchRecovered, sum.Decode.BatchFallbacks)
 	if sum.RecvErrors > 0 || sum.Stragglers > 0 {
 		fmt.Fprintf(&b, "node: %d receive errors, %d straggler timeouts\n", sum.RecvErrors, sum.Stragglers)
+	}
+	if sum.Chaos != (chaosSummary{}) {
+		fmt.Fprintf(&b, "chaos: %d drops, %d corrupts, %d delays, %d crashes injected\n",
+			sum.Chaos.Drops, sum.Chaos.Corrupts, sum.Chaos.Delays, sum.Chaos.Crashes)
+	}
+	if sum.Recovery != (recoverySummary{}) {
+		fmt.Fprintf(&b, "recovery: %d corrupt frames (%d client-side), %d retransmits, %d rejoins, %d reconnects, %d degraded rounds\n",
+			sum.Recovery.CorruptFrames, sum.Recovery.ClientCorruptFrames, sum.Recovery.Retransmits,
+			sum.Recovery.Rejoins, sum.Recovery.Reconnects, sum.Recovery.DegradedRounds)
 	}
 
 	if len(sum.Stages) > 0 {

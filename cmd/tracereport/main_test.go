@@ -25,6 +25,18 @@ const sampleTrace = `{"ev":"experiments.run_start","t_ns":0,"variant":"l-cofl"}
 {"ev":"node.round","t_ns":300,"dur_ns":5000,"round":1}
 {"ev":"node.recv_error","t_ns":310,"round":1,"vehicle":2,"error":"closed"}
 {"ev":"node.straggler","t_ns":320,"round":1,"vehicle":5}
+{"ev":"chaos.drop","t_ns":330,"peer":4,"kind":"upload","rule":0}
+{"ev":"chaos.corrupt","t_ns":340,"peer":4,"kind":"upload","rule":1}
+{"ev":"chaos.corrupt","t_ns":350,"peer":6,"kind":"upload","rule":1}
+{"ev":"chaos.delay","t_ns":360,"peer":2,"kind":"hello","rule":2,"delay_ns":2000000}
+{"ev":"chaos.crash","t_ns":370,"peer":7,"kind":"upload","point":"before-upload","round":2}
+{"ev":"node.corrupt_frame","t_ns":380,"round":1,"vehicle":4}
+{"ev":"node.corrupt_frame","t_ns":390,"round":1,"vehicle":6}
+{"ev":"node.retransmit","t_ns":400,"round":1,"vehicle":4,"attempt":1}
+{"ev":"node.rejoin","t_ns":410,"round":2,"vehicle":7}
+{"ev":"node.reconnect","t_ns":420,"vehicle":7,"failures":1,"delay_ns":100000000,"error":"closed"}
+{"ev":"node.degraded","t_ns":430,"round":2,"present":3,"need":8}
+{"ev":"node.client_corrupt_frame","t_ns":440,"vehicle":4}
 `
 
 func TestSummarize(t *testing.T) {
@@ -32,11 +44,22 @@ func TestSummarize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sum.Events != 16 || sum.Runs != 1 || sum.FLRounds != 2 || sum.NodeRounds != 1 {
+	if sum.Events != 28 || sum.Runs != 1 || sum.FLRounds != 2 || sum.NodeRounds != 1 {
 		t.Fatalf("headline counts wrong: %+v", sum)
 	}
 	if sum.RecvErrors != 1 || sum.Stragglers != 1 {
 		t.Fatalf("node counts wrong: %+v", sum)
+	}
+	wantChaos := chaosSummary{Drops: 1, Corrupts: 2, Delays: 1, Crashes: 1}
+	if sum.Chaos != wantChaos {
+		t.Fatalf("chaos summary = %+v, want %+v", sum.Chaos, wantChaos)
+	}
+	wantRec := recoverySummary{
+		CorruptFrames: 2, Retransmits: 1, Rejoins: 1,
+		Reconnects: 1, DegradedRounds: 1, ClientCorruptFrames: 1,
+	}
+	if sum.Recovery != wantRec {
+		t.Fatalf("recovery summary = %+v, want %+v", sum.Recovery, wantRec)
 	}
 	d := sum.Decode
 	if d.SlotFailures != 1 || d.BWAttempts != 2 || d.BWWins != 1 ||
@@ -107,7 +130,10 @@ func TestCrossCheck(t *testing.T) {
 	}
 	good := `{"counters":{"fl.rounds":2,"node.rounds":1,"node.recv_errors":1,"node.stragglers":1,
 		"core.decode_failures":1,"rs.bw.attempts":2,"rs.bw.wins":1,
-		"rs.batch.words":8,"rs.batch.recovered":6,"rs.batch.fallbacks":2}}`
+		"rs.batch.words":8,"rs.batch.recovered":6,"rs.batch.fallbacks":2,
+		"node.corrupt_frames":2,"node.retransmits":1,"node.rejoins":1,"node.reconnects":1,
+		"node.degraded_rounds":1,"node.client_corrupt_frames":1,
+		"chaos.drops":1,"chaos.corrupts":2,"chaos.delays":1,"chaos.crashes":1}}`
 	if err := crossCheck(sum, writeTemp(t, "good.json", good)); err != nil {
 		t.Fatalf("consistent snapshot rejected: %v", err)
 	}
@@ -115,6 +141,18 @@ func TestCrossCheck(t *testing.T) {
 	err = crossCheck(sum, writeTemp(t, "bad.json", bad))
 	if err == nil || !strings.Contains(err.Error(), "rs.batch.fallbacks") {
 		t.Fatalf("inconsistent snapshot accepted: %v", err)
+	}
+	// The recovery/chaos ledger is cross-checked too: a chaos counter that
+	// drifts from the trace-derived count must fail the gate.
+	bad = strings.Replace(good, `"chaos.corrupts":2`, `"chaos.corrupts":3`, 1)
+	err = crossCheck(sum, writeTemp(t, "bad-chaos.json", bad))
+	if err == nil || !strings.Contains(err.Error(), "chaos.corrupts") {
+		t.Fatalf("drifting chaos counter accepted: %v", err)
+	}
+	bad = strings.Replace(good, `"node.rejoins":1`, `"node.rejoins":0`, 1)
+	err = crossCheck(sum, writeTemp(t, "bad-rejoin.json", bad))
+	if err == nil || !strings.Contains(err.Error(), "node.rejoins") {
+		t.Fatalf("drifting rejoin counter accepted: %v", err)
 	}
 }
 
@@ -140,7 +178,11 @@ func TestRunText(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"2 fl rounds", "1/2 BW attempts won", "vehicle-0", "stage latencies"} {
+	for _, want := range []string{
+		"2 fl rounds", "1/2 BW attempts won", "vehicle-0", "stage latencies",
+		"chaos: 1 drops, 2 corrupts, 1 delays, 1 crashes injected",
+		"recovery: 2 corrupt frames (1 client-side), 1 retransmits, 1 rejoins, 1 reconnects, 1 degraded rounds",
+	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("text output missing %q:\n%s", want, out)
 		}

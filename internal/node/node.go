@@ -11,17 +11,28 @@
 // Setup message, so their Lagrange-encoded shares match the fusion
 // centre's without shipping any encoding matrices.
 //
-// A vehicle that misses a round deadline is treated as a straggler (its
-// upload is absent), which the coded aggregation already tolerates.
+// The layer is chaos-hardened (DESIGN.md §11): a vehicle that misses a
+// round deadline is a straggler, which the coded aggregation already
+// tolerates; a corrupted upload frame (protocol.ErrCorruptFrame) prompts
+// a bounded re-broadcast and the vehicle resends its cached upload
+// without retraining, so recovery is bit-identical to the fault-free
+// run; a crashed vehicle may reconnect through Server.Rejoin and resume
+// the session; and a round left with fewer uploads than the RS recover
+// threshold K degrades gracefully — the model holds still and the round
+// is counted in Report.DegradedRounds — instead of failing the session.
 package node
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/adversary"
 	"repro/internal/approx"
 	"repro/internal/core"
+	"repro/internal/field"
 	"repro/internal/fl"
 	"repro/internal/nn"
 	"repro/internal/obs"
@@ -48,15 +59,24 @@ type ServerConfig struct {
 	// each round before treating missing vehicles as stragglers
 	// (default 30 s).
 	RoundTimeout time.Duration
+	// MaxRetransmits bounds how many times per round a vehicle whose
+	// upload frame arrived corrupted is prompted (by re-broadcast) to
+	// resend it. 0 selects the default of 3; negative disables
+	// retransmission, turning corrupted uploads into stragglers.
+	MaxRetransmits int
 	// Obs attaches the observability layer to the fusion centre and (via
 	// Scheme.Obs, unless the caller already set one) to its coding scheme.
 	// Nil disables all instrumentation.
 	Obs *obs.Obs
 }
 
+// defaultMaxRetransmits bounds corrupt-upload recovery per vehicle per
+// round.
+const defaultMaxRetransmits = 3
+
 // Report summarises a completed distributed session.
 type Report struct {
-	// Rounds is the number of completed rounds.
+	// Rounds is the number of completed rounds (degraded ones included).
 	Rounds int
 	// FinalParams is the shared model's final parameter vector.
 	FinalParams []float64
@@ -67,8 +87,19 @@ type Report struct {
 	Stragglers int
 	// RecvErrors counts per-connection receive failures across all
 	// rounds — a vehicle whose connection broke mid-session shows up here
-	// (and is treated as dead thereafter), not silently as a straggler.
+	// (and is treated as dead until it rejoins), not silently as a
+	// straggler.
 	RecvErrors int
+	// CorruptFrames counts frames that failed their checksum
+	// (protocol.ErrCorruptFrame) across all connections and rounds.
+	CorruptFrames int
+	// Retransmits counts corrupt-upload re-broadcast prompts.
+	Retransmits int
+	// Rejoins counts crashed vehicles revived through Server.Rejoin.
+	Rejoins int
+	// DegradedRounds counts rounds that ran with fewer than K uploads and
+	// therefore skipped aggregation (the model held still).
+	DegradedRounds int
 }
 
 // Server is the fusion centre.
@@ -77,11 +108,27 @@ type Server struct {
 	shared *nn.Network
 	scheme *core.Scheme
 
+	// rejoin carries handshaked reconnections into Run's collect loop.
+	rejoin    chan rejoinReq
+	mu        sync.Mutex
+	done      bool
+	finRounds int
+
 	// Observability handles, resolved once in NewServer.
 	obs         *obs.Obs
 	cRecvErrors *obs.Counter
 	cStragglers *obs.Counter
 	cRoundsDone *obs.Counter
+	cCorrupt    *obs.Counter
+	cRetransmit *obs.Counter
+	cRejoins    *obs.Counter
+	cDegraded   *obs.Counter
+}
+
+// rejoinReq is a reconnected, handshaked vehicle awaiting revival.
+type rejoinReq struct {
+	id   int
+	conn transport.Conn
 }
 
 // NewServer builds the shared model and the coding scheme.
@@ -94,6 +141,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.RoundTimeout == 0 {
 		cfg.RoundTimeout = 30 * time.Second
+	}
+	if cfg.MaxRetransmits == 0 {
+		cfg.MaxRetransmits = defaultMaxRetransmits
 	}
 	act := approx.FromPolynomial("wire-poly", poly.NewReal(cfg.ActivationCoeffs...))
 	sizes := append([]int{cfg.FL.InputSize}, cfg.FL.Hidden...)
@@ -109,12 +159,21 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("node: scheme: %w", err)
 	}
-	srv := &Server{cfg: cfg, shared: shared, scheme: scheme}
+	srv := &Server{
+		cfg:    cfg,
+		shared: shared,
+		scheme: scheme,
+		rejoin: make(chan rejoinReq, 64),
+	}
 	if cfg.Obs.Enabled() {
 		srv.obs = cfg.Obs
 		srv.cRecvErrors = cfg.Obs.Counter("node.recv_errors")
 		srv.cStragglers = cfg.Obs.Counter("node.stragglers")
 		srv.cRoundsDone = cfg.Obs.Counter("node.rounds")
+		srv.cCorrupt = cfg.Obs.Counter("node.corrupt_frames")
+		srv.cRetransmit = cfg.Obs.Counter("node.retransmits")
+		srv.cRejoins = cfg.Obs.Counter("node.rejoins")
+		srv.cDegraded = cfg.Obs.Counter("node.degraded_rounds")
 	}
 	return srv, nil
 }
@@ -122,11 +181,82 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // Shared exposes the fusion centre's model (for evaluation after Run).
 func (s *Server) Shared() *nn.Network { return s.shared }
 
-// upload pairs a received contribution with its sender.
-type upload struct {
+// Rejoin hands a reconnected vehicle's fusion-centre-side connection to
+// the running session. It returns immediately; the handshake (hello)
+// happens on a background goroutine and the revival — Setup resent, the
+// current round's broadcast resent if an upload is owed — in Run's
+// collect loop. A rejoin arriving after the session finished is answered
+// with Finished and closed, so a retrying vehicle terminates cleanly.
+func (s *Server) Rejoin(conn transport.Conn) {
+	go func() {
+		id, err := readHello(conn, s.cfg.Scheme.NumVehicles)
+		if err != nil {
+			_ = conn.Close()
+			return
+		}
+		s.mu.Lock()
+		if !s.done {
+			select {
+			case s.rejoin <- rejoinReq{id: id, conn: conn}:
+				s.mu.Unlock()
+				return
+			default: // queue full: treat as too-late
+			}
+		}
+		fin := s.finRounds
+		s.mu.Unlock()
+		_ = conn.Send(&protocol.Message{Finished: &protocol.Finished{Rounds: fin}})
+		_ = conn.Close()
+	}()
+}
+
+// finish marks the session over and answers any queued rejoins with
+// Finished so late reconnectors terminate instead of hanging.
+func (s *Server) finish(rounds int) {
+	s.mu.Lock()
+	s.done = true
+	s.finRounds = rounds
+	s.mu.Unlock()
+	for {
+		select {
+		case req := <-s.rejoin:
+			_ = req.conn.Send(&protocol.Message{Finished: &protocol.Finished{Rounds: rounds}})
+			_ = req.conn.Close()
+		default:
+			return
+		}
+	}
+}
+
+// readHello consumes and validates a vehicle's opening hello.
+func readHello(conn transport.Conn, vehicles int) (int, error) {
+	m, err := conn.Recv()
+	if err != nil {
+		return 0, fmt.Errorf("node: hello: %w", err)
+	}
+	if m.Hello == nil {
+		return 0, fmt.Errorf("node: connection opened with %s, want hello", m.Kind())
+	}
+	if m.Hello.Version != protocol.Version {
+		return 0, fmt.Errorf("node: peer speaks version %d, want %d", m.Hello.Version, protocol.Version)
+	}
+	id := m.Hello.VehicleID
+	if id < 0 || id >= vehicles {
+		return 0, fmt.Errorf("node: vehicle ID %d out of range", id)
+	}
+	return id, nil
+}
+
+// result is one event from a connection's receiver goroutine: an upload,
+// a detected corrupt frame, or a terminal receive error. conn identifies
+// the connection it came from, so errors from a connection that has
+// already been replaced by a rejoin are discarded.
+type result struct {
 	vehicleID int
+	conn      transport.Conn
 	round     int
 	values    []float64
+	corrupt   bool
 	err       error
 }
 
@@ -141,19 +271,9 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 	// Handshake: map connections to vehicle IDs.
 	byID := make(map[int]transport.Conn, v)
 	for i, conn := range conns {
-		m, err := conn.Recv()
+		id, err := readHello(conn, v)
 		if err != nil {
-			return nil, fmt.Errorf("node: hello from conn %d: %w", i, err)
-		}
-		if m.Hello == nil {
-			return nil, fmt.Errorf("node: conn %d opened with %+v, want hello", i, m)
-		}
-		if m.Hello.Version != protocol.Version {
-			return nil, fmt.Errorf("node: conn %d speaks version %d, want %d", i, m.Hello.Version, protocol.Version)
-		}
-		id := m.Hello.VehicleID
-		if id < 0 || id >= v {
-			return nil, fmt.Errorf("node: vehicle ID %d out of range", id)
+			return nil, fmt.Errorf("node: conn %d: %w", i, err)
 		}
 		if _, dup := byID[id]; dup {
 			return nil, fmt.Errorf("node: duplicate vehicle ID %d", id)
@@ -183,35 +303,91 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 		}
 	}
 
-	// One receiver goroutine per vehicle feeds the round loop.
-	results := make(chan upload, v)
-	for id, conn := range byID {
-		go func(id int, conn transport.Conn) {
+	// One receiver goroutine per connection feeds the round loop. Corrupt
+	// frames are frame-local (the stream stays in sync), so the receiver
+	// reports them and keeps reading; any other error is terminal for the
+	// connection.
+	results := make(chan result, 4*v)
+	startReceiver := func(id int, conn transport.Conn) {
+		go func() {
 			for {
 				m, err := conn.Recv()
 				if err != nil {
-					results <- upload{vehicleID: id, err: err}
+					if errors.Is(err, protocol.ErrCorruptFrame) {
+						results <- result{vehicleID: id, conn: conn, corrupt: true}
+						continue
+					}
+					results <- result{vehicleID: id, conn: conn, err: err}
 					return
 				}
 				if m.Upload == nil {
-					results <- upload{vehicleID: id, err: fmt.Errorf("unexpected %+v", m)}
+					results <- result{vehicleID: id, conn: conn, err: fmt.Errorf("unexpected %s", m.Kind())}
 					return
 				}
-				results <- upload{vehicleID: id, round: m.Upload.Round, values: m.Upload.Values}
+				results <- result{vehicleID: id, conn: conn, round: m.Upload.Round, values: m.Upload.Values}
 			}
-		}(id, conn)
+		}()
+	}
+	for id, conn := range byID {
+		startReceiver(id, conn)
 	}
 
 	report := &Report{}
 	flagged := map[int]bool{}
 	dead := map[int]bool{}
-	for round := 1; round <= s.cfg.Rounds; round++ {
+
+	// Per-round state, hoisted so the rejoin handler (a closure shared by
+	// every round's collect loop) sees the current round's values.
+	var (
+		round       int
+		bc          *protocol.Message
+		uploads     [][]float64
+		outstanding map[int]bool
+	)
+
+	// handleRejoin revives a reconnected vehicle mid-round: the
+	// connection is swapped in (the stale one closed), Setup is resent so
+	// a restarted process can rebuild its scheme, and if the vehicle
+	// still owes this round's upload the broadcast is resent too.
+	handleRejoin := func(req rejoinReq) {
+		id := req.id
+		if old, ok := byID[id]; ok && old != req.conn {
+			_ = old.Close()
+		}
+		byID[id] = req.conn
+		dead[id] = false
+		if sp, ok := req.conn.(interface{ SetPeer(string) }); ok {
+			sp.SetPeer(fmt.Sprintf("vehicle-%d", id))
+		}
+		report.Rejoins++
+		s.cRejoins.Inc()
+		s.obs.Emit("node.rejoin", obs.F("round", round), obs.F("vehicle", id))
+		fail := func() {
+			dead[id] = true
+			delete(outstanding, id)
+			_ = req.conn.Close()
+		}
+		if err := req.conn.Send(&protocol.Message{Setup: setup}); err != nil {
+			fail()
+			return
+		}
+		if uploads[id] == nil {
+			if err := req.conn.Send(bc); err != nil {
+				fail()
+				return
+			}
+			outstanding[id] = true
+		}
+		startReceiver(id, req.conn)
+	}
+
+	for round = 1; round <= s.cfg.Rounds; round++ {
 		s.obs.Emit("node.round_start", obs.F("round", round))
 		roundSpan := s.obs.Start("node.round", obs.F("round", round))
 		if err := s.scheme.BeginRound(s.shared.Clone()); err != nil {
 			return nil, fmt.Errorf("node: round %d: %w", round, err)
 		}
-		bc := &protocol.Message{Broadcast: &protocol.Broadcast{Round: round, Params: s.shared.Params()}}
+		bc = &protocol.Message{Broadcast: &protocol.Broadcast{Round: round, Params: s.shared.Params()}}
 		for id, conn := range byID {
 			if dead[id] {
 				continue
@@ -221,22 +397,49 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 			}
 		}
 
-		uploads := make([][]float64, v)
-		pending := 0
+		uploads = make([][]float64, v)
+		outstanding = make(map[int]bool, v)
 		for id := range byID {
 			if !dead[id] {
-				pending++
+				outstanding[id] = true
 			}
 		}
+		retrans := make(map[int]int)
 		deadline := time.After(s.cfg.RoundTimeout)
 	collect:
-		for pending > 0 {
+		for len(outstanding) > 0 {
 			select {
 			case u := <-results:
-				pending--
 				switch {
+				case u.corrupt:
+					report.CorruptFrames++
+					s.cCorrupt.Inc()
+					s.obs.Emit("node.corrupt_frame", obs.F("round", round), obs.F("vehicle", u.vehicleID))
+					// Prompt the vehicle to resend its cached upload by
+					// re-broadcasting the round, within budget.
+					if byID[u.vehicleID] != u.conn || dead[u.vehicleID] || !outstanding[u.vehicleID] {
+						break
+					}
+					if retrans[u.vehicleID] >= s.cfg.MaxRetransmits {
+						break
+					}
+					retrans[u.vehicleID]++
+					report.Retransmits++
+					s.cRetransmit.Inc()
+					s.obs.Emit("node.retransmit",
+						obs.F("round", round),
+						obs.F("vehicle", u.vehicleID),
+						obs.F("attempt", retrans[u.vehicleID]))
+					if err := u.conn.Send(bc); err != nil {
+						dead[u.vehicleID] = true
+						delete(outstanding, u.vehicleID)
+					}
 				case u.err != nil:
+					if byID[u.vehicleID] != u.conn {
+						break // stale error from a replaced connection
+					}
 					dead[u.vehicleID] = true
+					delete(outstanding, u.vehicleID)
 					report.RecvErrors++
 					s.cRecvErrors.Inc()
 					s.obs.Emit("node.recv_error",
@@ -244,11 +447,14 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 						obs.F("vehicle", u.vehicleID),
 						obs.F("error", u.err.Error()))
 				case u.round != round:
-					// Stale upload from a previous round's straggler.
-					pending++ // that vehicle still owes this round
-				default:
+					// Stale upload from a previous round's straggler:
+					// discard; the vehicle still owes the current round.
+				case outstanding[u.vehicleID]:
 					uploads[u.vehicleID] = u.values
+					delete(outstanding, u.vehicleID)
 				}
+			case req := <-s.rejoin:
+				handleRejoin(req)
 			case <-deadline:
 				break collect // stragglers: leave their uploads nil
 			}
@@ -261,6 +467,28 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 				s.cStragglers.Inc()
 				s.obs.Emit("node.straggler", obs.F("round", round), obs.F("vehicle", id))
 			}
+		}
+
+		present := 0
+		for _, up := range uploads {
+			if up != nil {
+				present++
+			}
+		}
+		if k := s.scheme.RecoverThreshold(); present < k {
+			// Below the RS decode threshold nothing can be verified or
+			// aggregated: hold the model still rather than fail the
+			// session (DESIGN.md §11).
+			report.DegradedRounds++
+			s.cDegraded.Inc()
+			s.obs.Emit("node.degraded",
+				obs.F("round", round),
+				obs.F("present", present),
+				obs.F("need", k))
+			report.Rounds = round
+			s.cRoundsDone.Inc()
+			roundSpan.End(obs.F("stragglers", roundStragglers), obs.F("degraded", true))
+			continue
 		}
 
 		targets, err := s.scheme.Aggregate(uploads)
@@ -295,8 +523,8 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 		if !dead[id] {
 			_ = conn.Send(fin) // best effort; the session is over
 		}
-		_ = id
 	}
+	s.finish(report.Rounds)
 	for id := range flagged {
 		report.SuspectedMalicious = append(report.SuspectedMalicious, id)
 	}
@@ -327,25 +555,60 @@ type ClientConfig struct {
 	Corrupt adversary.Behavior
 }
 
-// RunVehicle speaks the vehicle side of the protocol until Finished.
-func RunVehicle(conn transport.Conn, cfg ClientConfig) error {
+// transientError marks connection-level failures that RunVehicleRetry
+// recovers from by reconnecting; protocol violations and training
+// failures stay permanent.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// transientf builds a transient (reconnectable) error.
+func transientf(format string, args ...any) error {
+	return &transientError{err: fmt.Errorf(format, args...)}
+}
+
+// IsTransient reports whether err is a connection failure a reconnect
+// could recover from.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// vehicleSession is a vehicle's state across connections: the local
+// model, the rebuilt scheme, the SGD shuffle stream, and the last upload.
+// Keeping it outside the per-connection loop is what makes reconnection
+// exact — a resumed session resends the cached upload instead of
+// retraining, so its randomness stream (and therefore every subsequent
+// round) is bit-identical to a fault-free run.
+type vehicleSession struct {
+	cfg ClientConfig
+	o   *obs.Obs
+
+	local  *nn.Network
+	scheme *core.Scheme
+	rng    *rand.Rand
+
+	lastRound  int
+	lastUpload []float64
+}
+
+// newVehicleSession validates the config; the model and scheme are built
+// lazily from the first Setup message.
+func newVehicleSession(cfg ClientConfig, o *obs.Obs) (*vehicleSession, error) {
 	if len(cfg.Data) == 0 {
-		return fmt.Errorf("node: vehicle %d has no local data", cfg.VehicleID)
+		return nil, fmt.Errorf("node: vehicle %d has no local data", cfg.VehicleID)
 	}
-	if err := conn.Send(&protocol.Message{Hello: &protocol.Hello{
-		Version:   protocol.Version,
-		VehicleID: cfg.VehicleID,
-	}}); err != nil {
-		return fmt.Errorf("node: hello: %w", err)
+	return &vehicleSession{cfg: cfg, o: o}, nil
+}
+
+// install builds the local model and scheme from Setup. On a rejoin the
+// server resends Setup; an already-installed session keeps its trained
+// model and advanced randomness stream and ignores the repeat.
+func (s *vehicleSession) install(setup *protocol.Setup) error {
+	if s.local != nil {
+		return nil
 	}
-	m, err := conn.Recv()
-	if err != nil {
-		return fmt.Errorf("node: awaiting setup: %w", err)
-	}
-	if m.Setup == nil {
-		return fmt.Errorf("node: expected setup, got %+v", m)
-	}
-	setup := m.Setup
 	var act approx.Activation
 	if len(setup.ActivationCoeffs) > 0 {
 		act = approx.FromPolynomial("wire-poly", poly.NewReal(setup.ActivationCoeffs...))
@@ -355,7 +618,7 @@ func RunVehicle(conn transport.Conn, cfg ClientConfig) error {
 	local, err := nn.New(nn.Config{
 		LayerSizes: []int{setup.InputSize, 1},
 		Activation: act,
-		Seed:       cfg.Seed,
+		Seed:       s.cfg.Seed,
 	})
 	if err != nil {
 		return fmt.Errorf("node: local model: %w", err)
@@ -369,12 +632,59 @@ func RunVehicle(conn transport.Conn, cfg ClientConfig) error {
 	if err != nil {
 		return fmt.Errorf("node: rebuilding scheme: %w", err)
 	}
-	rng := newVehicleRNG(cfg.Seed)
+	s.local = local
+	s.scheme = scheme
+	s.rng = newVehicleRNG(s.cfg.Seed)
+	return nil
+}
+
+// run speaks the vehicle protocol on one connection until Finished (nil)
+// or an error; transient (connection-level) errors satisfy IsTransient
+// and may be retried on a fresh connection with the same session.
+func (s *vehicleSession) run(conn transport.Conn) error {
+	id := s.cfg.VehicleID
+	if err := conn.Send(&protocol.Message{Hello: &protocol.Hello{
+		Version:   protocol.Version,
+		VehicleID: id,
+	}}); err != nil {
+		return transientf("node: hello: %w", err)
+	}
+	var setup *protocol.Setup
+	for setup == nil {
+		m, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, protocol.ErrCorruptFrame) {
+				s.noteCorrupt()
+				continue
+			}
+			return transientf("node: awaiting setup: %w", err)
+		}
+		if m.Finished != nil {
+			// A rejoin that arrived after the session ended: the fusion
+			// centre answers the handshake with Finished instead of
+			// Setup. The session is over; terminate cleanly.
+			return nil
+		}
+		if m.Setup == nil {
+			return fmt.Errorf("node: expected setup, got %s", m.Kind())
+		}
+		setup = m.Setup
+	}
+	if err := s.install(setup); err != nil {
+		return err
+	}
 
 	for {
 		m, err := conn.Recv()
 		if err != nil {
-			return fmt.Errorf("node: vehicle %d recv: %w", cfg.VehicleID, err)
+			if errors.Is(err, protocol.ErrCorruptFrame) {
+				// Frame-local: count it and keep reading. A corrupted
+				// broadcast costs this round (straggler at the fusion
+				// centre), not the connection.
+				s.noteCorrupt()
+				continue
+			}
+			return transientf("node: vehicle %d recv: %w", id, err)
 		}
 		switch {
 		case m.Finished != nil:
@@ -382,35 +692,187 @@ func RunVehicle(conn transport.Conn, cfg ClientConfig) error {
 		case m.Error != nil:
 			return fmt.Errorf("node: fusion centre error: %s", m.Error.Reason)
 		case m.Broadcast == nil:
-			return fmt.Errorf("node: vehicle %d: unexpected message %+v", cfg.VehicleID, m)
+			return fmt.Errorf("node: vehicle %d: unexpected message %s", id, m.Kind())
 		}
 		bc := m.Broadcast
-		if err := local.SetParams(bc.Params); err != nil {
-			return fmt.Errorf("node: vehicle %d: %w", cfg.VehicleID, err)
+		if bc.Round == s.lastRound && s.lastUpload != nil {
+			// Re-broadcast of a round already trained: a retransmit
+			// prompt (our upload frame arrived corrupted) or a
+			// rejoin resume. Resend the cached upload without
+			// retraining, so the randomness stream — and every later
+			// round — matches the fault-free run exactly.
+			s.o.Emit("node.resend", obs.F("vehicle", id), obs.F("round", bc.Round))
+			if err := s.sendUpload(conn, bc.Round); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := s.local.SetParams(bc.Params); err != nil {
+			return fmt.Errorf("node: vehicle %d: %w", id, err)
 		}
 		// The verification channel needs the broadcast model as received.
-		sharedCopy := local.Clone()
-		if err := scheme.BeginRound(sharedCopy); err != nil {
-			return fmt.Errorf("node: vehicle %d: %w", cfg.VehicleID, err)
+		sharedCopy := s.local.Clone()
+		if err := s.scheme.BeginRound(sharedCopy); err != nil {
+			return fmt.Errorf("node: vehicle %d: %w", id, err)
 		}
-		if _, err := local.TrainSGD(cfg.Data, setup.LocalRate, setup.LocalEpochs, rng); err != nil {
-			return fmt.Errorf("node: vehicle %d training: %w", cfg.VehicleID, err)
+		if _, err := s.local.TrainSGD(s.cfg.Data, setup.LocalRate, setup.LocalEpochs, s.rng); err != nil {
+			return fmt.Errorf("node: vehicle %d training: %w", id, err)
 		}
-		values, err := scheme.Upload(cfg.VehicleID, local)
+		values, err := s.scheme.Upload(id, s.local)
 		if err != nil {
-			return fmt.Errorf("node: vehicle %d upload: %w", cfg.VehicleID, err)
+			return fmt.Errorf("node: vehicle %d upload: %w", id, err)
 		}
-		if cfg.Corrupt != nil {
+		if s.cfg.Corrupt != nil {
 			for i := range values {
-				values[i] = cfg.Corrupt.Corrupt(cfg.VehicleID, values[i])
+				values[i] = s.cfg.Corrupt.Corrupt(id, values[i])
 			}
 		}
-		if err := conn.Send(&protocol.Message{Upload: &protocol.Upload{
-			Round:     bc.Round,
-			VehicleID: cfg.VehicleID,
-			Values:    values,
-		}}); err != nil {
-			return fmt.Errorf("node: vehicle %d send: %w", cfg.VehicleID, err)
+		s.lastRound, s.lastUpload = bc.Round, values
+		if err := s.sendUpload(conn, bc.Round); err != nil {
+			return err
 		}
 	}
+}
+
+// sendUpload ships the cached upload for the given round.
+func (s *vehicleSession) sendUpload(conn transport.Conn, round int) error {
+	if err := conn.Send(&protocol.Message{Upload: &protocol.Upload{
+		Round:     round,
+		VehicleID: s.cfg.VehicleID,
+		Values:    s.lastUpload,
+	}}); err != nil {
+		return transientf("node: vehicle %d send: %w", s.cfg.VehicleID, err)
+	}
+	return nil
+}
+
+// noteCorrupt records a detected corrupt frame on the vehicle side.
+func (s *vehicleSession) noteCorrupt() {
+	if s.o.Enabled() {
+		s.o.Counter("node.client_corrupt_frames").Inc()
+		s.o.Emit("node.client_corrupt_frame", obs.F("vehicle", s.cfg.VehicleID))
+	}
+}
+
+// RunVehicle speaks the vehicle side of the protocol on one connection
+// until Finished. It is single-shot: any failure, including transient
+// connection loss, ends the session (use RunVehicleRetry for bounded
+// reconnection).
+func RunVehicle(conn transport.Conn, cfg ClientConfig) error {
+	sess, err := newVehicleSession(cfg, nil)
+	if err != nil {
+		return err
+	}
+	return sess.run(conn)
+}
+
+// RetryConfig parameterises RunVehicleRetry's reconnection policy.
+type RetryConfig struct {
+	// Dial opens a fresh connection to the fusion centre (required).
+	Dial func() (transport.Conn, error)
+	// MaxAttempts bounds consecutive failed connection attempts; the
+	// count resets whenever a connection makes round progress
+	// (default 5).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100 ms); the
+	// delay doubles per consecutive failure up to MaxDelay (default 5 s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// JitterSeed drives the deterministic backoff jitter stream
+	// (0 derives one from the vehicle's seed).
+	JitterSeed int64
+	// Sleeper executes the backoff waits; nil selects obs.RealSleeper.
+	// Tests inject obs.ManualSleeper so retry schedules never sleep.
+	Sleeper obs.Sleeper
+	// Obs attaches node.reconnects counting and reconnect events.
+	Obs *obs.Obs
+}
+
+// RunVehicleRetry runs a vehicle session with bounded reconnection:
+// exponential backoff with deterministic jitter between attempts, session
+// state (trained model, randomness stream, cached upload) preserved
+// across connections so a crash-and-rejoin recovery is bit-identical to
+// the fault-free run. Permanent errors (protocol violations, training
+// failures) abort immediately; only transient connection failures retry.
+func RunVehicleRetry(cfg ClientConfig, rc RetryConfig) error {
+	if rc.Dial == nil {
+		return fmt.Errorf("node: vehicle %d: retry dialer required", cfg.VehicleID)
+	}
+	if rc.MaxAttempts <= 0 {
+		rc.MaxAttempts = 5
+	}
+	if rc.BaseDelay <= 0 {
+		rc.BaseDelay = 100 * time.Millisecond
+	}
+	if rc.MaxDelay <= 0 {
+		rc.MaxDelay = 5 * time.Second
+	}
+	if rc.Sleeper == nil {
+		rc.Sleeper = obs.RealSleeper{}
+	}
+	seed := rc.JitterSeed
+	if seed == 0 {
+		seed = cfg.Seed ^ 0x5ca1ab1e
+	}
+	jitter := field.NewSeededSource(seed)
+	sess, err := newVehicleSession(cfg, rc.Obs)
+	if err != nil {
+		return err
+	}
+	cReconnects := rc.Obs.Counter("node.reconnects")
+
+	failures := 0
+	var lastErr error
+	for {
+		progress := sess.lastRound
+		conn, err := rc.Dial()
+		if err != nil {
+			lastErr = err
+		} else {
+			err = sess.run(conn)
+			_ = conn.Close()
+			if err == nil {
+				return nil
+			}
+			if !IsTransient(err) {
+				return err
+			}
+			lastErr = err
+		}
+		if sess.lastRound > progress {
+			failures = 0 // the connection advanced the session: fresh budget
+		}
+		failures++
+		if failures >= rc.MaxAttempts {
+			return fmt.Errorf("node: vehicle %d gave up after %d attempts: %w",
+				cfg.VehicleID, failures, lastErr)
+		}
+		delay := backoffDelay(rc.BaseDelay, rc.MaxDelay, failures, jitter)
+		cReconnects.Inc()
+		rc.Obs.Emit("node.reconnect",
+			obs.F("vehicle", cfg.VehicleID),
+			obs.F("failures", failures),
+			obs.F("delay_ns", int64(delay)),
+			obs.F("error", lastErr.Error()))
+		rc.Sleeper.Sleep(delay)
+	}
+}
+
+// backoffDelay is exponential backoff with deterministic jitter: the
+// base delay doubled per consecutive failure, capped, plus up to 50%
+// drawn from the seeded jitter stream (decorrelates vehicles that failed
+// together without breaking reproducibility).
+func backoffDelay(base, max time.Duration, failures int, jitter *field.SeededSource) time.Duration {
+	d := base
+	for i := 1; i < failures && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	span := uint64(d / 2)
+	if span > 0 {
+		d += time.Duration(jitter.Uint64() % (span + 1))
+	}
+	return d
 }

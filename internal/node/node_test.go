@@ -35,6 +35,13 @@ func buildSession(t *testing.T, vehicles, rounds int, maliciousFrac float64) *se
 // to the server and every fusion-centre connection (nil = plain session).
 func buildSessionObs(t *testing.T, vehicles, rounds int, maliciousFrac float64, o *obs.Obs) *session {
 	t.Helper()
+	return buildSessionFull(t, vehicles, rounds, maliciousFrac, o, 0)
+}
+
+// buildSessionFull additionally pins the scheme's worker count (0 =
+// GOMAXPROCS) — the chaos determinism tests sweep it.
+func buildSessionFull(t *testing.T, vehicles, rounds int, maliciousFrac float64, o *obs.Obs, workers int) *session {
+	t.Helper()
 	ds, err := traffic.Generate(traffic.GenConfig{Rows: 1200, Seed: 21})
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +76,7 @@ func buildSessionObs(t *testing.T, vehicles, rounds int, maliciousFrac float64, 
 		},
 		Scheme: core.SchemeConfig{
 			NumVehicles: vehicles, NumBatches: 8, Degree: 1, Seed: 26,
+			Workers: workers,
 		},
 		RefX:             refX,
 		ActivationCoeffs: p,

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Sleeper abstracts blocking delays so libraries never call time.Sleep
+// directly: production code injects RealSleeper, tests inject a
+// ManualSleeper and run fault/backoff schedules without ever sleeping.
+// The wallclock lint analyzer confines time.Sleep to this package, the
+// same way it confines time.Now to NewRealClock.
+type Sleeper interface {
+	// Sleep blocks for (at least) d; d <= 0 returns immediately.
+	Sleep(d time.Duration)
+}
+
+// RealSleeper sleeps on the runtime timer — the production Sleeper.
+type RealSleeper struct{}
+
+// Sleep implements Sleeper.
+func (RealSleeper) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// ManualSleeper is a deterministic Sleeper for tests: it never blocks,
+// records every requested delay, and optionally advances a linked
+// ManualClock so traces still show time passing. Safe for concurrent use.
+type ManualSleeper struct {
+	// Clock, when non-nil, advances by each slept duration.
+	Clock *ManualClock
+
+	mu    sync.Mutex
+	slept []time.Duration
+}
+
+// Sleep implements Sleeper: it returns immediately after recording d.
+func (s *ManualSleeper) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.slept = append(s.slept, d)
+	s.mu.Unlock()
+	if s.Clock != nil {
+		s.Clock.Advance(d)
+	}
+}
+
+// Slept returns a copy of every recorded delay, in call order.
+func (s *ManualSleeper) Slept() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]time.Duration(nil), s.slept...)
+}

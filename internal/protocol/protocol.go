@@ -2,21 +2,37 @@
 // centre and the vehicles when L-CoFL runs as an actual distributed system
 // (package transport carries them; package node speaks them).
 //
-// Messages are length-prefixed JSON: a 4-byte big-endian length followed
-// by a JSON envelope {type, payload}. JSON keeps the wire debuggable and
-// the stdlib-only constraint satisfied; the framing bounds message size so
-// a malformed or malicious peer cannot force unbounded allocation.
+// Messages are length-prefixed, checksummed JSON: a 4-byte big-endian
+// length, a 4-byte CRC-32 (IEEE) of the body, then a JSON envelope
+// {type, payload}. JSON keeps the wire debuggable and the stdlib-only
+// constraint satisfied; the framing bounds message size so a malformed or
+// malicious peer cannot force unbounded allocation, and the checksum turns
+// channel corruption into a *detected*, frame-local error: Read consumes
+// the corrupted frame entirely and returns ErrCorruptFrame, so the stream
+// stays in sync and the caller can keep reading subsequent frames instead
+// of tearing the connection down (package node counts these and prompts a
+// retransmit; see DESIGN.md §11).
 package protocol
 
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
-// Version is the protocol revision carried in Hello messages.
-const Version = 1
+// Version is the protocol revision carried in Hello messages. Revision 2
+// added the per-frame CRC-32 to the framing.
+const Version = 2
+
+// ErrCorruptFrame reports a frame whose body failed its CRC-32 check. The
+// frame has been fully consumed when Read returns it, so the connection
+// remains usable: callers that can tolerate message loss (the chaos-aware
+// node layer) match it with errors.Is, count the corruption, and continue
+// reading.
+var ErrCorruptFrame = errors.New("protocol: corrupt frame (checksum mismatch)")
 
 // MaxMessageSize bounds a single frame (16 MiB) — far above any real
 // L-CoFL message, low enough to stop allocation bombs.
@@ -144,8 +160,26 @@ func (m *Message) Validate() error {
 	return nil
 }
 
+// headerLen is the frame header size: 4-byte length + 4-byte CRC-32.
+const headerLen = 8
+
 // Write frames and writes one message.
 func Write(w io.Writer, m *Message) error {
+	return writeFrame(w, m, 0)
+}
+
+// WriteCorrupt frames and writes one message with a deliberately wrong
+// checksum, so the receiver's Read returns ErrCorruptFrame while the
+// stream stays in sync. It exists for the fault-injection layer
+// (internal/chaos via transport's Faulter): end-to-end tests exercise the
+// real detection path instead of simulating it.
+func WriteCorrupt(w io.Writer, m *Message) error {
+	return writeFrame(w, m, 1)
+}
+
+// writeFrame marshals, frames, and writes m; crcFlip is XORed into the
+// checksum (0 for an honest frame).
+func writeFrame(w io.Writer, m *Message, crcFlip uint32) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
@@ -156,8 +190,9 @@ func Write(w io.Writer, m *Message) error {
 	if len(body) > MaxMessageSize {
 		return fmt.Errorf("protocol: %s message of %d bytes exceeds limit", m.kind(), len(body))
 	}
-	var header [4]byte
-	binary.BigEndian.PutUint32(header[:], uint32(len(body)))
+	var header [headerLen]byte
+	binary.BigEndian.PutUint32(header[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(header[4:], crc32.ChecksumIEEE(body)^crcFlip)
 	if _, err := w.Write(header[:]); err != nil {
 		return fmt.Errorf("protocol: write header: %w", err)
 	}
@@ -167,19 +202,25 @@ func Write(w io.Writer, m *Message) error {
 	return nil
 }
 
-// Read reads and validates one framed message.
+// Read reads and validates one framed message. A checksum mismatch
+// returns an error wrapping ErrCorruptFrame with the frame fully
+// consumed, so the caller may continue reading the stream.
 func Read(r io.Reader) (*Message, error) {
-	var header [4]byte
+	var header [headerLen]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
 		return nil, err // io.EOF passes through for clean shutdown
 	}
-	size := binary.BigEndian.Uint32(header[:])
+	size := binary.BigEndian.Uint32(header[:4])
+	sum := binary.BigEndian.Uint32(header[4:])
 	if size > MaxMessageSize {
 		return nil, fmt.Errorf("protocol: incoming frame of %d bytes exceeds limit", size)
 	}
 	body := make([]byte, size)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, fmt.Errorf("protocol: read body: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("%w: %d-byte frame, checksum %08x want %08x", ErrCorruptFrame, size, got, sum)
 	}
 	var m Message
 	if err := json.Unmarshal(body, &m); err != nil {

@@ -3,6 +3,8 @@ package protocol
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"io"
 	"testing"
 )
@@ -81,8 +83,8 @@ func TestValidateRejectsMalformed(t *testing.T) {
 
 func TestReadRejectsOversizedFrame(t *testing.T) {
 	var buf bytes.Buffer
-	var header [4]byte
-	binary.BigEndian.PutUint32(header[:], MaxMessageSize+1)
+	var header [8]byte
+	binary.BigEndian.PutUint32(header[:4], MaxMessageSize+1)
 	buf.Write(header[:])
 	if _, err := Read(&buf); err == nil {
 		t.Error("oversized frame accepted")
@@ -91,22 +93,80 @@ func TestReadRejectsOversizedFrame(t *testing.T) {
 
 func TestReadRejectsGarbage(t *testing.T) {
 	var buf bytes.Buffer
-	var header [4]byte
-	binary.BigEndian.PutUint32(header[:], 4)
+	var header [8]byte
+	binary.BigEndian.PutUint32(header[:4], 4)
+	binary.BigEndian.PutUint32(header[4:], crc32.ChecksumIEEE([]byte("!!!!")))
 	buf.Write(header[:])
 	buf.WriteString("!!!!")
-	if _, err := Read(&buf); err == nil {
+	_, err := Read(&buf)
+	if err == nil {
 		t.Error("garbage payload accepted")
+	}
+	if errors.Is(err, ErrCorruptFrame) {
+		t.Errorf("checksum-valid garbage misreported as corrupt frame: %v", err)
 	}
 }
 
 func TestReadTruncatedBody(t *testing.T) {
 	var buf bytes.Buffer
-	var header [4]byte
-	binary.BigEndian.PutUint32(header[:], 100)
+	var header [8]byte
+	binary.BigEndian.PutUint32(header[:4], 100)
 	buf.Write(header[:])
 	buf.WriteString("{}")
 	if _, err := Read(&buf); err == nil {
 		t.Error("truncated body accepted")
+	}
+}
+
+// TestCorruptFrameDetectedAndSkippable pins the chaos-layer contract: a
+// frame whose bytes were flipped in flight surfaces as ErrCorruptFrame
+// with the frame fully consumed, so the next frame reads cleanly.
+func TestCorruptFrameDetectedAndSkippable(t *testing.T) {
+	var buf bytes.Buffer
+	first := &Message{Upload: &Upload{Round: 1, VehicleID: 4, Values: []float64{1, 2}}}
+	second := &Message{Broadcast: &Broadcast{Round: 2, Params: []float64{0.5}}}
+	if err := Write(&buf, first); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&buf, second); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one body byte of the first frame (past its 8-byte header).
+	raw := buf.Bytes()
+	raw[8+3] ^= 0x40
+	r := bytes.NewReader(raw)
+	_, err := Read(r)
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("corrupted frame: err = %v, want ErrCorruptFrame", err)
+	}
+	got, err := Read(r)
+	if err != nil {
+		t.Fatalf("stream desynced after corrupt frame: %v", err)
+	}
+	if got.Broadcast == nil || got.Broadcast.Round != 2 {
+		t.Errorf("frame after corruption = %+v, want broadcast round 2", got)
+	}
+	if _, err := Read(r); err != io.EOF {
+		t.Errorf("after drain, err = %v, want EOF", err)
+	}
+}
+
+// TestWriteCorrupt pins the deliberate-corruption helper the fault
+// injector uses: the produced frame fails its checksum but stays
+// frame-local.
+func TestWriteCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCorrupt(&buf, &Message{Finished: &Finished{Rounds: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&buf, &Message{Finished: &Finished{Rounds: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("WriteCorrupt frame: err = %v, want ErrCorruptFrame", err)
+	}
+	got, err := Read(&buf)
+	if err != nil || got.Finished == nil || got.Finished.Rounds != 2 {
+		t.Fatalf("honest frame after corrupt one: %+v, %v", got, err)
 	}
 }

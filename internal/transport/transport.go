@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/protocol"
 )
@@ -21,6 +22,16 @@ type Conn interface {
 	Recv() (*protocol.Message, error)
 	// Close releases the connection; Recv on the peer unblocks.
 	Close() error
+}
+
+// Faulter is the optional fault-injection face of a fabric: SendCorrupt
+// delivers m as a frame that fails the receiver's checksum, so the peer's
+// Recv returns protocol.ErrCorruptFrame while the stream stays usable.
+// Both built-in fabrics implement it — TCP by writing a real frame with a
+// flipped CRC, the pipe by delivering a corruption marker — so the chaos
+// layer (internal/chaos) exercises the genuine detection path end-to-end.
+type Faulter interface {
+	SendCorrupt(m *protocol.Message) error
 }
 
 // Listener accepts inbound connections.
@@ -58,11 +69,29 @@ func Pipe() (Conn, Conn) {
 	return a, b
 }
 
+// corruptMarker is the in-memory stand-in for a frame that fails its
+// checksum: SendCorrupt enqueues it and the receiving end's Recv
+// translates it into protocol.ErrCorruptFrame, mirroring what the TCP
+// fabric does with a real flipped-CRC frame.
+var corruptMarker = &protocol.Message{}
+
 // Send implements Conn.
 func (c *pipeConn) Send(m *protocol.Message) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
+	return c.enqueue(m)
+}
+
+// SendCorrupt implements Faulter.
+func (c *pipeConn) SendCorrupt(m *protocol.Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	return c.enqueue(corruptMarker)
+}
+
+func (c *pipeConn) enqueue(m *protocol.Message) error {
 	c.mu.Lock()
 	closed := c.closed
 	c.mu.Unlock()
@@ -83,18 +112,26 @@ func (c *pipeConn) Send(m *protocol.Message) error {
 func (c *pipeConn) Recv() (*protocol.Message, error) {
 	select {
 	case m := <-c.in:
-		return m, nil
+		return c.deliver(m)
 	case <-c.done:
 		return nil, fmt.Errorf("transport: recv on closed pipe")
 	case <-c.peer.done:
 		// Drain anything already queued before reporting closure.
 		select {
 		case m := <-c.in:
-			return m, nil
+			return c.deliver(m)
 		default:
 			return nil, fmt.Errorf("transport: peer closed")
 		}
 	}
+}
+
+// deliver translates the corruption marker; honest messages pass through.
+func (c *pipeConn) deliver(m *protocol.Message) (*protocol.Message, error) {
+	if m == corruptMarker {
+		return nil, fmt.Errorf("transport: %w", protocol.ErrCorruptFrame)
+	}
+	return m, nil
 }
 
 // Close implements Conn.
@@ -124,6 +161,14 @@ func (c *tcpConn) Send(m *protocol.Message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
 	return protocol.Write(c.conn, m)
+}
+
+// SendCorrupt implements Faulter: the frame goes out with a flipped
+// CRC-32, so the peer detects real on-the-wire corruption.
+func (c *tcpConn) SendCorrupt(m *protocol.Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return protocol.WriteCorrupt(c.conn, m)
 }
 
 // Recv implements Conn.
@@ -173,9 +218,23 @@ func (t *tcpListener) Addr() string { return t.l.Addr().String() }
 // Close implements Listener.
 func (t *tcpListener) Close() error { return t.l.Close() }
 
-// DialTCP connects to a fusion centre at addr.
+// DefaultDialTimeout bounds DialTCP: a black-holed fusion centre (packets
+// silently dropped, no RST) must not hang a vehicle forever.
+const DefaultDialTimeout = 10 * time.Second
+
+// DialTCP connects to a fusion centre at addr with DefaultDialTimeout.
 func DialTCP(addr string) (Conn, error) {
-	c, err := net.Dial("tcp", addr)
+	return DialTCPTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTCPTimeout connects to a fusion centre at addr, failing after the
+// given timeout (<= 0 selects DefaultDialTimeout).
+func DialTCPTimeout(addr string, timeout time.Duration) (Conn, error) {
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	d := net.Dialer{Timeout: timeout}
+	c, err := d.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}

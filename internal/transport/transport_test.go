@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -188,5 +189,94 @@ func TestTCPConcurrentClients(t *testing.T) {
 func TestDialFailure(t *testing.T) {
 	if _, err := DialTCP("127.0.0.1:1"); err == nil {
 		t.Error("dial to closed port accepted")
+	}
+}
+
+func TestDialTCPTimeoutConnects(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, err := DialTCPTimeout(l.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// A non-positive timeout falls back to the default rather than
+	// meaning "no timeout".
+	conn, err = DialTCPTimeout(l.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+}
+
+// TestCorruptFramePipe pins the pipe fabric's Faulter face: the corrupted
+// message surfaces as protocol.ErrCorruptFrame and the connection keeps
+// working afterwards.
+func TestCorruptFramePipe(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	f, ok := a.(Faulter)
+	if !ok {
+		t.Fatal("pipe conn does not implement Faulter")
+	}
+	if err := f.SendCorrupt(hello(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(hello(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, protocol.ErrCorruptFrame) {
+		t.Fatalf("corrupt pipe frame: err = %v, want ErrCorruptFrame", err)
+	}
+	got, err := b.Recv()
+	if err != nil || got.Hello == nil || got.Hello.VehicleID != 2 {
+		t.Fatalf("pipe unusable after corrupt frame: %+v, %v", got, err)
+	}
+}
+
+// TestCorruptFrameTCP does the same over a real socket: the flipped CRC
+// travels the wire and the receiver's checksum catches it.
+func TestCorruptFrameTCP(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c
+	}()
+	conn, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var server Conn
+	select {
+	case server = <-accepted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	defer server.Close()
+	if err := conn.(Faulter).SendCorrupt(hello(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(hello(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Recv(); !errors.Is(err, protocol.ErrCorruptFrame) {
+		t.Fatalf("corrupt TCP frame: err = %v, want ErrCorruptFrame", err)
+	}
+	got, err := server.Recv()
+	if err != nil || got.Hello == nil || got.Hello.VehicleID != 8 {
+		t.Fatalf("TCP stream desynced after corrupt frame: %+v, %v", got, err)
 	}
 }
