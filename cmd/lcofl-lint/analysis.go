@@ -2,8 +2,12 @@
 // algebraic, randomness, and concurrency invariants L-CoFL's correctness
 // rests on but the Go compiler cannot check: exact GF(p) arithmetic
 // (fieldarith, floatpurity), cryptographic secret-share randomness
-// (cryptorand), surfaced failures (droppederr), and bit-reproducible
-// figure generation (determinism).
+// (cryptorand), surfaced failures (droppederr), bit-reproducible
+// figure generation (determinism, maporder), goroutine hygiene (rawgo,
+// groupwait), lock discipline (lockguard), simulated time (wallclock)
+// and steady-state observability cost (obshandle). lockguard, obshandle
+// and groupwait run on an intraprocedural CFG/dataflow core (cfg.go,
+// DESIGN.md §12); the rest are per-node AST scans.
 //
 // Usage:
 //
@@ -107,8 +111,17 @@ func collectSuppressions(pkg *Package) (map[string][]suppression, []Diagnostic) 
 					})
 					continue
 				}
+				known := knownAnalyzerNames()
 				names := make(map[string]bool)
 				for _, n := range strings.Split(fields[0], ",") {
+					if !known[n] {
+						malformed = append(malformed, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lint",
+							Message:  fmt.Sprintf("suppression names unknown analyzer %q", n),
+						})
+						continue
+					}
 					names[n] = true
 				}
 				byFile[pos.Filename] = append(byFile[pos.Filename], suppression{line: pos.Line, analyzers: names})

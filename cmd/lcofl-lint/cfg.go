@@ -1,0 +1,539 @@
+package main
+
+// Intraprocedural control-flow graph and dataflow engine (DESIGN.md §12).
+//
+// The first-generation analyzers (PR 1) were per-node AST scans: a
+// property either held at a call site or it did not. The lock-discipline
+// and goroutine-lifecycle invariants this tool now checks are path
+// properties — "every path from a parallel.Group.Go reaches a Wait",
+// "every read of a guarded field happens with the mutex held" — so they
+// need a CFG and a fixpoint, not a walk.
+//
+// The graph is deliberately small: statement-level basic blocks whose
+// nodes are the statements and control expressions executed when the
+// block runs, a synthetic exit block that every return edge targets, and
+// explicit handling for the control constructs the repo actually uses
+// (if/for/range/switch/type switch/select, labeled break and continue,
+// goto, fallthrough, defer). Function literals are NOT inlined: each
+// FuncLit body gets its own graph, analyzed with a fresh entry state,
+// because the literal may run on another goroutine or at another time.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// block is one basic block: a maximal straight-line sequence of
+// executed nodes. nodes holds statements and, for control headers, the
+// governing expression (an if condition, a for condition, a switch tag)
+// or the *ast.RangeStmt itself — walkers must treat a RangeStmt node as
+// its header only (Key, Value, X) since the body lives in other blocks.
+type block struct {
+	index int
+	nodes []ast.Node
+	succs []*block
+	preds []*block
+}
+
+// cfg is one function body's control-flow graph.
+type cfg struct {
+	entry  *block
+	exit   *block // synthetic: every return and fall-off-the-end edge lands here
+	blocks []*block
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{c: &cfg{}, labels: map[string]*labelInfo{}}
+	b.c.entry = b.newBlock()
+	b.c.exit = b.newBlock()
+	b.cur = b.c.entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.c.exit)
+	return b.c
+}
+
+// branchCtx is one enclosing breakable/continuable construct.
+type branchCtx struct {
+	label string // enclosing label, "" if unlabeled
+	brk   *block // break target
+	cont  *block // continue target; nil for switch/select
+}
+
+// labelInfo tracks a label's jump-target block for goto (and, via
+// branchCtx, labeled break/continue).
+type labelInfo struct {
+	target *block
+}
+
+type cfgBuilder struct {
+	c      *cfg
+	cur    *block
+	stack  []branchCtx
+	labels map[string]*labelInfo
+	// pendingLabel names the label attached to the statement being
+	// built, so `outer: for ...` registers outer as its loop's label.
+	pendingLabel string
+	// fallthroughTo is the next case clause's block while building a
+	// switch clause body.
+	fallthroughTo *block
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	blk := &block{index: len(b.c.blocks)}
+	b.c.blocks = append(b.c.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *block) {
+	from.succs = append(from.succs, to)
+	to.preds = append(to.preds, from)
+}
+
+func (b *cfgBuilder) labelTarget(name string) *labelInfo {
+	li, ok := b.labels[name]
+	if !ok {
+		li = &labelInfo{target: b.newBlock()}
+		b.labels[name] = li
+	}
+	return li
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		li := b.labelTarget(s.Label.Name)
+		b.edge(b.cur, li.target)
+		b.cur = li.target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.cur.nodes = append(b.cur.nodes, s)
+		b.edge(b.cur, b.c.exit)
+		b.cur = b.newBlock() // unreachable successor
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.cur.nodes = append(b.cur.nodes, s.Init)
+		}
+		b.cur.nodes = append(b.cur.nodes, s.Cond)
+		cond := b.cur
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		endThen := b.cur
+		join := b.newBlock()
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cond, elseB)
+			b.cur = elseB
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.edge(endThen, join)
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.nodes = append(b.cur.nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		exitB := b.newBlock()
+		contTo := head
+		var postB *block
+		if s.Post != nil {
+			postB = b.newBlock()
+			postB.nodes = append(postB.nodes, s.Post)
+			b.edge(postB, head)
+			contTo = postB
+		}
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+			b.edge(head, exitB)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.push(branchCtx{label: label, brk: exitB, cont: contTo})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.pop()
+		b.edge(b.cur, contTo)
+		b.cur = exitB
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		// The RangeStmt node itself is the header: walkers look at
+		// Key/Value/X only and must not descend into Body.
+		head.nodes = append(head.nodes, s)
+		b.edge(b.cur, head)
+		exitB := b.newBlock()
+		b.edge(head, exitB)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.push(branchCtx{label: label, brk: exitB, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.pop()
+		b.edge(b.cur, head)
+		b.cur = exitB
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.nodes = append(b.cur.nodes, s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.nodes = append(b.cur.nodes, s.Tag)
+		}
+		b.switchClauses(label, s.Body.List, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.cur.nodes = append(b.cur.nodes, s.Init)
+		}
+		b.cur.nodes = append(b.cur.nodes, s.Assign)
+		b.switchClauses(label, s.Body.List, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.selectClauses(label, s.Body.List)
+
+	case *ast.GoStmt, *ast.DeferStmt, *ast.ExprStmt, *ast.AssignStmt,
+		*ast.IncDecStmt, *ast.DeclStmt, *ast.SendStmt, *ast.EmptyStmt:
+		b.cur.nodes = append(b.cur.nodes, s)
+
+	default:
+		b.cur.nodes = append(b.cur.nodes, s)
+	}
+}
+
+// switchClauses wires the clause blocks of a switch or type switch: the
+// dispatch block has an edge to every clause, plus one to the exit when
+// there is no default clause. fallthrough jumps to the next clause body.
+func (b *cfgBuilder) switchClauses(label string, clauses []ast.Stmt, _ *block) {
+	dispatch := b.cur
+	exitB := b.newBlock()
+	b.push(branchCtx{label: label, brk: exitB})
+	bodies := make([]*block, len(clauses))
+	hasDefault := false
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	for i, cs := range clauses {
+		cc := cs.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			bodies[i].nodes = append(bodies[i].nodes, e)
+		}
+		b.edge(dispatch, bodies[i])
+		savedFT := b.fallthroughTo
+		if i+1 < len(clauses) {
+			b.fallthroughTo = bodies[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.cur = bodies[i]
+		b.stmtList(cc.Body)
+		b.fallthroughTo = savedFT
+		b.edge(b.cur, exitB)
+	}
+	if !hasDefault {
+		b.edge(dispatch, exitB)
+	}
+	b.pop()
+	b.cur = exitB
+}
+
+// selectClauses wires a select: one block per comm clause holding its
+// comm statement; control reaches exactly one clause.
+func (b *cfgBuilder) selectClauses(label string, clauses []ast.Stmt) {
+	dispatch := b.cur
+	exitB := b.newBlock()
+	b.push(branchCtx{label: label, brk: exitB})
+	for _, cs := range clauses {
+		cc := cs.(*ast.CommClause)
+		body := b.newBlock()
+		if cc.Comm != nil {
+			body.nodes = append(body.nodes, cc.Comm)
+		}
+		b.edge(dispatch, body)
+		b.cur = body
+		b.stmtList(cc.Body)
+		b.edge(b.cur, exitB)
+	}
+	b.pop()
+	b.cur = exitB
+}
+
+func (b *cfgBuilder) push(ctx branchCtx) { b.stack = append(b.stack, ctx) }
+func (b *cfgBuilder) pop()               { b.stack = b.stack[:len(b.stack)-1] }
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.stack) - 1; i >= 0; i-- {
+			ctx := b.stack[i]
+			if s.Label == nil || ctx.label == s.Label.Name {
+				b.edge(b.cur, ctx.brk)
+				b.cur = b.newBlock()
+				return
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.stack) - 1; i >= 0; i-- {
+			ctx := b.stack[i]
+			if ctx.cont == nil {
+				continue // switch/select: continue targets the enclosing loop
+			}
+			if s.Label == nil || ctx.label == s.Label.Name {
+				b.edge(b.cur, ctx.cont)
+				b.cur = b.newBlock()
+				return
+			}
+		}
+	case token.GOTO:
+		li := b.labelTarget(s.Label.Name)
+		b.edge(b.cur, li.target)
+		b.cur = b.newBlock()
+		return
+	case token.FALLTHROUGH:
+		if b.fallthroughTo != nil {
+			b.edge(b.cur, b.fallthroughTo)
+			b.cur = b.newBlock()
+			return
+		}
+	}
+	// Malformed or out-of-context branch: keep the statement so nothing
+	// downstream is lost, but add no edge.
+	b.cur.nodes = append(b.cur.nodes, s)
+}
+
+// reachable returns the blocks reachable from the entry, in a stable
+// order (by construction index).
+func (c *cfg) reachable() []*block {
+	seen := make([]bool, len(c.blocks))
+	var stack []*block
+	stack = append(stack, c.entry)
+	seen[c.entry.index] = true
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.succs {
+			if !seen[s.index] {
+				seen[s.index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	var out []*block
+	for _, blk := range c.blocks {
+		if seen[blk.index] {
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
+// inCycle reports, per block, whether the block lies on a cycle (it can
+// reach itself through at least one edge). Loop bodies and loop headers
+// are cyclic; straight-line code is not.
+func (c *cfg) inCycle() []bool {
+	n := len(c.blocks)
+	out := make([]bool, n)
+	// Reachability closure per block via DFS. The graphs are tiny
+	// (tens of blocks), so the quadratic sweep is irrelevant.
+	for _, start := range c.blocks {
+		seen := make([]bool, n)
+		var stack []*block
+		stack = append(stack, start)
+		for len(stack) > 0 {
+			blk := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range blk.succs {
+				if s == start {
+					out[start.index] = true
+				}
+				if !seen[s.index] {
+					seen[s.index] = true
+					stack = append(stack, s)
+				}
+			}
+			if out[start.index] {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// dataflow runs a forward worklist fixpoint over the reachable blocks.
+//
+//	entry    — the state on function entry
+//	transfer — returns the out-state of a block given its in-state
+//	           (must not mutate the input)
+//	merge    — combines a predecessor's out-state into a block's
+//	           in-state, reporting whether the in-state changed; called
+//	           with into == nil-state via zero to initialize
+//
+// The meet operator (must = intersection, may = union) lives inside
+// merge, so the same driver serves both lattice directions. Returns the
+// fixed in-state per reachable block.
+func dataflow[S any](c *cfg, entry S, transfer func(*block, S) S, merge func(into S, from S) (S, bool)) map[*block]S {
+	in := make(map[*block]S)
+	out := make(map[*block]S)
+	in[c.entry] = entry
+	work := []*block{c.entry}
+	queued := make([]bool, len(c.blocks))
+	queued[c.entry.index] = true
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk.index] = false
+		o := transfer(blk, in[blk])
+		out[blk] = o
+		for _, s := range blk.succs {
+			cur, seen := in[s]
+			if !seen {
+				merged, _ := merge(cur, o)
+				in[s] = merged
+			} else {
+				merged, changed := merge(cur, o)
+				if !changed {
+					continue
+				}
+				in[s] = merged
+			}
+			if !queued[s.index] {
+				queued[s.index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// renderPath renders a selector chain as a dotted path ("s.mu",
+// "c.peer"). Parens and derefs are transparent; anything else (calls,
+// indexes) yields "" meaning "not a trackable path".
+func renderPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := renderPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return renderPath(e.X)
+	case *ast.StarExpr:
+		return renderPath(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return renderPath(e.X)
+		}
+	}
+	return ""
+}
+
+// walkNode visits n and its children in source order, maintaining the
+// ancestor stack, without descending into *ast.FuncLit bodies (their
+// code runs on another goroutine or at another time) and treating an
+// *ast.RangeStmt as its header only (Key, Value, X — never Body, which
+// lives in other CFG blocks). fn returning false prunes the subtree.
+func walkNode(n ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	var f func(ast.Node) bool
+	f = func(c ast.Node) bool {
+		if c == nil {
+			// ast.Inspect's post-visit callback for every node f
+			// returned true on: pop exactly what was pushed.
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if fl, ok := c.(*ast.FuncLit); ok {
+			fn(fl, stack) // report the literal itself, never its body
+			return false  // pruned: Inspect emits no nil callback
+		}
+		if rs, ok := c.(*ast.RangeStmt); ok {
+			if fn(rs, stack) {
+				stack = append(stack, rs)
+				if rs.Key != nil {
+					ast.Inspect(rs.Key, f)
+				}
+				if rs.Value != nil {
+					ast.Inspect(rs.Value, f)
+				}
+				ast.Inspect(rs.X, f)
+				stack = stack[:len(stack)-1]
+			}
+			return false
+		}
+		if !fn(c, stack) {
+			return false
+		}
+		stack = append(stack, c)
+		return true
+	}
+	ast.Inspect(n, f)
+}
+
+// funcBodies returns every function body in the file that gets its own
+// CFG: each FuncDecl body and each FuncLit body, paired with the
+// enclosing FuncDecl's name for diagnostics ("" for package-level lits).
+type funcBody struct {
+	name string
+	body *ast.BlockStmt
+	lit  bool
+}
+
+func collectFuncBodies(file *ast.File) []funcBody {
+	var out []funcBody
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if ok && fd.Body != nil {
+			out = append(out, funcBody{name: fd.Name.Name, body: fd.Body})
+		}
+	}
+	// Function literals anywhere in the file (including inside the
+	// decls above — walkNode never descends into them, so each body is
+	// analyzed exactly once, with a fresh entry state).
+	ast.Inspect(file, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != nil {
+			out = append(out, funcBody{name: "func literal", body: fl.Body, lit: true})
+		}
+		return true
+	})
+	return out
+}

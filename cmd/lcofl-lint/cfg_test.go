@@ -1,0 +1,211 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as a file and returns the body of its first
+// function declaration.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// hasCycle reports whether any reachable block lies on a cycle.
+func hasCycle(c *cfg) bool {
+	cyc := c.inCycle()
+	for _, b := range c.reachable() {
+		if cyc[b.index] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c := buildCFG(parseBody(t, `package p
+func f() { a(); b(); c() }
+func a(); func b(); func c()`))
+	if hasCycle(c) {
+		t.Error("straight-line function reported cyclic")
+	}
+	if got := len(c.entry.nodes); got != 3 {
+		t.Errorf("entry block holds %d nodes, want 3", got)
+	}
+}
+
+func TestCFGLoopIsCyclic(t *testing.T) {
+	c := buildCFG(parseBody(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}`))
+	if !hasCycle(c) {
+		t.Error("for loop not detected as cyclic")
+	}
+	// The code after the loop (the synthetic exit) must still be
+	// reachable, and must not itself be in the cycle.
+	cyc := c.inCycle()
+	if cyc[c.exit.index] {
+		t.Error("exit block reported inside the loop cycle")
+	}
+}
+
+func TestCFGReturnReachesExit(t *testing.T) {
+	c := buildCFG(parseBody(t, `package p
+func f(p bool) int {
+	if p {
+		return 1
+	}
+	return 2
+}`))
+	if len(c.exit.preds) < 2 {
+		t.Errorf("exit has %d predecessors, want both returns", len(c.exit.preds))
+	}
+	if hasCycle(c) {
+		t.Error("branchy function reported cyclic")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	// The labeled break must target the OUTER loop's exit. Here every
+	// trip through the inner body takes the break, so neither loop has
+	// a reachable back edge — the CFG must reflect that, and the exit
+	// must stay reachable through the break.
+	c := buildCFG(parseBody(t, `package p
+func f(xs []int) {
+outer:
+	for range xs {
+		for {
+			break outer
+		}
+	}
+}`))
+	if hasCycle(c) {
+		t.Error("unconditional labeled break still produced a reachable cycle")
+	}
+	if len(c.exit.preds) == 0 {
+		t.Error("labeled break left the exit unreachable")
+	}
+	// With a conditional break, the inner back edge is live again.
+	c2 := buildCFG(parseBody(t, `package p
+func f(xs []int, p bool) {
+outer:
+	for range xs {
+		for {
+			if p {
+				break outer
+			}
+		}
+	}
+}`))
+	if !hasCycle(c2) {
+		t.Error("conditional labeled break erased the loop cycle")
+	}
+}
+
+func TestCFGSelectAndSwitch(t *testing.T) {
+	c := buildCFG(parseBody(t, `package p
+func f(ch chan int, n int) int {
+	switch n {
+	case 0:
+		return 0
+	default:
+	}
+	select {
+	case v := <-ch:
+		return v
+	default:
+	}
+	return n
+}`))
+	if hasCycle(c) {
+		t.Error("switch+select reported cyclic")
+	}
+	if len(c.exit.preds) < 3 {
+		t.Errorf("exit has %d predecessors, want the three returns", len(c.exit.preds))
+	}
+}
+
+// TestCFGRangeBodySeparate pins the contract walkers rely on: a
+// RangeStmt node stored in a header block must not drag its body
+// statements along (they live in their own blocks).
+func TestCFGRangeBodySeparate(t *testing.T) {
+	c := buildCFG(parseBody(t, `package p
+func f(m map[int]int) {
+	for k := range m {
+		_ = k
+	}
+}`))
+	for _, b := range c.blocks {
+		for _, n := range b.nodes {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				continue
+			}
+			for _, other := range c.blocks {
+				for _, on := range other.nodes {
+					if as, ok := on.(*ast.AssignStmt); ok && as.Pos() > rs.Pos() && as.End() < rs.End() {
+						return // body statement found in its own block: contract holds
+					}
+				}
+			}
+			t.Fatal("range body statement not placed in a separate block")
+		}
+	}
+	t.Fatal("no RangeStmt header found in any block")
+}
+
+// TestDataflowMustMeet runs the generic engine with an intersection
+// lattice over a diamond: a fact set on only one branch must not
+// survive the join.
+func TestDataflowMustMeet(t *testing.T) {
+	body := parseBody(t, `package p
+func f(p bool) {
+	if p {
+		lock()
+	}
+	use()
+}
+func lock(); func use()`)
+	c := buildCFG(body)
+	in := dataflow(c, lockSet{},
+		func(b *block, s lockSet) lockSet {
+			out := s.clone()
+			for _, n := range b.nodes {
+				ast.Inspect(n, func(x ast.Node) bool {
+					if ce, ok := x.(*ast.CallExpr); ok {
+						if id, ok := ce.Fun.(*ast.Ident); ok && id.Name == "lock" {
+							out["mu"] = lockExcl
+						}
+					}
+					return true
+				})
+			}
+			return out
+		},
+		meetLocks,
+	)
+	st, ok := in[c.exit]
+	if !ok {
+		t.Fatal("exit block never reached by the fixpoint")
+	}
+	if _, held := st["mu"]; held {
+		t.Error("must-analysis kept a fact set on only one branch")
+	}
+}

@@ -1,0 +1,241 @@
+package main
+
+// groupwait: every parallel.Group spawn must be joined — a g.Go with a
+// path to function exit on which no g.Wait runs is a leaked goroutine
+// (and a swallowed panic, since Group repanics in Wait). This is the
+// dataflow half of the rawgo ban: rawgo forces goroutines through
+// parallel.Group, groupwait proves the group is actually waited on.
+//
+// The analysis tracks function-local groups only (`var g
+// parallel.Group`, `g := parallel.Group{}`). A group that escapes the
+// function — stored in a struct, passed to a call, captured by a
+// function literal, aliased via & — is skipped: its lifecycle is the
+// escapee's business (obs.RuntimeSampler holds its group in a field
+// and joins in Stop, for example). A deferred g.Wait() joins every
+// path by construction. Otherwise a may-analysis (union meet) runs the
+// pending-spawn set to the synthetic exit block: any group still
+// pending there has a leaking path, reported at its first Go call.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+func newGroupWaitAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "groupwait",
+		Doc:  "every parallel.Group.Go has a Wait on all paths to function exit",
+		Run:  runGroupWait,
+	}
+}
+
+func runGroupWait(p *Pass) error {
+	for _, f := range p.Pkg.Files {
+		for _, fb := range collectFuncBodies(f) {
+			checkGroupWait(p, fb.body)
+		}
+	}
+	return nil
+}
+
+func isGroupType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s := strings.TrimPrefix(t.String(), "*")
+	return strings.HasSuffix(s, "internal/parallel.Group")
+}
+
+// groupVar is one tracked local's lifecycle summary.
+type groupVar struct {
+	escaped      bool
+	deferredWait bool
+}
+
+func checkGroupWait(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	// Locals declared in THIS body (not in nested literals, which are
+	// their own analysis unit).
+	vars := map[types.Object]*groupVar{}
+	walkNode(body, func(n ast.Node, _ []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := info.Defs[id]; obj != nil && isGroupType(obj.Type()) {
+			if _, isVar := obj.(*types.Var); isVar {
+				vars[obj] = &groupVar{}
+			}
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		return
+	}
+	// Escape analysis over the FULL body, nested literals included: a
+	// use is benign only as the declaration itself or as the receiver
+	// of a direct method call in this body.
+	var stack []ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			obj := info.Uses[id]
+			if obj == nil {
+				obj = info.Defs[id]
+			}
+			if gv, tracked := vars[obj]; tracked && info.Uses[id] != nil {
+				use, deferred := classifyGroupUse(stack)
+				switch use {
+				case "Wait":
+					if deferred {
+						gv.deferredWait = true
+					}
+				case "Go":
+					if deferred {
+						gv.escaped = true // defer g.Go: out of scope here
+					}
+				case "":
+					gv.escaped = true
+				}
+				// Any use under a nested function literal escapes: the
+				// literal may run on another goroutine or later.
+				for _, a := range stack {
+					if _, isLit := a.(*ast.FuncLit); isLit {
+						gv.escaped = true
+					}
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	tracked := false
+	for _, gv := range vars {
+		if !gv.escaped && !gv.deferredWait {
+			tracked = true
+		}
+	}
+	if !tracked {
+		return
+	}
+
+	// May-analysis: pending[obj] = position of the first unjoined Go.
+	type pending map[types.Object]token.Pos
+	c := buildCFG(body)
+	in := dataflow(c, pending{},
+		func(b *block, s pending) pending {
+			out := make(pending, len(s))
+			for k, v := range s {
+				out[k] = v
+			}
+			for _, n := range b.nodes {
+				applyGroupOps(p, vars, n, out)
+			}
+			return out
+		},
+		func(into, from pending) (pending, bool) {
+			if into == nil {
+				out := make(pending, len(from))
+				for k, v := range from {
+					out[k] = v
+				}
+				return out, true
+			}
+			changed := false
+			for k, v := range from {
+				if cur, ok := into[k]; !ok || v < cur {
+					into[k] = v
+					changed = true
+				}
+			}
+			return into, changed
+		},
+	)
+	exitState, ok := in[c.exit]
+	if !ok {
+		return
+	}
+	// Deterministic report order for multiple leaked groups.
+	var poss []token.Pos
+	for obj, pos := range exitState {
+		gv := vars[obj]
+		if gv.escaped || gv.deferredWait {
+			continue
+		}
+		poss = append(poss, pos)
+	}
+	sort.Slice(poss, func(i, j int) bool { return poss[i] < poss[j] })
+	for _, pos := range poss {
+		p.Reportf(pos, "parallel.Group.Go without a Wait on every path to function exit")
+	}
+}
+
+// classifyGroupUse inspects the ancestor stack of a tracked group ident
+// and returns the method name for a direct g.<Method>() call ("Go",
+// "Wait", or another method), plus whether that call is deferred. An
+// empty name means the use is not a direct method call (escape).
+func classifyGroupUse(stack []ast.Node) (method string, deferred bool) {
+	if len(stack) < 2 {
+		return "", false
+	}
+	sel, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	ce, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok || ce.Fun != ast.Expr(sel) {
+		return "", false
+	}
+	for _, a := range stack {
+		if ds, isDefer := a.(*ast.DeferStmt); isDefer && ds.Call == ce {
+			return sel.Sel.Name, true
+		}
+	}
+	return sel.Sel.Name, false
+}
+
+// applyGroupOps updates the pending set for g.Go / g.Wait calls in n.
+func applyGroupOps(p *Pass, vars map[types.Object]*groupVar, n ast.Node, s map[types.Object]token.Pos) {
+	info := p.Pkg.Info
+	walkNode(n, func(n ast.Node, stack []ast.Node) bool {
+		ce, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ce.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if _, tracked := vars[obj]; !tracked {
+			return true
+		}
+		for _, a := range stack {
+			if _, isDefer := a.(*ast.DeferStmt); isDefer {
+				return true // deferred ops handled via deferredWait/escape
+			}
+		}
+		switch sel.Sel.Name {
+		case "Go":
+			if _, already := s[obj]; !already {
+				s[obj] = ce.Pos()
+			}
+		case "Wait":
+			delete(s, obj)
+		}
+		return true
+	})
+}

@@ -100,6 +100,10 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"determinism", func(p string) *Analyzer { return newDeterminismAnalyzer(map[string]bool{p: true}) }},
 		{"rawgo", func(string) *Analyzer { return newRawGoAnalyzer(nil) }},
 		{"wallclock", func(string) *Analyzer { return newWallClockAnalyzer(nil) }},
+		{"lockguard", func(p string) *Analyzer { return newLockGuardAnalyzer(map[string]bool{p: true}) }},
+		{"maporder", func(p string) *Analyzer { return newMapOrderAnalyzer(map[string]bool{p: true}) }},
+		{"obshandle", func(p string) *Analyzer { return newObsHandleAnalyzer(map[string]bool{p: true}) }},
+		{"groupwait", func(string) *Analyzer { return newGroupWaitAnalyzer() }},
 	}
 	for _, tc := range tests {
 		t.Run(tc.fixture, func(t *testing.T) {
@@ -174,6 +178,80 @@ func TestChaosLayerClean(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("internal/chaos flagged: %s", d)
+	}
+}
+
+// TestSuppressionEdgeCases pins the //lint:ignore corner cases on the
+// suppressedge fixture: unknown analyzer names are reported, reason-less
+// directives are malformed and inert, a directive two lines above its
+// target does not apply, and a directive suppresses only the analyzers
+// it names. Expectations are programmatic because the directives would
+// collide with // want comments on the same lines.
+func TestSuppressionEdgeCases(t *testing.T) {
+	pkg := loadFixture(t, "suppressedge")
+	diags, err := runAnalyzers([]*Package{pkg},
+		[]*Analyzer{newDroppedErrAnalyzer(nil), newRawGoAnalyzer(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	for _, d := range diags {
+		count[d.Analyzer]++
+	}
+	var unknown, malformed int
+	for _, d := range diags {
+		if d.Analyzer != "lint" {
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, `unknown analyzer "nosuchanalyzer"`):
+			unknown++
+		case strings.Contains(d.Message, "malformed suppression"):
+			malformed++
+		default:
+			t.Errorf("unexpected lint diagnostic: %s", d)
+		}
+	}
+	if unknown != 1 {
+		t.Errorf("want 1 unknown-analyzer report, got %d: %v", unknown, diags)
+	}
+	if malformed != 1 {
+		t.Errorf("want 1 malformed-suppression report, got %d: %v", malformed, diags)
+	}
+	// droppederr fires in UnknownName (directive names nothing valid),
+	// MissingReason (malformed directives are inert), WrongLine (out of
+	// the suppression window) and PartialSuppression (directive names
+	// rawgo only); FullySuppressed stays silent.
+	if count["droppederr"] != 4 {
+		t.Errorf("want 4 droppederr findings, got %d: %v", count["droppederr"], diags)
+	}
+	// The one bare go statement is suppressed by name.
+	if count["rawgo"] != 0 {
+		t.Errorf("want 0 rawgo findings, got %d: %v", count["rawgo"], diags)
+	}
+}
+
+// TestLintSelfClean asserts the whole repository passes the full default
+// suite with zero diagnostics — the CFG analyzers included — so a future
+// PR cannot silently regress the lock, ordering, obs-handle or
+// goroutine-join invariants.
+func TestLintSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks every package; skipped in -short")
+	}
+	pkgs, err := loadPackages(".", []string{"repro/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; expected the full module", len(pkgs))
+	}
+	diags, err := runAnalyzers(pkgs, defaultAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo not lint-clean: %s", d)
 	}
 }
 

@@ -1,0 +1,434 @@
+package main
+
+// lockguard enforces the repo's mutex annotation discipline with a
+// must-hold dataflow analysis over the CFG (DESIGN.md §12).
+//
+// Discipline:
+//
+//   - A struct field annotated `// guarded by <mu>` (in its doc or line
+//     comment) may be read only while <mu> is held (Lock or RLock) and
+//     written only while <mu> is held exclusively (Lock), where <mu> is
+//     a sync.Mutex or sync.RWMutex field of the same struct. The same
+//     annotation works on var declarations for function-local state
+//     shared with closures.
+//   - In the configured packages, every mutex field or variable must
+//     either be referenced by at least one `guarded by` annotation or
+//     carry its own `guards ...` / `serializes ...` comment — an
+//     undocumented mutex is a finding, so new concurrent state cannot
+//     land unannotated.
+//
+// The analysis is intraprocedural and per-path: a field access is clean
+// only when EVERY path reaching it holds the lock (intersection meet).
+// Function literals are analyzed separately with an empty entry lock
+// set, because they may run on another goroutine. A deferred Unlock is
+// a no-op for the analysis — the lock is held until function exit.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+var (
+	guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+	lockDocRe   = regexp.MustCompile(`\b(guards|serializes)\b`)
+)
+
+// defaultLockGuardPkgs lists the packages where every mutex must be
+// annotated (the mutex-heavy concurrent core).
+func defaultLockGuardPkgs() map[string]bool {
+	return map[string]bool{
+		"repro/internal/node":      true,
+		"repro/internal/chaos":     true,
+		"repro/internal/obs":       true,
+		"repro/internal/transport": true,
+		"repro/internal/parallel":  true,
+	}
+}
+
+func newLockGuardAnalyzer(annotate map[string]bool) *Analyzer {
+	return &Analyzer{
+		Name: "lockguard",
+		Doc:  "fields annotated 'guarded by <mu>' are only accessed with <mu> held; every mutex in the concurrent core is annotated",
+		Run:  func(p *Pass) error { return runLockGuard(p, annotate) },
+	}
+}
+
+// lockKind is the strength of a held lock.
+type lockKind int
+
+const (
+	lockRead lockKind = 1 // RLock
+	lockExcl lockKind = 2 // Lock
+)
+
+// lockSet maps a rendered mutex path ("s.mu", "mu") to the strength it
+// is held with on every path reaching the current point.
+type lockSet map[string]lockKind
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// meetLocks intersects from into into (nil into means "first
+// predecessor seen": adopt from). Reports whether into changed.
+func meetLocks(into, from lockSet) (lockSet, bool) {
+	if into == nil {
+		return from.clone(), true
+	}
+	changed := false
+	for k, v := range into {
+		fv, ok := from[k]
+		if !ok {
+			delete(into, k)
+			changed = true
+			continue
+		}
+		if fv < v {
+			into[k] = fv
+			changed = true
+		}
+	}
+	return into, changed
+}
+
+// lockGuardState is the per-package annotation model.
+type lockGuardState struct {
+	pass *Pass
+	// guardedField maps a struct field object to the name of the mutex
+	// field (same struct) guarding it.
+	guardedField map[types.Object]string
+	// guardedVar maps a variable object to the name of the mutex
+	// variable guarding it (both in the same scope).
+	guardedVar map[types.Object]string
+	// mutexRefd marks mutex objects referenced by some annotation.
+	mutexRefd map[types.Object]bool
+}
+
+func runLockGuard(p *Pass, annotate map[string]bool) error {
+	st := &lockGuardState{
+		pass:         p,
+		guardedField: map[types.Object]string{},
+		guardedVar:   map[types.Object]string{},
+		mutexRefd:    map[types.Object]bool{},
+	}
+	// Pass 1: collect and validate annotations across the package.
+	for _, f := range p.Pkg.Files {
+		st.collectStructAnnotations(f)
+		st.collectVarAnnotations(f)
+	}
+	// Pass 2: in configured packages, demand documentation on every mutex.
+	if annotate[p.Pkg.Path] {
+		for _, f := range p.Pkg.Files {
+			st.checkMutexDocumented(f)
+		}
+	}
+	// Pass 3: dataflow enforcement of every annotation.
+	for _, f := range p.Pkg.Files {
+		for _, fb := range collectFuncBodies(f) {
+			st.checkBody(fb.body)
+		}
+	}
+	return nil
+}
+
+// isMutexType reports whether t (possibly behind a pointer) is
+// sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// fieldCommentText concatenates a field's doc and line comments.
+func fieldCommentText(doc, line *ast.CommentGroup) string {
+	var b strings.Builder
+	if doc != nil {
+		b.WriteString(doc.Text())
+		b.WriteString(" ")
+	}
+	if line != nil {
+		b.WriteString(line.Text())
+	}
+	return b.String()
+}
+
+func (st *lockGuardState) collectStructAnnotations(f *ast.File) {
+	info := st.pass.Pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		s, ok := n.(*ast.StructType)
+		if !ok || s.Fields == nil {
+			return true
+		}
+		// Index the struct's mutex fields by name for sibling lookups.
+		mutexes := map[string]types.Object{}
+		for _, fld := range s.Fields.List {
+			for _, name := range fld.Names {
+				obj := info.Defs[name]
+				if obj != nil && isMutexType(obj.Type()) {
+					mutexes[name.Name] = obj
+				}
+			}
+		}
+		for _, fld := range s.Fields.List {
+			m := guardedByRe.FindStringSubmatch(fieldCommentText(fld.Doc, fld.Comment))
+			if m == nil {
+				continue
+			}
+			mu, ok := mutexes[m[1]]
+			if !ok {
+				st.pass.Reportf(fld.Pos(), "guarded by %s: no sync.Mutex/RWMutex field named %s in this struct", m[1], m[1])
+				continue
+			}
+			st.mutexRefd[mu] = true
+			for _, name := range fld.Names {
+				if obj := info.Defs[name]; obj != nil {
+					st.guardedField[obj] = m[1]
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (st *lockGuardState) collectVarAnnotations(f *ast.File) {
+	info := st.pass.Pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		vs, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		m := guardedByRe.FindStringSubmatch(fieldCommentText(vs.Doc, vs.Comment))
+		if m == nil {
+			return true
+		}
+		for _, name := range vs.Names {
+			if obj := info.Defs[name]; obj != nil {
+				if isMutexType(obj.Type()) {
+					continue // a mutex does not guard itself
+				}
+				st.guardedVar[obj] = m[1]
+			}
+		}
+		return true
+	})
+	// Record which mutex VARIABLES the var annotations reference, so an
+	// annotated-against mutex var counts as documented.
+	for _, mu := range st.guardedVar {
+		st.markMutexVarRefd(f, mu)
+	}
+}
+
+func (st *lockGuardState) markMutexVarRefd(f *ast.File, name string) {
+	info := st.pass.Pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		vs, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		for _, id := range vs.Names {
+			if id.Name != name {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil && isMutexType(obj.Type()) {
+				st.mutexRefd[obj] = true
+			}
+		}
+		return true
+	})
+}
+
+func (st *lockGuardState) checkMutexDocumented(f *ast.File) {
+	info := st.pass.Pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			if n.Fields == nil {
+				return true
+			}
+			for _, fld := range n.Fields.List {
+				for _, name := range fld.Names {
+					obj := info.Defs[name]
+					if obj == nil || !isMutexType(obj.Type()) {
+						continue
+					}
+					if st.mutexRefd[obj] || lockDocRe.MatchString(fieldCommentText(fld.Doc, fld.Comment)) {
+						continue
+					}
+					st.pass.Reportf(name.Pos(), "mutex field %s is not referenced by any 'guarded by' annotation and has no guards/serializes comment", name.Name)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				obj := info.Defs[name]
+				if obj == nil || !isMutexType(obj.Type()) {
+					continue
+				}
+				if st.mutexRefd[obj] || lockDocRe.MatchString(fieldCommentText(n.Doc, n.Comment)) {
+					continue
+				}
+				st.pass.Reportf(name.Pos(), "mutex %s is not referenced by any 'guarded by' annotation and has no guards/serializes comment", name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkBody runs the must-hold fixpoint over one function body and
+// reports every guarded access outside its mutex's protection.
+func (st *lockGuardState) checkBody(body *ast.BlockStmt) {
+	c := buildCFG(body)
+	in := dataflow(c, lockSet{},
+		func(b *block, s lockSet) lockSet {
+			out := s.clone()
+			for _, n := range b.nodes {
+				st.applyLockOps(n, out)
+			}
+			return out
+		},
+		meetLocks,
+	)
+	for _, b := range c.reachable() {
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		cur := s.clone()
+		for _, n := range b.nodes {
+			st.checkAccesses(n, cur)
+			st.applyLockOps(n, cur)
+		}
+	}
+}
+
+var lockMethods = map[string]lockKind{
+	"Lock":    lockExcl,
+	"RLock":   lockRead,
+	"Unlock":  0,
+	"RUnlock": 0,
+}
+
+// applyLockOps updates s for every mutex Lock/Unlock call in n.
+// Deferred calls are skipped: a deferred Unlock keeps the lock held for
+// the rest of the function as far as in-body accesses are concerned.
+func (st *lockGuardState) applyLockOps(n ast.Node, s lockSet) {
+	walkNode(n, func(n ast.Node, stack []ast.Node) bool {
+		ce, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ce.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		kind, isLockOp := lockMethods[sel.Sel.Name]
+		if !isLockOp || !isMutexType(st.pass.TypeOf(sel.X)) {
+			return true
+		}
+		for _, a := range stack {
+			if _, isDefer := a.(*ast.DeferStmt); isDefer {
+				return true
+			}
+		}
+		path := renderPath(sel.X)
+		if path == "" {
+			return true
+		}
+		if kind == 0 {
+			delete(s, path)
+		} else if s[path] < kind {
+			s[path] = kind
+		}
+		return true
+	})
+}
+
+// checkAccesses reports guarded accesses in n not covered by s.
+func (st *lockGuardState) checkAccesses(n ast.Node, s lockSet) {
+	info := st.pass.Pkg.Info
+	walkNode(n, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			obj := info.Uses[n.Sel]
+			mu, ok := st.guardedField[obj]
+			if !ok {
+				return true
+			}
+			base := renderPath(n.X)
+			if base == "" {
+				return true // untrackable base: stay lenient
+			}
+			st.reportAccess(n.Pos(), base+"."+n.Sel.Name, base+"."+mu, s[base+"."+mu], isWriteContext(n, stack))
+		case *ast.Ident:
+			if len(stack) > 0 {
+				if p, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && p.Sel == n {
+					return true // handled via the SelectorExpr case
+				}
+			}
+			obj := info.Uses[n]
+			mu, ok := st.guardedVar[obj]
+			if !ok {
+				return true
+			}
+			st.reportAccess(n.Pos(), n.Name, mu, s[mu], isWriteContext(n, stack))
+		}
+		return true
+	})
+}
+
+func (st *lockGuardState) reportAccess(pos token.Pos, what, mu string, held lockKind, write bool) {
+	switch {
+	case held == 0:
+		st.pass.Reportf(pos, "%s accessed without holding %s (guarded by annotation)", what, mu)
+	case write && held < lockExcl:
+		st.pass.Reportf(pos, "%s written while holding only a read lock on %s", what, mu)
+	}
+}
+
+// isWriteContext reports whether the expression at the top of stack is
+// written: an assignment target, an IncDec operand, a range assignment
+// target, or has its address taken (the alias may be written).
+func isWriteContext(n ast.Node, stack []ast.Node) bool {
+	child := n
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if l == child {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return true
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				return true
+			}
+		case *ast.RangeStmt:
+			return child == ast.Node(p.Key) || child == ast.Node(p.Value)
+		case ast.Stmt:
+			return false
+		}
+		child = stack[i]
+	}
+	return false
+}

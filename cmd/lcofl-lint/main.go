@@ -16,7 +16,22 @@ func defaultAnalyzers() []*Analyzer {
 		newDeterminismAnalyzer(defaultReproducible()),
 		newRawGoAnalyzer(defaultRawGoAllowed()),
 		newWallClockAnalyzer(defaultWallClockAllowed()),
+		newLockGuardAnalyzer(defaultLockGuardPkgs()),
+		newMapOrderAnalyzer(defaultMapOrderPkgs()),
+		newObsHandleAnalyzer(defaultObsHandlePkgs()),
+		newGroupWaitAnalyzer(),
 	}
+}
+
+// knownAnalyzerNames is the suppression vocabulary: the default suite
+// plus the built-in "lint" meta-analyzer that reports directive
+// problems. A //lint:ignore naming anything else is itself a finding.
+func knownAnalyzerNames() map[string]bool {
+	names := map[string]bool{"lint": true}
+	for _, a := range defaultAnalyzers() {
+		names[a.Name] = true
+	}
+	return names
 }
 
 func main() {

@@ -1,0 +1,250 @@
+package main
+
+// maporder: in the deterministic packages, a `range` over a map whose
+// body writes to order-sensitive output — a slice append, a
+// strings.Builder / bytes.Buffer, a trace event, a transport frame, a
+// printf sink, or a floating-point accumulator — must iterate sorted
+// keys instead. Go randomizes map iteration order, so any of those
+// sinks inside a map range makes output depend on the per-process seed,
+// which breaks the repo's bit-reproducibility contract (DESIGN §8).
+//
+// The one exempt shape is the sorted-collect idiom itself:
+//
+//	for k := range m {
+//	    keys = append(keys, k)
+//	}
+//	sort.Ints(keys)
+//
+// i.e. an append of exactly the range key/value into a slice that the
+// same function later passes to a sort call. Everything else needs the
+// keys sorted before the loop (or a //lint:ignore with a reason).
+//
+// Integer/field-element compound assignments are NOT sinks: those
+// accumulations are exact and commutative, so iteration order cannot
+// change the result. Float accumulation rounds per step and is order
+// sensitive, so it is flagged.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// defaultMapOrderPkgs lists the packages whose outputs must be
+// schedule- and seed-independent.
+func defaultMapOrderPkgs() map[string]bool {
+	return map[string]bool{
+		"repro/internal/core":        true,
+		"repro/internal/fl":          true,
+		"repro/internal/node":        true,
+		"repro/internal/reedsolomon": true,
+		"repro/internal/lagrange":    true,
+		"repro/internal/chaos":       true,
+	}
+}
+
+func newMapOrderAnalyzer(pkgs map[string]bool) *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "map ranges feeding slices, builders, trace events, frames or float accumulators must iterate sorted keys",
+		Run:  func(p *Pass) error { return runMapOrder(p, pkgs) },
+	}
+}
+
+func runMapOrder(p *Pass, pkgs map[string]bool) error {
+	if !pkgs[p.Pkg.Path] {
+		return nil
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(p, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		reportMapRangeSinks(p, body, rs)
+		return true
+	})
+}
+
+// reportMapRangeSinks flags every order-sensitive sink in the body of
+// one map range. funcBody is the enclosing function body, searched for
+// the sort call that makes a sorted-collect append exempt.
+func reportMapRangeSinks(p *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	info := p.Pkg.Info
+	keyObj := rangeVarObj(info, rs.Key)
+	valObj := rangeVarObj(info, rs.Value)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinAppend(info, n) {
+				if isSortedCollect(p, funcBody, rs, n, keyObj, valObj) {
+					return true
+				}
+				p.Reportf(n.Pos(), "append inside a map range: iteration order is randomized; range over sorted keys")
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if why := orderSensitiveCall(p, sel, n); why != "" {
+					p.Reportf(n.Pos(), "%s inside a map range: iteration order is randomized; range over sorted keys", why)
+				}
+			}
+		case *ast.AssignStmt:
+			if isFloatCompound(p, n) {
+				p.Reportf(n.Pos(), "float accumulation inside a map range: per-step rounding makes the sum order dependent; range over sorted keys")
+			}
+		}
+		return true
+	})
+}
+
+func rangeVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+func isBuiltinAppend(info *types.Info, ce *ast.CallExpr) bool {
+	id, ok := ce.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// orderSensitiveCall classifies a method/function call as a sink,
+// returning a short description ("" when benign).
+func orderSensitiveCall(p *Pass, sel *ast.SelectorExpr, ce *ast.CallExpr) string {
+	name := sel.Sel.Name
+	// fmt.Fprintf / fmt.Printf and friends.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" &&
+				(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+				return "fmt output"
+			}
+			return ""
+		}
+	}
+	recv := p.TypeOf(sel.X)
+	if recv == nil {
+		return ""
+	}
+	rs := recv.String()
+	switch {
+	case strings.HasSuffix(rs, "strings.Builder") || strings.HasSuffix(rs, "bytes.Buffer"):
+		if strings.HasPrefix(name, "Write") {
+			return "builder write"
+		}
+	case strings.Contains(rs, "internal/obs."):
+		if name == "Emit" || name == "EmitSpan" || name == "Start" {
+			return "trace event emission"
+		}
+	}
+	// A transport frame send: any Send/SendCorrupt whose first
+	// parameter is a *protocol.Message (covers the Conn interface and
+	// every concrete fabric).
+	if name == "Send" || name == "SendCorrupt" {
+		if fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Params().Len() == 1 &&
+				strings.HasSuffix(sig.Params().At(0).Type().String(), "internal/protocol.Message") {
+				return "transport send"
+			}
+		}
+	}
+	return ""
+}
+
+func isFloatCompound(p *Pass, as *ast.AssignStmt) bool {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return false
+	}
+	if len(as.Lhs) != 1 {
+		return false
+	}
+	t := p.TypeOf(as.Lhs[0])
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isSortedCollect recognizes the one exempt append shape: the appended
+// values are exactly the range key/value, the result is assigned back
+// to the destination, and the same function later sorts that
+// destination.
+func isSortedCollect(p *Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, ce *ast.CallExpr, keyObj, valObj types.Object) bool {
+	if len(ce.Args) < 2 {
+		return false
+	}
+	info := p.Pkg.Info
+	for _, a := range ce.Args[1:] {
+		id, ok := a.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.Uses[id]
+		if obj == nil || (obj != keyObj && obj != valObj) {
+			return false
+		}
+	}
+	dest := renderPath(ce.Args[0])
+	if dest == "" {
+		return false
+	}
+	return hasSortOf(p, funcBody, dest)
+}
+
+// sortFuncs are the call paths that count as sorting a collected slice.
+var sortFuncs = map[string]bool{
+	"sort.Ints": true, "sort.Strings": true, "sort.Float64s": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Sort": true,
+	"slices.Sort": true, "slices.SortFunc": true, "slices.SortStableFunc": true,
+}
+
+func hasSortOf(p *Pass, funcBody *ast.BlockStmt, dest string) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		ce, ok := n.(*ast.CallExpr)
+		if !ok || len(ce.Args) == 0 {
+			return true
+		}
+		if !sortFuncs[renderPath(ce.Fun)] {
+			return true
+		}
+		if renderPath(ce.Args[0]) == dest {
+			found = true
+		}
+		return true
+	})
+	return found
+}

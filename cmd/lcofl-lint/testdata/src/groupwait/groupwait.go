@@ -1,0 +1,81 @@
+// Package groupwait is the fixture for the groupwait analyzer: every
+// local parallel.Group spawn needs a Wait on all paths to function
+// exit. Escaping groups (stored, passed, captured) are the escapee's
+// business and are skipped.
+package groupwait
+
+import "repro/internal/parallel"
+
+func neverWaited() {
+	var g parallel.Group
+	g.Go(func() error { return nil }) // want "without a Wait on every path"
+}
+
+func leakyPath(n int) error {
+	var g parallel.Group
+	g.Go(func() error { return nil }) // want "without a Wait on every path"
+	if n > 0 {
+		return nil // leaks: this path skips the Wait below
+	}
+	return g.Wait()
+}
+
+func joined() error {
+	var g parallel.Group
+	g.Go(func() error { return nil })
+	return g.Wait()
+}
+
+func deferredJoin() {
+	var g parallel.Group
+	defer g.Wait()
+	g.Go(func() error { return nil })
+}
+
+func loopSpawn(n int) error {
+	var g parallel.Group
+	for i := 0; i < n; i++ {
+		g.Go(func() error { return nil })
+	}
+	return g.Wait()
+}
+
+func branchJoined(p bool) error {
+	var g parallel.Group
+	g.Go(func() error { return nil })
+	if p {
+		return g.Wait()
+	}
+	return g.Wait()
+}
+
+// Escapes: the group's lifecycle belongs to whoever received it.
+func escapesByPointer(sink func(*parallel.Group)) {
+	var g parallel.Group
+	g.Go(func() error { return nil })
+	sink(&g)
+}
+
+func escapesIntoLiteral() func() error {
+	var g parallel.Group
+	start := func() { g.Go(func() error { return nil }) }
+	start()
+	return g.Wait // method value: escape
+}
+
+// A struct-held group is tracked by its owner (cf. obs.RuntimeSampler),
+// not by this analyzer.
+type holder struct{ g parallel.Group }
+
+func (h *holder) start() {
+	h.g.Go(func() error { return nil })
+}
+
+func (h *holder) stop() error { return h.g.Wait() }
+
+func twoGroups() error {
+	var a, b parallel.Group
+	a.Go(func() error { return nil }) // want "without a Wait on every path"
+	b.Go(func() error { return nil })
+	return b.Wait()
+}

@@ -1,0 +1,116 @@
+// Package lockguard is the fixture for the lockguard analyzer: fields
+// annotated `guarded by <mu>` need the mutex held on every path
+// reaching an access, writes need it exclusively, annotations must name
+// a real mutex sibling, and unannotated mutexes are themselves flagged.
+package lockguard
+
+import "sync"
+
+type counterBox struct {
+	mu sync.Mutex // guards n
+	n  int        // guarded by mu
+}
+
+func (b *counterBox) good() int {
+	b.mu.Lock()
+	defer b.mu.Unlock() // deferred unlock: the lock is held to the end
+	b.n++
+	return b.n
+}
+
+func (b *counterBox) inlineUnlock() int {
+	b.mu.Lock()
+	v := b.n
+	b.mu.Unlock()
+	return v
+}
+
+func (b *counterBox) bad() int {
+	return b.n // want "b.n accessed without holding b.mu"
+}
+
+func (b *counterBox) badAfterUnlock() {
+	b.mu.Lock()
+	b.n = 1
+	b.mu.Unlock()
+	b.n = 2 // want "accessed without holding"
+}
+
+func (b *counterBox) badOneBranch(p bool) {
+	if p {
+		b.mu.Lock()
+	}
+	b.n++ // want "accessed without holding"
+	if p {
+		b.mu.Unlock()
+	}
+}
+
+func (b *counterBox) goodLoop(rounds int) {
+	for i := 0; i < rounds; i++ {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	}
+}
+
+type rwBox struct {
+	mu sync.RWMutex // guards v
+	v  int          // guarded by mu
+}
+
+func (b *rwBox) readOK() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.v
+}
+
+func (b *rwBox) writeUnderReadLock() {
+	b.mu.RLock()
+	b.v = 1 // want "written while holding only a read lock"
+	b.mu.RUnlock()
+}
+
+func (b *rwBox) writeOK() {
+	b.mu.Lock()
+	b.v = 2
+	b.mu.Unlock()
+}
+
+// closures get a fresh (empty) entry lock set: the literal may run on
+// another goroutine, so the lock must be taken inside it.
+func (b *counterBox) closures() (func(), func()) {
+	good := func() {
+		b.mu.Lock()
+		b.n++
+		b.mu.Unlock()
+	}
+	bad := func() {
+		b.n++ // want "accessed without holding"
+	}
+	return good, bad
+}
+
+type badAnnotation struct {
+	mu sync.Mutex // guards nothing here, but documented
+	// guarded by nosuch
+	x int // want "no sync.Mutex/RWMutex field named nosuch"
+}
+
+type undocumented struct {
+	mu sync.Mutex // want "is not referenced by any"
+}
+
+// function-local shared state works through the same annotation.
+func localGuard(rounds int) int {
+	var (
+		mu    sync.Mutex // guards total
+		total int        // guarded by mu
+	)
+	for i := 0; i < rounds; i++ {
+		mu.Lock()
+		total++
+		mu.Unlock()
+	}
+	return total // want "total accessed without holding mu"
+}

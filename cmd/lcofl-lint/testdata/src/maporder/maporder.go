@@ -1,0 +1,97 @@
+// Package maporder is the fixture for the maporder analyzer: ranging a
+// map while writing order-sensitive output (appends, builders, fmt,
+// trace events, transport sends, float accumulators) is flagged; the
+// sorted-collect idiom, slice ranges, and exact integer accumulation
+// are not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+func badAppend(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v+"!") // want "append inside a map range"
+	}
+	return out
+}
+
+// The sorted-collect idiom is the sanctioned fix and stays clean.
+func sortedCollect(m map[int]string) []string {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func badBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "builder write inside a map range"
+	}
+	return b.String()
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt output inside a map range"
+	}
+}
+
+func badEmit(o *obs.Obs, m map[int]bool) {
+	for id := range m {
+		o.Emit("flagged", obs.F("vehicle", id)) // want "trace event emission inside a map range"
+	}
+}
+
+func badSend(conns map[int]transport.Conn, msg *protocol.Message) {
+	for _, c := range conns {
+		_ = c.Send(msg) // want "transport send inside a map range"
+	}
+}
+
+func badFloatAccum(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want "float accumulation inside a map range"
+	}
+	return total
+}
+
+// Integer accumulation is exact and commutative: order independent.
+func intAccumOK(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Slice iteration order is defined; nothing to flag.
+func sliceRangeOK(xs []string) []string {
+	out := make([]string, 0, len(xs))
+	for _, v := range xs {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Reads and keyed writes that do not serialize anything are fine.
+func lookupOK(m map[int]string, dst map[int]string) {
+	for k, v := range m {
+		dst[k] = v
+	}
+}

@@ -1,0 +1,63 @@
+// Package obshandle is the fixture for the obshandle analyzer: registry
+// lookups (Counter/Gauge/Histogram) belong in constructors — inside a
+// loop, inside a literal defined in a loop, or chained straight into a
+// method call they re-pay the mutex-guarded map access per event.
+package obshandle
+
+import "repro/internal/obs"
+
+type worker struct {
+	o    *obs.Obs
+	cOps *obs.Counter
+}
+
+// Lookups at construction are the sanctioned pattern.
+func newWorker(o *obs.Obs) *worker {
+	return &worker{o: o, cOps: o.Counter("worker.ops")}
+}
+
+func (w *worker) goodStep() {
+	w.cOps.Inc()
+}
+
+func (w *worker) badLoop(n int) {
+	for i := 0; i < n; i++ {
+		c := w.o.Counter("worker.loop_ops") // want "lookup inside a loop"
+		c.Inc()
+	}
+}
+
+func (w *worker) badChained() {
+	w.o.Counter("worker.chained").Inc() // want "chained into a method call"
+}
+
+func (w *worker) badGaugeInRange(xs []int) {
+	for _, x := range xs {
+		g := w.o.Gauge("worker.x") // want "lookup inside a loop"
+		g.Set(int64(x))
+	}
+}
+
+func (w *worker) badLitInLoop(items []int) {
+	for range items {
+		f := func() {
+			c := w.o.Counter("worker.lit") // want "function literal defined in a loop"
+			c.Inc()
+		}
+		f()
+	}
+}
+
+// Hoisting the lookup out of the loop is the fix.
+func (w *worker) hoisted(xs []int) {
+	c := w.o.Counter("worker.hoisted")
+	for range xs {
+		c.Inc()
+	}
+}
+
+// A lookup stored outside any loop is fine even mid-function.
+func (w *worker) storedLate() {
+	h := w.o.Histogram("worker.lat", obs.LatencyBuckets())
+	h.Observe(1)
+}

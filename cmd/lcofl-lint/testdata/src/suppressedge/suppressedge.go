@@ -1,0 +1,47 @@
+// Package suppressedge exercises the //lint:ignore edge cases the
+// driver must get right: an unknown analyzer name is itself a finding,
+// a reason-less directive is malformed and suppresses nothing, a
+// directive two lines above its target does not apply, and a directive
+// suppresses only the analyzers it names. Expectations are asserted
+// programmatically in TestSuppressionEdgeCases (the directives would
+// collide with // want comments on the same line).
+package suppressedge
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+// UnknownName: the directive names an analyzer that does not exist, so
+// the driver reports the directive and the call stays flagged.
+func UnknownName() {
+	//lint:ignore nosuchanalyzer the name above is not a real analyzer
+	mayFail()
+}
+
+// MissingReason: reason-less directives are malformed and inert.
+func MissingReason() {
+	//lint:ignore droppederr
+	mayFail()
+}
+
+// WrongLine: the directive sits two lines above the violation, outside
+// the same-line-or-line-above window, so it does not apply.
+func WrongLine() {
+	//lint:ignore droppederr fixture: directive is one line too early
+	_ = 0
+	mayFail()
+}
+
+// PartialSuppression: the line triggers both rawgo and droppederr; the
+// directive names only rawgo, so droppederr still fires.
+func PartialSuppression() {
+	//lint:ignore rawgo fixture: suppress the goroutine finding only
+	go mayFail()
+}
+
+// FullySuppressed: the happy path — a well-formed directive naming the
+// right analyzer on the line above silences it.
+func FullySuppressed() {
+	//lint:ignore droppederr fixture: the result is intentionally unused
+	mayFail()
+}

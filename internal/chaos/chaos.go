@@ -34,8 +34,8 @@ type Injector struct {
 	cDelays   *obs.Counter
 	cCrashes  *obs.Counter
 
-	mu      sync.Mutex
-	crashed map[crashKey]bool
+	mu      sync.Mutex        // guards crashed
+	crashed map[crashKey]bool // guarded by mu
 }
 
 type crashKey struct {

@@ -1,0 +1,55 @@
+package chaos
+
+import "testing"
+
+// FuzzSpecRoundTrip checks the Parse↔String contract: any string Parse
+// accepts must render to a canonical form that re-parses to the same
+// canonical form (String is a fixed point after one round trip), and
+// Parse must never panic on arbitrary input. The seed corpus covers
+// every fault kind, kind/peer scoping, max caps, delays, crashes, and
+// historically tricky probability spellings.
+func FuzzSpecRoundTrip(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed=7",
+		"seed=-3;drop=0.5",
+		"drop.upload=0.15:max=4",
+		"corrupt.upload=1:max=2",
+		"corrupt.broadcast@2=0.25",
+		"delay=0.2:2ms",
+		"delay.hello@0=1:150ms:max=9",
+		"crash@7=before-upload:2",
+		"crash=after-upload:1;drop=0",
+		"seed=42;drop.upload=0.1;corrupt=0.01:max=1;delay=0.5:1ms;crash@3=before-upload:5",
+		"drop=0.30000000000000004",
+		"drop=1e-7",
+		"drop=NaN", // must be rejected, not round-tripped
+		"drop=+0.5",
+		"delay=1:2m30s",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := Parse(s)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if spec.Seed == 0 && s == "" {
+			t.Fatalf("Parse(%q): empty spec must default Seed to 1", s)
+		}
+		for _, r := range spec.Rules {
+			if !(r.Prob >= 0 && r.Prob <= 1) {
+				t.Fatalf("Parse(%q) admitted probability %v outside [0, 1]", s, r.Prob)
+			}
+		}
+		canon := spec.String()
+		spec2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but canonical form %q does not re-parse: %v", s, canon, err)
+		}
+		if canon2 := spec2.String(); canon2 != canon {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q -> %q", s, canon, canon2)
+		}
+	})
+}

@@ -148,7 +148,9 @@ func parseRule(fault, kind string, peer int, args string) (Rule, error) {
 	parts := strings.Split(args, ":")
 	rule := Rule{Fault: fault, Kind: kind, Peer: peer}
 	prob, err := strconv.ParseFloat(parts[0], 64)
-	if err != nil || prob < 0 || prob > 1 {
+	// The negated range test also rejects NaN, which compares false
+	// against every bound and would otherwise slip through.
+	if err != nil || !(prob >= 0 && prob <= 1) {
 		return rule, fmt.Errorf("probability %q must be a float in [0, 1]", parts[0])
 	}
 	rule.Prob = prob

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -109,10 +110,11 @@ type Server struct {
 	scheme *core.Scheme
 
 	// rejoin carries handshaked reconnections into Run's collect loop.
-	rejoin    chan rejoinReq
-	mu        sync.Mutex
-	done      bool
-	finRounds int
+	rejoin chan rejoinReq
+
+	mu        sync.Mutex // guards done and finRounds
+	done      bool       // guarded by mu
+	finRounds int        // guarded by mu
 
 	// Observability handles, resolved once in NewServer.
 	obs         *obs.Obs
@@ -297,8 +299,13 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 		SchemeDegree:     s.cfg.Scheme.Degree,
 		SchemeSeed:       s.cfg.Scheme.Seed,
 	}
-	for id, conn := range byID {
-		if err := conn.Send(&protocol.Message{Setup: setup}); err != nil {
+	// Every per-vehicle sweep below walks this sorted ID list rather
+	// than ranging byID directly: map iteration order is randomized, and
+	// send order shapes the wire trace and straggler telemetry, which
+	// must be identical across runs (DESIGN §8).
+	ids := sortedVehicleIDs(byID)
+	for _, id := range ids {
+		if err := byID[id].Send(&protocol.Message{Setup: setup}); err != nil {
 			return nil, fmt.Errorf("node: setup to vehicle %d: %w", id, err)
 		}
 	}
@@ -328,8 +335,8 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 			}
 		}()
 	}
-	for id, conn := range byID {
-		startReceiver(id, conn)
+	for _, id := range ids {
+		startReceiver(id, byID[id])
 	}
 
 	report := &Report{}
@@ -388,11 +395,11 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 			return nil, fmt.Errorf("node: round %d: %w", round, err)
 		}
 		bc = &protocol.Message{Broadcast: &protocol.Broadcast{Round: round, Params: s.shared.Params()}}
-		for id, conn := range byID {
+		for _, id := range ids {
 			if dead[id] {
 				continue
 			}
-			if err := conn.Send(bc); err != nil {
+			if err := byID[id].Send(bc); err != nil {
 				dead[id] = true
 			}
 		}
@@ -460,7 +467,7 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 			}
 		}
 		roundStragglers := 0
-		for id := range byID {
+		for _, id := range ids {
 			if !dead[id] && uploads[id] == nil {
 				report.Stragglers++
 				roundStragglers++
@@ -519,17 +526,29 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 	}
 
 	fin := &protocol.Message{Finished: &protocol.Finished{Rounds: report.Rounds}}
-	for id, conn := range byID {
+	for _, id := range ids {
 		if !dead[id] {
-			_ = conn.Send(fin) // best effort; the session is over
+			_ = byID[id].Send(fin) // best effort; the session is over
 		}
 	}
 	s.finish(report.Rounds)
 	for id := range flagged {
 		report.SuspectedMalicious = append(report.SuspectedMalicious, id)
 	}
+	sort.Ints(report.SuspectedMalicious)
 	report.FinalParams = s.shared.Params()
 	return report, nil
+}
+
+// sortedVehicleIDs returns byID's keys in ascending order, giving every
+// per-vehicle sweep in Run a deterministic schedule.
+func sortedVehicleIDs(byID map[int]transport.Conn) []int {
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 func clamp01(v float64) float64 {
@@ -584,6 +603,9 @@ func IsTransient(err error) bool {
 type vehicleSession struct {
 	cfg ClientConfig
 	o   *obs.Obs
+	// cCorrupt counts detected corrupt frames, resolved once here so
+	// the per-frame noteCorrupt path never touches the registry.
+	cCorrupt *obs.Counter
 
 	local  *nn.Network
 	scheme *core.Scheme
@@ -599,7 +621,7 @@ func newVehicleSession(cfg ClientConfig, o *obs.Obs) (*vehicleSession, error) {
 	if len(cfg.Data) == 0 {
 		return nil, fmt.Errorf("node: vehicle %d has no local data", cfg.VehicleID)
 	}
-	return &vehicleSession{cfg: cfg, o: o}, nil
+	return &vehicleSession{cfg: cfg, o: o, cCorrupt: o.Counter("node.client_corrupt_frames")}, nil
 }
 
 // install builds the local model and scheme from Setup. On a rejoin the
@@ -749,7 +771,7 @@ func (s *vehicleSession) sendUpload(conn transport.Conn, round int) error {
 // noteCorrupt records a detected corrupt frame on the vehicle side.
 func (s *vehicleSession) noteCorrupt() {
 	if s.o.Enabled() {
-		s.o.Counter("node.client_corrupt_frames").Inc()
+		s.cCorrupt.Inc()
 		s.o.Emit("node.client_corrupt_frame", obs.F("vehicle", s.cfg.VehicleID))
 	}
 }

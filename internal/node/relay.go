@@ -21,9 +21,9 @@ type Relay struct {
 	listener transport.Listener
 	dial     func() (transport.Conn, error)
 
-	mu     sync.Mutex
-	closed bool
-	conns  []transport.Conn
+	mu     sync.Mutex       // guards closed and conns
+	closed bool             // guarded by mu
+	conns  []transport.Conn // guarded by mu
 	wg     sync.WaitGroup
 }
 

@@ -201,10 +201,10 @@ func SizeBuckets() []int64 { return ExpBuckets(64, 4, 13) }
 // first use and stable afterwards, so hot paths resolve once and then
 // update lock-free. The nil *Registry returns nil (no-op) handles.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu       sync.Mutex            // guards the three handle maps
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

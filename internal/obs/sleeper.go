@@ -32,8 +32,8 @@ type ManualSleeper struct {
 	// Clock, when non-nil, advances by each slept duration.
 	Clock *ManualClock
 
-	mu    sync.Mutex
-	slept []time.Duration
+	mu    sync.Mutex      // guards slept
+	slept []time.Duration // guarded by mu
 }
 
 // Sleep implements Sleeper: it returns immediately after recording d.

@@ -21,10 +21,10 @@ import (
 // are recorded race-free but in scheduling order, so fully deterministic
 // trace FILES additionally require workers=1 (see the package comment).
 type Tracer struct {
-	mu    sync.Mutex
-	w     *bufio.Writer
+	mu    sync.Mutex    // guards w and err
+	w     *bufio.Writer // guarded by mu
 	clock Clock
-	err   error
+	err   error // guarded by mu
 }
 
 // NewTracer wraps w (buffered) with timestamps from clock. A nil clock

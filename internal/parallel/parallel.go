@@ -119,9 +119,9 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	var (
 		next     atomic.Int64 // next index to claim
 		failed   atomic.Bool  // stop claiming new work
-		mu       sync.Mutex
-		firstIdx = n // lowest failing index seen
-		firstErr error
+		mu       sync.Mutex   // guards firstIdx and firstErr
+		firstIdx = n          // lowest failing index seen; guarded by mu
+		firstErr error        // guarded by mu
 	)
 	record := func(i int, err error) {
 		failed.Store(true)
@@ -164,6 +164,10 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	work() // the caller is worker 0
 	wg.Wait()
 
+	// All workers have joined, so the lock is uncontended; taking it
+	// anyway keeps the guarded-by discipline checkable.
+	mu.Lock()
+	defer mu.Unlock()
 	if firstErr != nil {
 		if p, ok := firstErr.(*panicError); ok {
 			panic(p.Error())
@@ -199,10 +203,10 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // re-raised from Wait with its stack attached.
 type Group struct {
 	wg    sync.WaitGroup
-	mu    sync.Mutex
-	first error
-	panic *panicError
-	count int
+	mu    sync.Mutex  // guards first, panic and count
+	first error       // guarded by mu
+	panic *panicError // guarded by mu
+	count int         // guarded by mu
 }
 
 // Go starts fn on its own goroutine, tracked by the group.

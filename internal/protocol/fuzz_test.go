@@ -1,0 +1,70 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// encodeSeed frames m for the corpus; the fuzz seeds must be valid
+// frames so the mutator starts from the interesting region.
+func encodeSeed(f *testing.F, m *Message) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzFrameCodec feeds arbitrary bytes to the frame decoder. Read must
+// never panic — a malicious or corrupted peer controls this input — and
+// any frame it accepts must re-encode and re-decode to the same message
+// (decode∘encode is the identity on accepted frames).
+func FuzzFrameCodec(f *testing.F) {
+	variants := []*Message{
+		{Hello: &Hello{Version: Version, VehicleID: 3}},
+		{Setup: &Setup{InputSize: 4, LocalEpochs: 2, LocalRate: 0.05,
+			RefX: [][]float64{{1, 2}}, SchemeVehicles: 6, SchemeBatches: 2,
+			SchemeDegree: 1, SchemeSeed: 99}},
+		{Broadcast: &Broadcast{Round: 1, Params: []float64{0.5, -0.25}}},
+		{Upload: &Upload{Round: 1, VehicleID: 2, Values: []float64{1, 2, 3}}},
+		{Finished: &Finished{Rounds: 5}},
+		{Error: &Error{Reason: "boom"}},
+	}
+	for _, m := range variants {
+		f.Add(encodeSeed(f, m))
+	}
+	// Malformed shapes the decoder must reject without panicking.
+	corrupt := encodeSeed(f, variants[0])
+	corrupt[len(corrupt)-1] ^= 0xff // body flip: CRC mismatch
+	f.Add(corrupt)
+	f.Add([]byte{})                                       // empty stream
+	f.Add([]byte{0, 0, 0})                                // truncated header
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})     // oversized length
+	f.Add([]byte{0, 0, 0, 2, 0, 0, 0, 0, '{', '}'})       // bad CRC over "{}"
+	f.Add(append(encodeSeed(f, variants[4]), 0, 0, 0, 1)) // trailing partial frame
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics and hangs are not
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Read returned an invalid message: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, m); err != nil {
+			t.Fatalf("accepted message does not re-encode: %v", err)
+		}
+		m2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		j1, _ := json.Marshal(m)
+		j2, _ := json.Marshal(m2)
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("round trip changed the message:\n first: %s\nsecond: %s", j1, j2)
+		}
+	})
+}

@@ -48,8 +48,8 @@ type instrumentedConn struct {
 	inner Conn
 	o     *obs.Obs
 
-	mu   sync.Mutex
-	peer string
+	mu   sync.Mutex // guards peer
+	peer string     // guarded by mu
 
 	stats struct {
 		sentMsgs, sentBytes, sendErrors atomic.Int64

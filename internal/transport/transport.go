@@ -51,8 +51,8 @@ type pipeConn struct {
 	in  <-chan *protocol.Message
 	out chan<- *protocol.Message
 
-	mu     sync.Mutex
-	closed bool
+	mu     sync.Mutex // guards closed
+	closed bool       // guarded by mu
 	done   chan struct{}
 	peer   *pipeConn
 }
@@ -150,10 +150,10 @@ func (c *pipeConn) Close() error {
 // tcpConn frames protocol messages over a net.Conn.
 type tcpConn struct {
 	conn    net.Conn
-	sendMu  sync.Mutex
-	recvMu  sync.Mutex
-	closeMu sync.Mutex
-	closed  bool
+	sendMu  sync.Mutex // serializes frame writes on conn
+	recvMu  sync.Mutex // serializes frame reads on conn
+	closeMu sync.Mutex // guards closed
+	closed  bool       // guarded by closeMu
 }
 
 // Send implements Conn.

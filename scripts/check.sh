@@ -24,6 +24,15 @@ echo "== go build"
 go build ./...
 
 echo "== go test -race"
+# This also replays every checked-in fuzz seed corpus
+# (internal/*/testdata/fuzz) in regular test mode — the fuzz properties
+# gate every run, not just the CI fuzz-smoke job.
 go test -race ./...
+
+echo "== go test -race -count=2 (scheduling-sensitive packages)"
+# The node and chaos packages carry the lock-discipline and
+# deterministic-fault invariants; a second run flushes out
+# order-dependent state the first run happened to miss.
+go test -race -count=2 ./internal/node ./internal/chaos
 
 echo "== all checks passed"
