@@ -1,0 +1,82 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/traffic"
+)
+
+// TestAggregateAllocs pins the fusion centre's steady-state allocation
+// budget on the BenchmarkAggregateBatch workload (V=40, M=8, degree 2,
+// S=32 slots, adversaries at the full eq. 6 budget). The ISSUE 7
+// acceptance bar is a >= 10x cut from the 1209 allocs/op baseline
+// (<= 120); after the scratch-reuse pass the measured steady state is
+// ~35 (uploads gather, batch decode slabs, per-round DetectedMalicious
+// and targets). The bound leaves headroom for a GC clearing the decoder
+// scratch pools mid-measurement.
+func TestAggregateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	const v, m, degree, slots = 40, 8, 2, 32
+	act := approx.SymmetricSigmoid()
+	p, err := approx.LeastSquares{SamplePoints: 21}.Fit(act.F, -2, 2, degree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := nn.New(nn.Config{
+		LayerSizes: []int{traffic.NumFeatures, 1},
+		Activation: approx.FromPolynomial("ls", p),
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := traffic.Generate(traffic.GenConfig{Rows: m * slots, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewScheme(ds.Features(), core.SchemeConfig{
+		NumVehicles: v, NumBatches: m, Degree: degree,
+		Seed: 3, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginRound(net); err != nil {
+		t.Fatal(err)
+	}
+	ups := make([][]float64, v)
+	for i := range ups {
+		if ups[i], err = s.Upload(i, net); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(9))
+	malicious := rng.Perm(v)[:s.MaxMalicious()]
+	for _, id := range malicious {
+		for j := range ups[id] {
+			ups[id][j] = ups[id][j]*2 + 7
+		}
+	}
+	for i := 0; i < 3; i++ { // warm the aggregate and decoder scratch
+		if _, err := s.Aggregate(ups); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(30, func() {
+		if _, err := s.Aggregate(ups); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := len(s.SuspectedMalicious()); got != len(malicious) {
+		t.Fatalf("flagged %d vehicles, want %d", got, len(malicious))
+	}
+	if avg > 120 {
+		t.Errorf("Aggregate allocates %.1f times per call, want <= 120", avg)
+	}
+}

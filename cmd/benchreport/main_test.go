@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -18,7 +19,12 @@ PASS
 
 func parseSample(t *testing.T, text string) *Report {
 	t.Helper()
-	rep, err := parse(strings.Split(text, "\n"))
+	return parseSampleOpts(t, text, parseOpts{})
+}
+
+func parseSampleOpts(t *testing.T, text string, opts parseOpts) *Report {
+	t.Helper()
+	rep, err := parse(strings.Split(text, "\n"), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,8 +87,107 @@ func TestParseNoSweepStillSucceeds(t *testing.T) {
 }
 
 func TestParseNoBenchLinesFails(t *testing.T) {
-	if _, err := parse([]string{"PASS", "ok  repro  1.2s"}); err == nil {
+	if _, err := parse([]string{"PASS", "ok  repro  1.2s"}, parseOpts{}); err == nil {
 		t.Fatal("no benchmark lines accepted")
+	}
+}
+
+// TestTargetMetOnlyOnMultiCore pins the no-silent-false contract: on a
+// single-core host target_met is absent from the JSON entirely; with
+// cores the verdict appears, judged against the host-scaled target.
+func TestTargetMetOnlyOnMultiCore(t *testing.T) {
+	single := parseSampleOpts(t, sampleOutput, parseOpts{cores: 1})
+	if single.TargetMet != nil {
+		t.Errorf("1-core host emitted target_met = %v, want omitted", *single.TargetMet)
+	}
+	if single.MaxSpeedup < 3.5 {
+		t.Errorf("max speedup %g not recorded on 1-core host", single.MaxSpeedup)
+	}
+	if single.Note == "" {
+		t.Error("1-core host report carries no interpretation note")
+	}
+
+	quad := parseSampleOpts(t, sampleOutput, parseOpts{cores: 4})
+	if quad.TargetMet == nil || !*quad.TargetMet {
+		t.Fatalf("4-core host with 3.57x speedup: target_met = %v, want true", quad.TargetMet)
+	}
+	if quad.EffectiveTarget != 2.0 {
+		t.Errorf("effective target = %g, want 2.0 (4 cores, 4 workers)", quad.EffectiveTarget)
+	}
+
+	// Two cores cannot show 2x: the bar scales to 0.75*2 = 1.5.
+	dual := parseSampleOpts(t, sampleOutput, parseOpts{cores: 2})
+	if dual.EffectiveTarget != 1.5 {
+		t.Errorf("effective target on 2 cores = %g, want 1.5", dual.EffectiveTarget)
+	}
+}
+
+// TestOldBaselineWithBoolTargetMetParses guards -compare against reports
+// written before target_met became optional.
+func TestOldBaselineWithBoolTargetMetParses(t *testing.T) {
+	var rep Report
+	old := `{"goos":"linux","cores":1,"entries":[{"name":"A","iterations":1,"ns_per_op":10}],"target_speedup":2,"target_met":false}`
+	if err := json.Unmarshal([]byte(old), &rep); err != nil {
+		t.Fatalf("old baseline rejected: %v", err)
+	}
+	if rep.TargetMet == nil || *rep.TargetMet {
+		t.Fatalf("target_met = %v, want false", rep.TargetMet)
+	}
+}
+
+func TestComputeRatios(t *testing.T) {
+	rep := parseSample(t, strings.Join([]string{
+		"BenchmarkDecodeBatch/slots=32/mode=batch-8    310  1000 ns/op",
+		"BenchmarkDecodeBatch/slots=32/mode=perslot-8   15  8000 ns/op",
+		"BenchmarkDecodeBatch/slots=8/mode=batch-8     310  1000 ns/op",
+		"BenchmarkDecodeBatch/slots=8/mode=perslot-8    15  3000 ns/op",
+		"BenchmarkWireCodec/params=1000/enc=json-8     100  9000 ns/op",
+		"BenchmarkWireCodec/params=1000/enc=binary-8   100  1000 ns/op",
+	}, "\n"))
+	// Minimum across pairs: slots=8 gives 3x, slots=32 gives 8x.
+	if r := rep.Ratios["batch_vs_perslot"]; r != 3 {
+		t.Errorf("batch_vs_perslot = %g, want 3 (conservative pair)", r)
+	}
+	if r := rep.Ratios["binary_vs_json"]; r != 9 {
+		t.Errorf("binary_vs_json = %g, want 9", r)
+	}
+	if _, ok := rep.Ratios["nonexistent"]; ok {
+		t.Error("phantom ratio derived")
+	}
+}
+
+// TestMatrixModeKeepsProcs pins -procs: the same benchmark at different
+// GOMAXPROCS stays distinct, workers sweeps group per procs setting, and
+// a suffix-less line (GOMAXPROCS=1) lands under procs=1.
+func TestMatrixModeKeepsProcs(t *testing.T) {
+	rep := parseSampleOpts(t, strings.Join([]string{
+		"BenchmarkFig3VehiclesWorkers/workers=1  3  9000 ns/op",
+		"BenchmarkFig3VehiclesWorkers/workers=4  3  8500 ns/op",
+		"BenchmarkFig3VehiclesWorkers/workers=1-4  3  9000 ns/op",
+		"BenchmarkFig3VehiclesWorkers/workers=4-4  3  3000 ns/op",
+	}, "\n"), parseOpts{procsSuffix: true, cores: 4})
+	names := map[string]bool{}
+	for _, e := range rep.Entries {
+		names[e.Name] = true
+	}
+	for _, want := range []string{
+		"Fig3VehiclesWorkers/workers=1/procs=1",
+		"Fig3VehiclesWorkers/workers=4/procs=4",
+	} {
+		if !names[want] {
+			t.Errorf("entry %q missing: have %v", want, names)
+		}
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d sweep groups, want 2 (one per procs): %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	// The procs=4 group shows 3x; procs=1 shows ~1x. The headline ratio
+	// must come from the parallel run, not be averaged away.
+	if rep.MaxSpeedup != 3 {
+		t.Errorf("max speedup = %g, want 3", rep.MaxSpeedup)
+	}
+	if rep.TargetMet == nil || !*rep.TargetMet {
+		t.Errorf("target_met = %v, want true at 3x on 4 cores", rep.TargetMet)
 	}
 }
 

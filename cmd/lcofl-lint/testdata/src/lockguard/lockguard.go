@@ -114,3 +114,62 @@ func localGuard(rounds int) int {
 	}
 	return total // want "total accessed without holding mu"
 }
+
+// The buffered-conn idiom (transport's framed TCP conn): a mutex whose
+// doc says what it serializes satisfies the documentation pass without
+// being referenced by any guarded-by annotation, and a pointer that is
+// set once at construction and never reassigned is described in prose
+// instead of annotated — the analysis is intraprocedural, so a
+// 'guarded by' annotation on such a field would only manufacture
+// findings in the constructor and in TryLock'd best-effort paths it
+// cannot see into.
+type bufWriter struct{ n int }
+
+func (b *bufWriter) add(k int) { b.n += k }
+
+type framedConn struct {
+	sendMu sync.Mutex // serializes frame writes on the socket
+	// bw is nil when unbuffered. The pointer is set once at
+	// construction and never reassigned; the buffer's mutable state is
+	// only touched under sendMu or best-effort in close.
+	bw      *bufWriter
+	closeMu sync.Mutex // guards closed
+	closed  bool       // guarded by closeMu
+}
+
+func newFramedConn(buffered bool) *framedConn {
+	c := &framedConn{}
+	if buffered {
+		c.bw = &bufWriter{} // prose-documented pointer: no finding here
+	}
+	return c
+}
+
+func (c *framedConn) send(k int) {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.bw != nil {
+		c.bw.add(k)
+	}
+}
+
+func (c *framedConn) close() {
+	c.closeMu.Lock()
+	if c.closed {
+		c.closeMu.Unlock()
+		return
+	}
+	c.closed = true
+	c.closeMu.Unlock()
+	// TryLock is invisible to the must-hold analysis (it is not in the
+	// lock-op table), which is exactly why bw carries prose, not an
+	// annotation: this best-effort flush is legitimate and unprovable.
+	if c.bw != nil && c.sendMu.TryLock() {
+		c.bw.add(0)
+		c.sendMu.Unlock()
+	}
+}
+
+func (c *framedConn) badClosedRead() bool {
+	return c.closed // want "c.closed accessed without holding c.closeMu"
+}

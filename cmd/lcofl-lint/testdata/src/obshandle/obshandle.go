@@ -4,7 +4,11 @@
 // method call they re-pay the mutex-guarded map access per event.
 package obshandle
 
-import "repro/internal/obs"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
 
 type worker struct {
 	o    *obs.Obs
@@ -60,4 +64,22 @@ func (w *worker) hoisted(xs []int) {
 func (w *worker) storedLate() {
 	h := w.o.Histogram("worker.lat", obs.LatencyBuckets())
 	h.Observe(1)
+}
+
+// Pooled scratch (the zero-alloc decode path): scratch structs carry
+// buffers, never registry handles — the owning object resolves its
+// handles once at construction and the hot loop only ever touches
+// those, so pool Get/Put cycles stay lookup-free.
+type scratch struct{ buf []int }
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func (w *worker) pooledSteps(n int) {
+	s := scratchPool.Get().(*scratch)
+	s.buf = s.buf[:0]
+	for i := 0; i < n; i++ {
+		s.buf = append(s.buf, i)
+		w.cOps.Inc() // construction-resolved handle: clean in the loop
+	}
+	scratchPool.Put(s)
 }

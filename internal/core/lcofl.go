@@ -109,6 +109,17 @@ type Scheme struct {
 	// decoder is result-equivalent for any coefficients, DESIGN.md §9).
 	batchSrc field.Source
 
+	// Aggregate scratch, reused round over round so the steady-state hot
+	// path allocates only caller-visible output. Aggregate is called once
+	// per round from the FL loop and is not itself concurrent (only its
+	// internal slot fan-out is), so plain reuse is safe: each slot's
+	// ys/ids/flagged slices are re-sliced to zero length and refilled,
+	// keeping their grown capacity.
+	aggWords    []slotWord
+	aggOutcomes []slotOutcome
+	aggEligible []int
+	aggBatch    [][]field.Element
+
 	// DecodeFailures counts verification slots whose decode exceeded the
 	// error budget in the last Aggregate.
 	DecodeFailures int
@@ -374,9 +385,16 @@ func (s *Scheme) Aggregate(uploads [][]float64) ([]float64, error) {
 
 	// Gather each slot's received word and the IDs of the vehicles present
 	// in it. Slots are independent, so the gather fans out; each writes
-	// only its own index.
-	words := make([]slotWord, s.slots)
+	// only its own index. The words live in round-over-round scratch:
+	// every slot's ys/ids restart at length zero with retained capacity.
+	if len(s.aggWords) != s.slots {
+		s.aggWords = make([]slotWord, s.slots)
+		s.aggOutcomes = make([]slotOutcome, s.slots)
+	}
+	words := s.aggWords
 	_ = parallel.ForEach(s.workers, s.slots, func(j int) error {
+		words[j].ys = words[j].ys[:0]
+		words[j].ids = words[j].ids[:0]
 		for i, up := range uploads {
 			if up == nil || fl.IsDropped(up[2*j]) || fl.IsDropped(up[2*j+1]) {
 				continue
@@ -391,7 +409,11 @@ func (s *Scheme) Aggregate(uploads [][]float64) ([]float64, error) {
 	// word — then merge the per-slot outcomes in slot order.
 	// DecodeFailures and DetectedMalicious are order-independent sums, so
 	// the merged counters match the sequential loop exactly.
-	outcomes := make([]slotOutcome, s.slots)
+	outcomes := s.aggOutcomes
+	for j := range outcomes {
+		outcomes[j].failed = false
+		outcomes[j].flagged = outcomes[j].flagged[:0]
+	}
 	if s.cfg.DisableBatchDecode {
 		_ = parallel.ForEach(s.workers, s.slots, func(j int) error {
 			w := words[j]
@@ -511,13 +533,36 @@ type slotOutcome struct {
 // group reusing the cached decoder; straggler masks amortise one decoder
 // construction across their slots.
 func (s *Scheme) aggregateBatch(words []slotWord, outcomes []slotOutcome, points []field.Element) {
-	groups := make(map[string][]int)
-	var order []string
+	eligible := s.aggEligible[:0]
 	for j := range words {
 		if len(words[j].ids) < s.k {
 			outcomes[j].failed = true
 			continue
 		}
+		eligible = append(eligible, j)
+	}
+	s.aggEligible = eligible
+	if len(eligible) == 0 {
+		return
+	}
+	// Uniform-presence fast path: when every eligible slot saw the same
+	// vehicles — the overwhelmingly common case, every vehicle present —
+	// there is exactly one group, and the mask-keyed map (with its
+	// per-slot byte-mask and string allocations) is skipped entirely.
+	uniform := true
+	for _, j := range eligible[1:] {
+		if !equalIDs(words[eligible[0]].ids, words[j].ids) {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		s.decodeGroup(words, outcomes, points, eligible)
+		return
+	}
+	groups := make(map[string][]int)
+	var order []string
+	for _, j := range eligible {
 		key := maskKey(words[j].ids, s.cfg.NumVehicles)
 		if _, seen := groups[key]; !seen {
 			order = append(order, key)
@@ -525,53 +570,73 @@ func (s *Scheme) aggregateBatch(words []slotWord, outcomes []slotOutcome, points
 		groups[key] = append(groups[key], j)
 	}
 	for _, key := range order {
-		slots := groups[key]
-		ids := words[slots[0]].ids
-		dec := s.dec
-		if len(ids) != s.cfg.NumVehicles {
-			xs := make([]field.Element, len(ids))
-			for t, i := range ids {
-				xs[t] = points[i]
-			}
-			var err error
-			dec, err = reedsolomon.NewDecoder(xs, s.k)
-			if err == nil && s.obs.Enabled() {
-				dec.SetObs(s.obs)
-			}
-			if err != nil {
-				// Unreachable given the scheme's invariants (k ≥ 1, enough
-				// distinct points); treat the group as undecodable.
-				for _, j := range slots {
-					outcomes[j].failed = true
-				}
-				continue
-			}
+		s.decodeGroup(words, outcomes, points, groups[key])
+	}
+}
+
+// decodeGroup batch-decodes one presence group (slot indices sharing a
+// vehicle set), writing outcomes in place.
+func (s *Scheme) decodeGroup(words []slotWord, outcomes []slotOutcome, points []field.Element, slots []int) {
+	ids := words[slots[0]].ids
+	dec := s.dec
+	if len(ids) != s.cfg.NumVehicles {
+		xs := make([]field.Element, len(ids))
+		for t, i := range ids {
+			xs[t] = points[i]
 		}
-		batch := make([][]field.Element, len(slots))
-		for t, j := range slots {
-			batch[t] = words[j].ys
+		var err error
+		dec, err = reedsolomon.NewDecoder(xs, s.k)
+		if err == nil && s.obs.Enabled() {
+			dec.SetObs(s.obs)
 		}
-		results, errs, stats := dec.DecodeBatch(batch, s.batchSrc, s.workers)
-		s.BatchRecovered += stats.Recovered
-		s.BatchFallbacks += stats.Fallbacks
-		if s.obs.TraceEnabled() {
-			s.obs.Emit("core.batch_group",
-				obs.F("slots", len(slots)),
-				obs.F("present", len(ids)),
-				obs.F("recovered", stats.Recovered),
-				obs.F("fallbacks", stats.Fallbacks),
-				obs.F("combined_ok", stats.CombinedOK))
-		}
-		for t, j := range slots {
-			if errs[t] != nil {
+		if err != nil {
+			// Unreachable given the scheme's invariants (k ≥ 1, enough
+			// distinct points); treat the group as undecodable.
+			for _, j := range slots {
 				outcomes[j].failed = true
-				continue
 			}
-			for _, idx := range results[t].ErrorPositions {
-				outcomes[j].flagged = append(outcomes[j].flagged, ids[idx])
-			}
+			return
 		}
 	}
+	batch := s.aggBatch[:0]
+	for _, j := range slots {
+		batch = append(batch, words[j].ys)
+	}
+	s.aggBatch = batch
+	results, errs, stats := dec.DecodeBatch(batch, s.batchSrc, s.workers)
+	s.BatchRecovered += stats.Recovered
+	s.BatchFallbacks += stats.Fallbacks
+	if s.obs.TraceEnabled() {
+		s.obs.Emit("core.batch_group",
+			obs.F("slots", len(slots)),
+			obs.F("present", len(ids)),
+			obs.F("recovered", stats.Recovered),
+			obs.F("fallbacks", stats.Fallbacks),
+			obs.F("combined_ok", stats.CombinedOK))
+	}
+	for t, j := range slots {
+		if errs[t] != nil {
+			outcomes[j].failed = true
+			continue
+		}
+		for _, idx := range results[t].ErrorPositions {
+			outcomes[j].flagged = append(outcomes[j].flagged, ids[idx])
+		}
+	}
+}
+
+// equalIDs reports whether two strictly-increasing vehicle-ID lists are
+// identical.
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // maskKey packs the presence set into a bitmask string usable as a map

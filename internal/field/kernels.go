@@ -26,17 +26,48 @@ func reduce128(hi, lo uint64) Element {
 	return New(lo).Add(New(l2)).Add(Element(h2 * 8))
 }
 
+// dotBlock is the span DotAcc consumes per unrolled iteration: four
+// independent (hi, lo) lanes, each fed exactly lazyTerms products, so
+// every lane starts from zero and meets the §9 chunk bound
+// (lazyTerms·2^122 < 2^128) with room to spare — the carried reduced
+// value of the single-lane loop never even appears.
+const dotBlock = 4 * lazyTerms
+
 // DotAcc returns the inner product of equal-length vectors a and b,
 // bit-identical to Dot but with one modular reduction per lazyTerms
-// products instead of one per term. It panics on length mismatch.
+// products instead of one per term. The main loop runs four independent
+// (hi, lo) accumulator pairs so the CPU can overlap the bits.Mul64
+// dependency chains; the sub-block tail falls back to the single-lane
+// lazy loop. It panics on length mismatch.
 func DotAcc(a, b []Element) Element {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("field: dot length mismatch %d != %d", len(a), len(b)))
 	}
 	var s Element
+	i := 0
+	for ; i+dotBlock <= len(a); i += dotBlock {
+		var h0, l0, h1, l1, h2, l2, h3, l3 uint64
+		for j := i; j < i+dotBlock; j += 4 {
+			ph, pl := bits.Mul64(uint64(a[j]), uint64(b[j]))
+			var c uint64
+			l0, c = bits.Add64(l0, pl, 0)
+			h0 += ph + c
+			ph, pl = bits.Mul64(uint64(a[j+1]), uint64(b[j+1]))
+			l1, c = bits.Add64(l1, pl, 0)
+			h1 += ph + c
+			ph, pl = bits.Mul64(uint64(a[j+2]), uint64(b[j+2]))
+			l2, c = bits.Add64(l2, pl, 0)
+			h2 += ph + c
+			ph, pl = bits.Mul64(uint64(a[j+3]), uint64(b[j+3]))
+			l3, c = bits.Add64(l3, pl, 0)
+			h3 += ph + c
+		}
+		s = s.Add(reduce128(h0, l0)).Add(reduce128(h1, l1)).
+			Add(reduce128(h2, l2)).Add(reduce128(h3, l3))
+	}
 	var hi, lo uint64
 	terms := 0
-	for i := range a {
+	for ; i < len(a); i++ {
 		ph, pl := bits.Mul64(uint64(a[i]), uint64(b[i]))
 		var carry uint64
 		lo, carry = bits.Add64(lo, pl, 0)
@@ -47,6 +78,43 @@ func DotAcc(a, b []Element) Element {
 		}
 	}
 	return s.Add(reduce128(hi, lo))
+}
+
+// MulAddVec computes dst[i] = dst[i] + c·xs[i] mod p for every lane, the
+// fused kernel under row-elimination updates (dst -= factor·row via the
+// negated factor) where each destination is read once and written once.
+// Per lane the sum fits one (hi, lo) pair — the product is < 2^122 and
+// the canonical dst value < 2^61 — so a single reduce128 per element
+// replaces the separate Mul-then-Add reductions of the scalar form. The
+// loop is unrolled four wide to overlap the multiply chains. It panics
+// on length mismatch.
+func MulAddVec(dst []Element, c Element, xs []Element) {
+	if len(dst) != len(xs) {
+		panic(fmt.Sprintf("field: muladd length mismatch %d != %d", len(dst), len(xs)))
+	}
+	cu := uint64(c)
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		h0, l0 := bits.Mul64(cu, uint64(xs[i]))
+		h1, l1 := bits.Mul64(cu, uint64(xs[i+1]))
+		h2, l2 := bits.Mul64(cu, uint64(xs[i+2]))
+		h3, l3 := bits.Mul64(cu, uint64(xs[i+3]))
+		var c0, c1, c2, c3 uint64
+		l0, c0 = bits.Add64(l0, uint64(dst[i]), 0)
+		l1, c1 = bits.Add64(l1, uint64(dst[i+1]), 0)
+		l2, c2 = bits.Add64(l2, uint64(dst[i+2]), 0)
+		l3, c3 = bits.Add64(l3, uint64(dst[i+3]), 0)
+		dst[i] = reduce128(h0+c0, l0)
+		dst[i+1] = reduce128(h1+c1, l1)
+		dst[i+2] = reduce128(h2+c2, l2)
+		dst[i+3] = reduce128(h3+c3, l3)
+	}
+	for ; i < len(dst); i++ {
+		hi, lo := bits.Mul64(cu, uint64(xs[i]))
+		var carry uint64
+		lo, carry = bits.Add64(lo, uint64(dst[i]), 0)
+		dst[i] = reduce128(hi+carry, lo)
+	}
 }
 
 // Accumulator is a fixed-width vector of lazy 128-bit sums of field
@@ -73,7 +141,10 @@ func NewAccumulator(n int) *Accumulator {
 func (a *Accumulator) Len() int { return len(a.lo) }
 
 // VecMulAddScalar accumulates c·xs into the lanes: a[i] += c·xs[i].
-// It panics when len(xs) differs from the accumulator width.
+// The lanes are independent by construction, so the loop is unrolled
+// four wide to overlap the bits.Mul64 chains; the remainder runs the
+// scalar form. It panics when len(xs) differs from the accumulator
+// width.
 func (a *Accumulator) VecMulAddScalar(c Element, xs []Element) {
 	if len(xs) != len(a.lo) {
 		panic(fmt.Sprintf("field: accumulator width %d, vector length %d", len(a.lo), len(xs)))
@@ -82,11 +153,28 @@ func (a *Accumulator) VecMulAddScalar(c Element, xs []Element) {
 		a.spill()
 	}
 	cu := uint64(c)
-	for i, x := range xs {
-		ph, pl := bits.Mul64(cu, uint64(x))
+	hi, lo := a.hi, a.lo
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		h0, l0 := bits.Mul64(cu, uint64(xs[i]))
+		h1, l1 := bits.Mul64(cu, uint64(xs[i+1]))
+		h2, l2 := bits.Mul64(cu, uint64(xs[i+2]))
+		h3, l3 := bits.Mul64(cu, uint64(xs[i+3]))
+		var c0, c1, c2, c3 uint64
+		lo[i], c0 = bits.Add64(lo[i], l0, 0)
+		hi[i] += h0 + c0
+		lo[i+1], c1 = bits.Add64(lo[i+1], l1, 0)
+		hi[i+1] += h1 + c1
+		lo[i+2], c2 = bits.Add64(lo[i+2], l2, 0)
+		hi[i+2] += h2 + c2
+		lo[i+3], c3 = bits.Add64(lo[i+3], l3, 0)
+		hi[i+3] += h3 + c3
+	}
+	for ; i < len(xs); i++ {
+		ph, pl := bits.Mul64(cu, uint64(xs[i]))
 		var carry uint64
-		a.lo[i], carry = bits.Add64(a.lo[i], pl, 0)
-		a.hi[i] += ph + carry
+		lo[i], carry = bits.Add64(lo[i], pl, 0)
+		hi[i] += ph + carry
 	}
 	a.pending++
 }

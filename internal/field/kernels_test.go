@@ -38,8 +38,10 @@ func TestReduce128(t *testing.T) {
 
 func TestDotAccMatchesDot(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	// Sweep lengths across the lazy-chunk boundary (63/64/65) and beyond.
-	for _, n := range []int{0, 1, 2, 31, 63, 64, 65, 127, 128, 129, 1000} {
+	// Sweep lengths across the lazy-chunk boundary (63/64/65) and both
+	// sides of the four-lane block boundary (4·lazyTerms = 256).
+	for _, n := range []int{0, 1, 2, 31, 63, 64, 65, 127, 128, 129,
+		dotBlock - 1, dotBlock, dotBlock + 1, 2*dotBlock - 1, 2 * dotBlock, 2*dotBlock + 65, 1000} {
 		a := make([]Element, n)
 		b := make([]Element, n)
 		for i := range a {
@@ -54,8 +56,9 @@ func TestDotAccMatchesDot(t *testing.T) {
 
 func TestDotAccWorstCaseMagnitudes(t *testing.T) {
 	// Every product at its maximum (p-1)² stresses the 128-bit headroom
-	// argument: 64 such products must not overflow the accumulator.
-	for _, n := range []int{64, 65, 128, 256} {
+	// argument: 64 such products must not overflow the accumulator —
+	// per lane of the unrolled main loop just as in the scalar tail.
+	for _, n := range []int{64, 65, 128, 255, 256, 257, 511, 512, 513, 1024} {
 		a := make([]Element, n)
 		b := make([]Element, n)
 		for i := range a {
@@ -140,6 +143,89 @@ func TestAccumulatorWorstCaseMagnitudes(t *testing.T) {
 			t.Fatalf("lane %d: got %v, want %v", i, got[i], want[i])
 		}
 	}
+}
+
+func TestAccumulatorUnrollWidths(t *testing.T) {
+	// The four-wide elementwise unroll must agree with the scalar form at
+	// widths on both sides of the unroll stride.
+	rng := rand.New(rand.NewSource(4))
+	for _, width := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 63, 64, 65, 100} {
+		acc := NewAccumulator(width)
+		want := make([]Element, width)
+		for t := 0; t < 70; t++ { // crosses one spill
+			c := Rand(rng)
+			xs := make([]Element, width)
+			for i := range xs {
+				xs[i] = Rand(rng)
+			}
+			acc.VecMulAddScalar(c, xs)
+			for i := range want {
+				want[i] = want[i].Add(c.Mul(xs[i]))
+			}
+		}
+		got := make([]Element, width)
+		acc.Reduce(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("width=%d lane %d: got %v, want %v", width, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulAddVecMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 63, 64, 65, 100, 257} {
+		dst := make([]Element, n)
+		want := make([]Element, n)
+		xs := make([]Element, n)
+		for i := range dst {
+			dst[i] = Rand(rng)
+			want[i] = dst[i]
+			xs[i] = Rand(rng)
+		}
+		c := Rand(rng)
+		MulAddVec(dst, c, xs)
+		for i := range want {
+			want[i] = want[i].Add(c.Mul(xs[i]))
+			if dst[i] != want[i] {
+				t.Fatalf("n=%d lane %d: got %v, want %v", n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMulAddVecWorstCaseMagnitudes(t *testing.T) {
+	// Maximum product plus maximum canonical destination per lane:
+	// (p-1)² + (p-1) < 2^122 + 2^61 must stay inside the (hi, lo) pair.
+	const n = 9
+	worst := Element(Modulus - 1)
+	dst := make([]Element, n)
+	want := make([]Element, n)
+	xs := make([]Element, n)
+	for i := range dst {
+		dst[i], want[i], xs[i] = worst, worst, worst
+	}
+	for rep := 0; rep < 100; rep++ {
+		MulAddVec(dst, worst, xs)
+		for i := range want {
+			want[i] = want[i].Add(worst.Mul(worst))
+		}
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("lane %d: got %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMulAddVecLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	MulAddVec(make([]Element, 2), One, make([]Element, 3))
 }
 
 func TestAccumulatorReduceResets(t *testing.T) {

@@ -21,6 +21,7 @@ package lagrange
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/field"
@@ -39,6 +40,13 @@ type Coder struct {
 	denomInv []field.Element   // 1 / Π_{n≠m}(ℓ_m - ℓ_n)
 	weights  [][]field.Element // weights[i][m] = p_m(ρ_i), cached at construction
 	workers  int               // pool width for EncodeVectors/EvalAtNodes; 1 = sequential
+
+	// accPool recycles the per-chunk lazy accumulators of the vector
+	// encode so a steady-state EncodeVectorsInto allocates nothing: each
+	// pool worker takes one accumulator per chunk and returns it drained.
+	// Widths vary per call, so getAcc discards pooled accumulators of the
+	// wrong width (they are garbage-collected, not leaked).
+	accPool sync.Pool
 
 	// Observability handles, resolved once in SetObs so the encode hot
 	// path pays one nil check when disabled and atomic ops when enabled —
@@ -219,35 +227,91 @@ func (c *Coder) EncodeScalars(batches []field.Element) ([]field.Element, error) 
 	return out, nil
 }
 
+// encodeRange encodes worker points [lo, hi) into dst with one pooled
+// accumulator — the chunk body of EncodeVectorsInto.
+func (c *Coder) encodeRange(batches, dst [][]field.Element, lo, hi int) {
+	width := 0
+	if len(batches) > 0 {
+		width = len(batches[0])
+	}
+	acc := c.getAcc(width)
+	for i := lo; i < hi; i++ {
+		for m, b := range batches {
+			acc.VecMulAddScalar(c.weights[i][m], b)
+		}
+		acc.Reduce(dst[i])
+	}
+	c.accPool.Put(acc)
+}
+
+// getAcc takes a pooled accumulator of the given width, allocating only
+// when the pool is empty or holds one of a different width.
+func (c *Coder) getAcc(width int) *field.Accumulator {
+	if a, ok := c.accPool.Get().(*field.Accumulator); ok && a.Len() == width {
+		return a
+	}
+	return field.NewAccumulator(width)
+}
+
 // EncodeVectors encodes vector batches (each batch a slice of equal
 // length): the m-th batch is a data vector, and worker i receives the
-// componentwise combination Σ_m p_m(ρ_i)·X_m.
+// componentwise combination Σ_m p_m(ρ_i)·X_m. The per-worker rows are
+// carved from one flat allocation; callers that reuse output buffers
+// across rounds should call EncodeVectorsInto, which allocates nothing
+// in steady state.
 func (c *Coder) EncodeVectors(batches [][]field.Element) ([][]field.Element, error) {
 	if len(batches) != len(c.nodes) {
 		return nil, fmt.Errorf("lagrange: got %d batches, coder has %d nodes", len(batches), len(c.nodes))
 	}
 	width := len(batches[0])
+	flat := make([]field.Element, len(c.points)*width)
+	out := make([][]field.Element, len(c.points))
+	for i := range out {
+		out[i] = flat[i*width : (i+1)*width : (i+1)*width]
+	}
+	if err := c.EncodeVectorsInto(batches, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncodeVectorsInto is EncodeVectors with caller-provided destination
+// rows: dst must hold one slice of the common batch width per worker
+// point. Steady-state calls allocate nothing — the lazy accumulators
+// come from a pool and every write lands in dst — which makes this the
+// hot-path form for per-round re-encoding.
+func (c *Coder) EncodeVectorsInto(batches [][]field.Element, dst [][]field.Element) error {
+	if len(batches) != len(c.nodes) {
+		return fmt.Errorf("lagrange: got %d batches, coder has %d nodes", len(batches), len(c.nodes))
+	}
+	width := len(batches[0])
 	for m, b := range batches {
 		if len(b) != width {
-			return nil, fmt.Errorf("lagrange: batch %d has length %d, want %d", m, len(b), width)
+			return fmt.Errorf("lagrange: batch %d has length %d, want %d", m, len(b), width)
+		}
+	}
+	if len(dst) != len(c.points) {
+		return fmt.Errorf("lagrange: %d destination rows for %d worker points", len(dst), len(c.points))
+	}
+	for i, row := range dst {
+		if len(row) != width {
+			return fmt.Errorf("lagrange: destination row %d has length %d, want %d", i, len(row), width)
 		}
 	}
 	var start time.Duration
 	if c.obs.Enabled() {
 		start = c.obs.Now()
 	}
-	out := make([][]field.Element, len(c.points))
-	c.forEachChunk(len(c.points), func(lo, hi int) {
-		acc := field.NewAccumulator(width)
-		for i := lo; i < hi; i++ {
-			for m, b := range batches {
-				acc.VecMulAddScalar(c.weights[i][m], b)
-			}
-			enc := make([]field.Element, width)
-			acc.Reduce(enc)
-			out[i] = enc
-		}
-	})
+	// The sequential path calls the chunk worker directly: a closure
+	// handed to forEachChunk escapes to the heap, which would be the one
+	// allocation left on the zero-alloc hot path.
+	if c.workers <= 1 || len(c.points) <= 1 {
+		c.encodeRange(batches, dst, 0, len(c.points))
+	} else {
+		c.forEachChunk(len(c.points), func(lo, hi int) {
+			c.encodeRange(batches, dst, lo, hi)
+		})
+	}
 	if c.obs.Enabled() {
 		elapsed := c.obs.Now() - start
 		c.cEncCalls.Inc()
@@ -258,7 +322,7 @@ func (c *Coder) EncodeVectors(batches [][]field.Element) ([][]field.Element, err
 			obs.F("width", width),
 			obs.F("workers_out", len(c.points)))
 	}
-	return out, nil
+	return nil
 }
 
 // EvalAtNodes evaluates the degree-(M-1) interpolation of the given batch

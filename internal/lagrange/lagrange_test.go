@@ -507,6 +507,90 @@ func TestRealCoderCachedWeightsAndRedundancy(t *testing.T) {
 	}
 }
 
+func TestEncodeVectorsIntoMatchesEncodeVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	c := mustCoder(t, 6, 14, 72)
+	const width = 9
+	batches := make([][]field.Element, 6)
+	for i := range batches {
+		batches[i] = make([]field.Element, width)
+		for j := range batches[i] {
+			batches[i][j] = field.Rand(rng)
+		}
+	}
+	want, err := c.EncodeVectors(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([][]field.Element, c.NumWorkers())
+	for i := range dst {
+		dst[i] = make([]field.Element, width)
+	}
+	// Two passes through the same destination: the second must overwrite
+	// the first completely (Reduce writes, never accumulates across calls).
+	for pass := 0; pass < 2; pass++ {
+		if err := c.EncodeVectorsInto(batches, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range want {
+		for j := range want[i] {
+			if dst[i][j] != want[i][j] {
+				t.Fatalf("worker %d lane %d: Into %v, EncodeVectors %v", i, j, dst[i][j], want[i][j])
+			}
+		}
+	}
+	// Shape errors must be reported, not panic.
+	if err := c.EncodeVectorsInto(batches, dst[:3]); err == nil {
+		t.Fatal("short dst accepted")
+	}
+	dst[0] = dst[0][:width-1]
+	if err := c.EncodeVectorsInto(batches, dst); err == nil {
+		t.Fatal("ragged dst row accepted")
+	}
+}
+
+// TestEncodeVectorsAllocs pins the steady-state allocation profile of the
+// vector encode: the Into form reuses pooled accumulators and writes only
+// caller memory (zero allocs), and the allocating form pays exactly the
+// output slab (one flat array plus the row-header slice).
+func TestEncodeVectorsAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	rng := rand.New(rand.NewSource(73))
+	c := mustCoder(t, 8, 20, 74)
+	const width = 16
+	batches := make([][]field.Element, 8)
+	for i := range batches {
+		batches[i] = make([]field.Element, width)
+		for j := range batches[i] {
+			batches[i][j] = field.Rand(rng)
+		}
+	}
+	dst := make([][]field.Element, c.NumWorkers())
+	for i := range dst {
+		dst[i] = make([]field.Element, width)
+	}
+	if err := c.EncodeVectorsInto(batches, dst); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if err := c.EncodeVectorsInto(batches, dst); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("EncodeVectorsInto allocates %.1f times per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if _, err := c.EncodeVectors(batches); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 2 {
+		t.Fatalf("EncodeVectors allocates %.1f times per call, want <= 2 (output slab only)", allocs)
+	}
+}
+
 // BenchmarkEncodeVectorsCached measures the cached-matrix vector encode
 // (paper scale M=16, V=100) — the per-call cost after the weight matrix
 // and lazy-reduction kernels removed all per-slot weight recomputation.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package lagrange
+
+const raceEnabled = false

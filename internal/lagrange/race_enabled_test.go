@@ -1,0 +1,9 @@
+//go:build race
+
+package lagrange
+
+// raceEnabled gates the exact allocation pins: the race runtime's
+// instrumentation allocates on its own behalf and perturbs sync.Pool
+// reuse, so AllocsPerRun counts are only meaningful in a plain build
+// (which tier-1 and CI both run).
+const raceEnabled = true

@@ -1,0 +1,97 @@
+package node
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// runOverTCP executes the session over a buffered TCP fabric, returning
+// the server report. Vehicles dial with the same buffering options the
+// listener hands out.
+func runOverTCP(t *testing.T, s *session, opts transport.Options) *Report {
+	t.Helper()
+	l, err := transport.ListenTCPOptions("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	serverConns := make([]transport.Conn, len(s.clients))
+	accepted := make(chan transport.Conn, len(s.clients))
+	go func() {
+		for range s.clients {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := range s.clients {
+		conn, err := transport.DialTCPOptions(l.Addr(), 0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, conn transport.Conn) {
+			defer wg.Done()
+			if err := RunVehicle(conn, s.clients[i]); err != nil {
+				t.Errorf("vehicle %d: %v", i, err)
+			}
+		}(i, conn)
+	}
+	for i := range serverConns {
+		select {
+		case serverConns[i] = <-accepted:
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out accepting vehicles")
+		}
+	}
+	report, err := s.server.Run(serverConns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	return report
+}
+
+// TestMixedVersionSession is the ISSUE 7 interop criterion: a session
+// where half the fleet is pinned to the JSON-only protocol revision 2
+// (standing in for vehicles running the old build) must produce exactly
+// the model an all-v3 session produces. The fusion centre negotiates per
+// connection, so v3 binary Broadcast/Upload frames and v2 JSON frames
+// carry the same rounds side by side; Go's JSON encoding of float64 is
+// round-trip exact, so "bit-identical" is achievable and required.
+func TestMixedVersionSession(t *testing.T) {
+	opts := transport.Options{WriteBuffer: 64 << 10, ReadBuffer: 64 << 10}
+
+	pure := buildSession(t, 10, 3, 0)
+	pureReport := runOverTCP(t, pure, opts)
+
+	mixed := buildSession(t, 10, 3, 0)
+	for i := range mixed.clients {
+		if i%2 == 0 {
+			mixed.clients[i].ForceVersion = 2
+		}
+	}
+	mixedReport := runOverTCP(t, mixed, opts)
+
+	if pureReport.Rounds != 3 || mixedReport.Rounds != 3 {
+		t.Fatalf("rounds: pure %d, mixed %d, want 3", pureReport.Rounds, mixedReport.Rounds)
+	}
+	if mixedReport.Stragglers != 0 || mixedReport.RecvErrors != 0 {
+		t.Fatalf("mixed session not clean: %+v", mixedReport)
+	}
+	if len(pureReport.FinalParams) != len(mixedReport.FinalParams) {
+		t.Fatalf("param lengths differ: %d vs %d", len(pureReport.FinalParams), len(mixedReport.FinalParams))
+	}
+	for i := range pureReport.FinalParams {
+		if pureReport.FinalParams[i] != mixedReport.FinalParams[i] {
+			t.Fatalf("param %d differs: %v (all-v3) vs %v (mixed)", i,
+				pureReport.FinalParams[i], mixedReport.FinalParams[i])
+		}
+	}
+}

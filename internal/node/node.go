@@ -130,6 +130,7 @@ type Server struct {
 // rejoinReq is a reconnected, handshaked vehicle awaiting revival.
 type rejoinReq struct {
 	id   int
+	ver  int // negotiated wire version for this connection
 	conn transport.Conn
 }
 
@@ -191,15 +192,16 @@ func (s *Server) Shared() *nn.Network { return s.shared }
 // with Finished and closed, so a retrying vehicle terminates cleanly.
 func (s *Server) Rejoin(conn transport.Conn) {
 	go func() {
-		id, err := readHello(conn, s.cfg.Scheme.NumVehicles)
+		id, ver, err := readHello(conn, s.cfg.Scheme.NumVehicles)
 		if err != nil {
 			_ = conn.Close()
 			return
 		}
+		transport.SetWireVersion(conn, ver)
 		s.mu.Lock()
 		if !s.done {
 			select {
-			case s.rejoin <- rejoinReq{id: id, conn: conn}:
+			case s.rejoin <- rejoinReq{id: id, ver: ver, conn: conn}:
 				s.mu.Unlock()
 				return
 			default: // queue full: treat as too-late
@@ -208,6 +210,7 @@ func (s *Server) Rejoin(conn transport.Conn) {
 		fin := s.finRounds
 		s.mu.Unlock()
 		_ = conn.Send(&protocol.Message{Finished: &protocol.Finished{Rounds: fin}})
+		_ = transport.Flush(conn)
 		_ = conn.Close()
 	}()
 }
@@ -223,6 +226,7 @@ func (s *Server) finish(rounds int) {
 		select {
 		case req := <-s.rejoin:
 			_ = req.conn.Send(&protocol.Message{Finished: &protocol.Finished{Rounds: rounds}})
+			_ = transport.Flush(req.conn)
 			_ = req.conn.Close()
 		default:
 			return
@@ -230,23 +234,35 @@ func (s *Server) finish(rounds int) {
 	}
 }
 
-// readHello consumes and validates a vehicle's opening hello.
-func readHello(conn transport.Conn, vehicles int) (int, error) {
+// minWireVersion is the oldest protocol revision the fusion centre still
+// speaks: revision 2, the JSON-only encoding that predates the v3 binary
+// bulk bodies.
+const minWireVersion = 2
+
+// readHello consumes and validates a vehicle's opening hello, returning
+// the vehicle's ID and the negotiated wire version for the connection:
+// min(our protocol.Version, the peer's announced revision). A peer older
+// than revision 2 is rejected; a newer one is clamped down to ours.
+func readHello(conn transport.Conn, vehicles int) (int, int, error) {
 	m, err := conn.Recv()
 	if err != nil {
-		return 0, fmt.Errorf("node: hello: %w", err)
+		return 0, 0, fmt.Errorf("node: hello: %w", err)
 	}
 	if m.Hello == nil {
-		return 0, fmt.Errorf("node: connection opened with %s, want hello", m.Kind())
+		return 0, 0, fmt.Errorf("node: connection opened with %s, want hello", m.Kind())
 	}
-	if m.Hello.Version != protocol.Version {
-		return 0, fmt.Errorf("node: peer speaks version %d, want %d", m.Hello.Version, protocol.Version)
+	if m.Hello.Version < minWireVersion {
+		return 0, 0, fmt.Errorf("node: peer speaks version %d, want >= %d", m.Hello.Version, minWireVersion)
+	}
+	ver := m.Hello.Version
+	if ver > protocol.Version {
+		ver = protocol.Version
 	}
 	id := m.Hello.VehicleID
 	if id < 0 || id >= vehicles {
-		return 0, fmt.Errorf("node: vehicle ID %d out of range", id)
+		return 0, 0, fmt.Errorf("node: vehicle ID %d out of range", id)
 	}
-	return id, nil
+	return id, ver, nil
 }
 
 // result is one event from a connection's receiver goroutine: an upload,
@@ -270,10 +286,12 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 	if len(conns) != v {
 		return nil, fmt.Errorf("node: got %d connections, scheme expects %d vehicles", len(conns), v)
 	}
-	// Handshake: map connections to vehicle IDs.
+	// Handshake: map connections to vehicle IDs and negotiate each
+	// connection's wire version from the peer's announced revision.
 	byID := make(map[int]transport.Conn, v)
+	vers := make(map[int]int, v)
 	for i, conn := range conns {
-		id, err := readHello(conn, v)
+		id, ver, err := readHello(conn, v)
 		if err != nil {
 			return nil, fmt.Errorf("node: conn %d: %w", i, err)
 		}
@@ -281,6 +299,8 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 			return nil, fmt.Errorf("node: duplicate vehicle ID %d", id)
 		}
 		byID[id] = conn
+		vers[id] = ver
+		transport.SetWireVersion(conn, ver)
 		// Relabel the instrumented connection now that the peer has
 		// identified itself: its transport events carry "vehicle-<id>"
 		// instead of the accept-order placeholder.
@@ -305,7 +325,13 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 	// must be identical across runs (DESIGN §8).
 	ids := sortedVehicleIDs(byID)
 	for _, id := range ids {
-		if err := byID[id].Send(&protocol.Message{Setup: setup}); err != nil {
+		// Each vehicle gets its own Setup copy carrying the version
+		// negotiated for its connection. Deliberately not flushed here: on
+		// a buffered fabric the Setup coalesces with round 1's broadcast
+		// into a single write.
+		su := *setup
+		su.WireVersion = vers[id]
+		if err := byID[id].Send(&protocol.Message{Setup: &su}); err != nil {
 			return nil, fmt.Errorf("node: setup to vehicle %d: %w", id, err)
 		}
 	}
@@ -374,7 +400,9 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 			delete(outstanding, id)
 			_ = req.conn.Close()
 		}
-		if err := req.conn.Send(&protocol.Message{Setup: setup}); err != nil {
+		su := *setup
+		su.WireVersion = req.ver
+		if err := req.conn.Send(&protocol.Message{Setup: &su}); err != nil {
 			fail()
 			return
 		}
@@ -384,6 +412,10 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 				return
 			}
 			outstanding[id] = true
+		}
+		if err := transport.Flush(req.conn); err != nil {
+			fail()
+			return
 		}
 		startReceiver(id, req.conn)
 	}
@@ -399,7 +431,11 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 			if dead[id] {
 				continue
 			}
-			if err := byID[id].Send(bc); err != nil {
+			// The flush barrier after each broadcast is where a buffered
+			// fabric pays its one write syscall; in round 1 the frame
+			// coalesces with the still-unflushed Setup. A flush failure is
+			// a send failure: the frame never reached the wire.
+			if err := sendFlush(byID[id], bc); err != nil {
 				dead[id] = true
 			}
 		}
@@ -437,7 +473,7 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 						obs.F("round", round),
 						obs.F("vehicle", u.vehicleID),
 						obs.F("attempt", retrans[u.vehicleID]))
-					if err := u.conn.Send(bc); err != nil {
+					if err := sendFlush(u.conn, bc); err != nil {
 						dead[u.vehicleID] = true
 						delete(outstanding, u.vehicleID)
 					}
@@ -528,7 +564,7 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 	fin := &protocol.Message{Finished: &protocol.Finished{Rounds: report.Rounds}}
 	for _, id := range ids {
 		if !dead[id] {
-			_ = byID[id].Send(fin) // best effort; the session is over
+			_ = sendFlush(byID[id], fin) // best effort; the session is over
 		}
 	}
 	s.finish(report.Rounds)
@@ -538,6 +574,15 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 	sort.Ints(report.SuspectedMalicious)
 	report.FinalParams = s.shared.Params()
 	return report, nil
+}
+
+// sendFlush sends m and pushes it onto the wire; on a buffered fabric an
+// unflushed frame was never delivered, so a flush error is a send error.
+func sendFlush(conn transport.Conn, m *protocol.Message) error {
+	if err := conn.Send(m); err != nil {
+		return err
+	}
+	return transport.Flush(conn)
 }
 
 // sortedVehicleIDs returns byID's keys in ascending order, giving every
@@ -572,6 +617,10 @@ type ClientConfig struct {
 	// Corrupt optionally turns the vehicle malicious: every uploaded
 	// scalar is rewritten by the behaviour before sending.
 	Corrupt adversary.Behavior
+	// ForceVersion caps the protocol revision the vehicle announces in
+	// its hello (0 means protocol.Version). Mixed-version tests pin it to
+	// 2 to stand in for a fleet member running the JSON-only build.
+	ForceVersion int
 }
 
 // transientError marks connection-level failures that RunVehicleRetry
@@ -665,8 +714,12 @@ func (s *vehicleSession) install(setup *protocol.Setup) error {
 // and may be retried on a fresh connection with the same session.
 func (s *vehicleSession) run(conn transport.Conn) error {
 	id := s.cfg.VehicleID
-	if err := conn.Send(&protocol.Message{Hello: &protocol.Hello{
-		Version:   protocol.Version,
+	announce := protocol.Version
+	if s.cfg.ForceVersion > 0 {
+		announce = s.cfg.ForceVersion
+	}
+	if err := sendFlush(conn, &protocol.Message{Hello: &protocol.Hello{
+		Version:   announce,
 		VehicleID: id,
 	}}); err != nil {
 		return transientf("node: hello: %w", err)
@@ -692,6 +745,17 @@ func (s *vehicleSession) run(conn transport.Conn) error {
 		}
 		setup = m.Setup
 	}
+	// Adopt the version the fusion centre negotiated for this connection.
+	// Absent (0) means a revision-2 fusion centre that predates the
+	// field; never rise above what we announced.
+	wire := setup.WireVersion
+	if wire < minWireVersion {
+		wire = minWireVersion
+	}
+	if wire > announce {
+		wire = announce
+	}
+	transport.SetWireVersion(conn, wire)
 	if err := s.install(setup); err != nil {
 		return err
 	}
@@ -756,9 +820,10 @@ func (s *vehicleSession) run(conn transport.Conn) error {
 	}
 }
 
-// sendUpload ships the cached upload for the given round.
+// sendUpload ships the cached upload for the given round, flushed so the
+// fusion centre's round collector sees it immediately.
 func (s *vehicleSession) sendUpload(conn transport.Conn, round int) error {
-	if err := conn.Send(&protocol.Message{Upload: &protocol.Upload{
+	if err := sendFlush(conn, &protocol.Message{Upload: &protocol.Upload{
 		Round:     round,
 		VehicleID: s.cfg.VehicleID,
 		Values:    s.lastUpload,

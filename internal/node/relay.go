@@ -77,9 +77,31 @@ func (r *Relay) pipe(from, to transport.Conn) {
 			_ = to.Close()
 			return
 		}
+		if m.Setup != nil {
+			// The fusion centre just told this vehicle which revision its
+			// connection speaks. Adopt it on both legs so forwarded bulk
+			// frames re-encode exactly as negotiated end to end — without
+			// this, a v3 vehicle's binary upload would be rejected by the
+			// relay's own decoder, still at the revision-2 default.
+			v := m.Setup.WireVersion
+			if v < minWireVersion {
+				v = minWireVersion
+			}
+			transport.SetWireVersion(from, v)
+			transport.SetWireVersion(to, v)
+		}
 		if err := to.Send(m); err != nil {
 			_ = from.Close()
 			return
+		}
+		if !transport.Pending(from) {
+			// Flush only once the inbound buffer drains: a round's upload
+			// fan-in coalesces into as few upstream writes as the burst
+			// allows instead of one syscall per forwarded frame.
+			if err := transport.Flush(to); err != nil {
+				_ = from.Close()
+				return
+			}
 		}
 	}
 }

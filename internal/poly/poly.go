@@ -238,13 +238,35 @@ func Interpolate(xs, ys []field.Element) (Poly, error) {
 	if !field.Distinct(xs) {
 		return nil, fmt.Errorf("poly: interpolation nodes are not distinct")
 	}
-	// Build via Newton's divided differences: O(n^2), numerically exact
-	// over the field.
 	n := len(xs)
 	if n == 0 {
 		return nil, nil
 	}
-	coef := make([]field.Element, n) // divided-difference table diagonal
+	coef := make([]field.Element, n)
+	return InterpolateInto(make(Poly, 0, n), coef, xs, ys), nil
+}
+
+// InterpolateInto is Interpolate for scratch-reusing hot paths: the
+// result is built in dst's backing array (capacity must be ≥ len(xs))
+// and the divided-difference table in coef (length exactly len(xs)), so
+// a steady-state caller allocates nothing. The returned polynomial
+// aliases dst — it must not be retained past the next reuse of the
+// scratch. The nodes MUST be pairwise distinct; unlike Interpolate this
+// precondition is the caller's (checked once at decoder construction,
+// not per call). It panics on length mismatch.
+func InterpolateInto(dst Poly, coef, xs, ys []field.Element) Poly {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("poly: interpolate length mismatch %d != %d", len(xs), len(ys)))
+	}
+	if len(coef) != len(xs) {
+		panic(fmt.Sprintf("poly: interpolate scratch length %d for %d nodes", len(coef), len(xs)))
+	}
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	// Build via Newton's divided differences: O(n^2), numerically exact
+	// over the field.
 	copy(coef, ys)
 	for j := 1; j < n; j++ {
 		for i := n - 1; i >= j; i-- {
@@ -253,12 +275,23 @@ func Interpolate(xs, ys []field.Element) (Poly, error) {
 			coef[i] = num.Div(den)
 		}
 	}
-	// Expand Newton form to monomial coefficients.
-	result := New(coef[n-1])
+	// Expand Newton form to monomial coefficients, Horner-style in one
+	// buffer preallocated to the final degree: each step computes
+	// result·(z − x_i) + coef[i] in place (shift up one degree, then
+	// fold −x_i into the shifted coefficients downwards, so every read
+	// sees the pre-shift value). This keeps the expansion allocation-free
+	// where a MulLinear/Add chain would allocate two fresh polynomials
+	// per node — Interpolate sits under every decode.
+	result := append(dst[:0], coef[n-1])
 	for i := n - 2; i >= 0; i-- {
-		result = result.MulLinear(xs[i]).Add(New(coef[i]))
+		d := len(result)
+		result = append(result, result[d-1])
+		for c := d - 1; c > 0; c-- {
+			result[c] = result[c-1].Sub(xs[i].Mul(result[c]))
+		}
+		result[0] = xs[i].Neg().Mul(result[0]).Add(coef[i])
 	}
-	return result, nil
+	return result.normalize()
 }
 
 func max(a, b int) int {

@@ -1,0 +1,199 @@
+package protocol
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	params := make([]float64, 257)
+	for i := range params {
+		params[i] = rng.NormFloat64()
+	}
+	params[0] = math.Inf(-1)
+	params[1] = math.Copysign(0, -1)
+	for _, m := range []*Message{
+		{Broadcast: &Broadcast{Round: 3, Params: params}},
+		{Upload: &Upload{Round: 9, VehicleID: 41, Values: params[:5]}},
+		{Upload: &Upload{Round: 1, VehicleID: 0}},
+	} {
+		var buf bytes.Buffer
+		if err := WriteVersion(&buf, m, Version); err != nil {
+			t.Fatal(err)
+		}
+		if got := buf.Bytes()[headerLen]; got != binaryMagic {
+			t.Fatalf("v3 bulk frame body starts with %#x, want binary magic", got)
+		}
+		if want := EncodedSizeVersion(m, Version) + 4; buf.Len() != want {
+			// EncodedSizeVersion counts 4 length bytes but not the CRC,
+			// matching EncodedSize's convention.
+			t.Fatalf("frame is %d bytes, EncodedSizeVersion promises %d", buf.Len(), want)
+		}
+		got, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("binary round trip changed the message: %+v -> %+v", m, got)
+		}
+	}
+}
+
+func TestBinaryPreservesNaNBits(t *testing.T) {
+	payload := math.Float64frombits(0x7ff8_dead_beef_0001) // NaN with payload bits
+	m := &Message{Upload: &Upload{Round: 1, VehicleID: 2, Values: []float64{payload}}}
+	var buf bytes.Buffer
+	if err := WriteVersion(&buf, m, Version); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits := math.Float64bits(got.Upload.Values[0]); bits != 0x7ff8_dead_beef_0001 {
+		t.Fatalf("NaN bits changed: %016x", bits)
+	}
+	// The JSON path cannot carry this value at all — the binary encoding
+	// is strictly more faithful, not differently lossy.
+	if err := Write(&buf, m); err == nil {
+		t.Fatal("JSON encoding of NaN unexpectedly succeeded")
+	}
+}
+
+func TestWriteVersionFallsBackToJSON(t *testing.T) {
+	cases := []*Message{
+		{Hello: &Hello{Version: Version, VehicleID: 1}},                  // non-bulk
+		{Finished: &Finished{Rounds: 2}},                                 // non-bulk
+		{Broadcast: &Broadcast{Round: -1, Params: []float64{1}}},         // round outside u32
+		{Upload: &Upload{Round: 1, VehicleID: -5, Values: []float64{1}}}, // id outside u32
+	}
+	for _, m := range cases {
+		var buf bytes.Buffer
+		if err := WriteVersion(&buf, m, Version); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Bytes()[headerLen] == binaryMagic {
+			t.Fatalf("%s unexpectedly encoded in binary", m.Kind())
+		}
+		got, err := ReadVersion(bytes.NewReader(buf.Bytes()), 2)
+		if err != nil {
+			t.Fatalf("v2 reader rejected the JSON fallback: %v", err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("fallback round trip changed the message: %+v -> %+v", m, got)
+		}
+	}
+	// A v2-negotiated writer never emits binary, whatever the message.
+	var buf bytes.Buffer
+	bulk := &Message{Broadcast: &Broadcast{Round: 1, Params: []float64{1, 2}}}
+	if err := WriteVersion(&buf, bulk, 2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Bytes()[headerLen] == binaryMagic {
+		t.Fatal("v2-negotiated write emitted a binary body")
+	}
+}
+
+func TestV2ReaderRejectsBinaryFrameCleanly(t *testing.T) {
+	m := &Message{Broadcast: &Broadcast{Round: 1, Params: []float64{1, 2, 3}}}
+	var buf bytes.Buffer
+	if err := WriteVersion(&buf, m, Version); err != nil {
+		t.Fatal(err)
+	}
+	// Append a JSON frame behind the binary one: the v2 reader must
+	// consume the rejected frame entirely and stay in sync.
+	tail := &Message{Finished: &Finished{Rounds: 4}}
+	if err := Write(&buf, tail); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	if _, err := ReadVersion(r, 2); err == nil || !strings.Contains(err.Error(), "binary frame") {
+		t.Fatalf("v2 read of a binary frame: err=%v, want a binary-frame rejection", err)
+	}
+	got, err := ReadVersion(r, 2)
+	if err != nil {
+		t.Fatalf("stream out of sync after rejected binary frame: %v", err)
+	}
+	if got.Finished == nil || got.Finished.Rounds != 4 {
+		t.Fatalf("wrong trailing message: %+v", got)
+	}
+}
+
+func TestParseBinaryRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"bare magic":       {binaryMagic},
+		"unknown kind":     {binaryMagic, 0x7f, 0, 0, 0, 0},
+		"truncated header": {binaryMagic, binaryKindBroadcast, 1, 0},
+		"count mismatch":   {binaryMagic, binaryKindBroadcast, 1, 0, 0, 0, 2, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8},
+		"upload short":     {binaryMagic, binaryKindUpload, 1, 0, 0, 0, 2, 0, 0, 0},
+		"excess payload":   append([]byte{binaryMagic, binaryKindUpload, 1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0}, make([]byte, 16)...),
+	}
+	for name, body := range cases {
+		if _, err := parseBinary(body); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestBinaryWireBytesRatio pins the bandwidth win that motivates the v3
+// encoding: at 1k parameters the binary Broadcast frame must be at least
+// 2.2x smaller than its JSON form. (A >= 3x cut is information-
+// theoretically out of reach: the binary payload is already at the
+// 8-byte-per-float floor, while JSON spends ~20 bytes on a decimal
+// float64 — see DESIGN.md §13.)
+func TestBinaryWireBytesRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	params := make([]float64, 1000)
+	for i := range params {
+		params[i] = rng.NormFloat64()
+	}
+	m := &Message{Broadcast: &Broadcast{Round: 1, Params: params}}
+	jsonBytes := EncodedSize(m)
+	binBytes := EncodedSizeVersion(m, Version)
+	if binBytes >= jsonBytes {
+		t.Fatalf("binary (%d B) not smaller than JSON (%d B)", binBytes, jsonBytes)
+	}
+	if ratio := float64(jsonBytes) / float64(binBytes); ratio < 2.2 {
+		t.Errorf("wire ratio %.2fx (json %d B / binary %d B), want >= 2.2x", ratio, jsonBytes, binBytes)
+	}
+}
+
+// BenchmarkWireCodec measures encode+decode ns and bytes for the bulk
+// Broadcast message at realistic parameter counts, JSON against binary.
+// scripts/bench.sh --matrix feeds these entries to benchreport's
+// binary_vs_json ratio gate.
+func BenchmarkWireCodec(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{100, 1000} {
+		params := make([]float64, n)
+		for i := range params {
+			params[i] = rng.NormFloat64()
+		}
+		m := &Message{Broadcast: &Broadcast{Round: 5, Params: params}}
+		for _, enc := range []struct {
+			name    string
+			version int
+		}{{"json", 2}, {"binary", Version}} {
+			b.Run(fmt.Sprintf("params=%d/enc=%s", n, enc.name), func(b *testing.B) {
+				var buf bytes.Buffer
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					buf.Reset()
+					if err := WriteVersion(&buf, m, enc.version); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := ReadVersion(&buf, enc.version); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.SetBytes(int64(EncodedSizeVersion(m, enc.version)))
+			})
+		}
+	}
+}

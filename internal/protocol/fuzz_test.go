@@ -2,7 +2,10 @@ package protocol
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"hash/crc32"
+	"math"
 	"testing"
 )
 
@@ -12,6 +15,17 @@ func encodeSeed(f *testing.F, m *Message) []byte {
 	f.Helper()
 	var buf bytes.Buffer
 	if err := Write(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// encodeSeedV3 frames m under the v3 negotiated encoding, yielding
+// binary bodies for the bulk messages.
+func encodeSeedV3(f *testing.F, m *Message) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := WriteVersion(&buf, m, Version); err != nil {
 		f.Fatal(err)
 	}
 	return buf.Bytes()
@@ -35,6 +49,13 @@ func FuzzFrameCodec(f *testing.F) {
 	for _, m := range variants {
 		f.Add(encodeSeed(f, m))
 	}
+	// v3 binary-body frames for the bulk messages, including the float
+	// payloads JSON cannot carry at all (NaN bit patterns, infinities).
+	f.Add(encodeSeedV3(f, variants[2]))
+	f.Add(encodeSeedV3(f, variants[3]))
+	f.Add(encodeSeedV3(f, &Message{Broadcast: &Broadcast{Round: 2,
+		Params: []float64{math.NaN(), math.Inf(1), math.Copysign(0, -1)}}}))
+	f.Add(encodeSeedV3(f, &Message{Upload: &Upload{Round: 7, VehicleID: 1}}))
 	// Malformed shapes the decoder must reject without panicking.
 	corrupt := encodeSeed(f, variants[0])
 	corrupt[len(corrupt)-1] ^= 0xff // body flip: CRC mismatch
@@ -44,8 +65,31 @@ func FuzzFrameCodec(f *testing.F) {
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})     // oversized length
 	f.Add([]byte{0, 0, 0, 2, 0, 0, 0, 0, '{', '}'})       // bad CRC over "{}"
 	f.Add(append(encodeSeed(f, variants[4]), 0, 0, 0, 1)) // trailing partial frame
+	// Malformed binary bodies (CRC-valid so they reach the parser):
+	// bare magic, unknown kind, truncated headers, and a count that
+	// disagrees with the payload length.
+	for _, body := range [][]byte{
+		{0xB3},
+		{0xB3, 0x7f},
+		{0xB3, 0x01, 1, 0},
+		{0xB3, 0x02, 1, 0, 0, 0, 2, 0, 0, 0},
+		{0xB3, 0x01, 1, 0, 0, 0, 9, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8},
+	} {
+		frame := make([]byte, 8, 8+len(body))
+		binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+		binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+		f.Add(append(frame, body...))
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// A v2-only decoder fed the same stream must fail cleanly on v3
+		// binary frames — no panic, no misparse — before we even look at
+		// what the current decoder makes of it.
+		if m, err := ReadVersion(bytes.NewReader(data), 2); err == nil {
+			if err := m.Validate(); err != nil {
+				t.Fatalf("v2 read returned an invalid message: %v", err)
+			}
+		}
 		m, err := Read(bytes.NewReader(data))
 		if err != nil {
 			return // rejection is fine; panics and hangs are not
@@ -53,13 +97,24 @@ func FuzzFrameCodec(f *testing.F) {
 		if err := m.Validate(); err != nil {
 			t.Fatalf("Read returned an invalid message: %v", err)
 		}
+		// Round trip through the negotiated v3 encoder and compare the
+		// re-encodings byte for byte: unlike a JSON comparison this stays
+		// meaningful for payloads JSON cannot marshal (NaN), which the
+		// binary path round-trips bit-exactly.
 		var buf bytes.Buffer
-		if err := Write(&buf, m); err != nil {
+		if err := WriteVersion(&buf, m, Version); err != nil {
 			t.Fatalf("accepted message does not re-encode: %v", err)
 		}
-		m2, err := Read(&buf)
+		m2, err := Read(bytes.NewReader(buf.Bytes()))
 		if err != nil {
 			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := WriteVersion(&buf2, m2, Version); err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("round trip changed the message:\n first: %x\nsecond: %x", buf.Bytes(), buf2.Bytes())
 		}
 		j1, _ := json.Marshal(m)
 		j2, _ := json.Marshal(m2)

@@ -12,6 +12,16 @@
 // stays in sync and the caller can keep reading subsequent frames instead
 // of tearing the connection down (package node counts these and prompts a
 // retransmit; see DESIGN.md §11).
+//
+// Protocol revision 3 adds a binary body encoding for the two bulk
+// messages (Broadcast and Upload): raw little-endian float64 payloads
+// inside the same length+CRC frame, roughly 2.5x smaller than their
+// decimal-text JSON form at realistic parameter counts (DESIGN.md §13).
+// The encoding is negotiated per connection via the Hello version, so v2
+// JSON-only peers interoperate: WriteVersion only emits binary bodies
+// when the negotiated version is >= 3, and the binary marker byte cannot
+// begin a JSON value, so a mis-delivered binary frame fails cleanly in a
+// v2 decoder.
 package protocol
 
 import (
@@ -21,11 +31,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 )
 
 // Version is the protocol revision carried in Hello messages. Revision 2
-// added the per-frame CRC-32 to the framing.
-const Version = 2
+// added the per-frame CRC-32 to the framing; revision 3 adds the binary
+// body encoding for Broadcast and Upload.
+const Version = 3
 
 // ErrCorruptFrame reports a frame whose body failed its CRC-32 check. The
 // frame has been fully consumed when Read returns it, so the connection
@@ -77,6 +89,12 @@ type Setup struct {
 	SchemeBatches  int   `json:"scheme_batches"`
 	SchemeDegree   int   `json:"scheme_degree"`
 	SchemeSeed     int64 `json:"scheme_seed"`
+	// WireVersion is the protocol revision the fusion centre negotiated
+	// for this connection: min(its own Version, the vehicle's Hello
+	// version). Absent (0) means revision 2, the JSON-only encoding —
+	// which is also how a revision-2 fusion centre, ignorant of the
+	// field, is correctly interpreted.
+	WireVersion int `json:"wire_version,omitempty"`
 }
 
 // Broadcast starts a round: the shared model parameters.
@@ -124,6 +142,16 @@ func EncodedSize(m *Message) int {
 	return 4 + len(body)
 }
 
+// EncodedSizeVersion is EncodedSize under a negotiated protocol version:
+// for messages WriteVersion would emit in binary form the size is pure
+// arithmetic (no marshalling), otherwise it defers to EncodedSize.
+func EncodedSizeVersion(m *Message, version int) int {
+	if !binaryEligible(m, version) {
+		return EncodedSize(m)
+	}
+	return 4 + binaryBodyLen(m)
+}
+
 // kind returns the message discriminator for validation and errors.
 func (m *Message) kind() string {
 	switch {
@@ -163,9 +191,168 @@ func (m *Message) Validate() error {
 // headerLen is the frame header size: 4-byte length + 4-byte CRC-32.
 const headerLen = 8
 
-// Write frames and writes one message.
+// Binary body encoding (protocol revision 3, DESIGN.md §13). The body
+// replaces the JSON envelope inside the unchanged length+CRC frame:
+//
+//	byte 0: binaryMagic (0xB3)
+//	byte 1: kind (1 = broadcast, 2 = upload)
+//	broadcast: round u32 LE, count u32 LE, count x 8-byte LE float64 bits
+//	upload:    round u32 LE, vehicle u32 LE, count u32 LE, count x 8 bytes
+//
+// 0xB3 cannot open a JSON value, so a v2 decoder handed a binary frame
+// fails with an ordinary unmarshal error — never a panic, never a
+// misparse — and the stream stays in sync (the frame was length-consumed).
+// Floats travel as IEEE 754 bit patterns, bit-exact round trips included
+// for NaN payloads that JSON cannot represent at all.
+const binaryMagic = 0xB3
+
+const (
+	binaryKindBroadcast = 1
+	binaryKindUpload    = 2
+)
+
+// maxBinaryValues caps the float count so a binary body respects
+// MaxMessageSize.
+const maxBinaryValues = (MaxMessageSize - 14) / 8
+
+// binaryEligible reports whether WriteVersion encodes m as a binary body
+// under the given negotiated version: bulk messages only, with integer
+// fields that fit the fixed-width wire layout (anything else falls back
+// to JSON, which both sides always accept).
+func binaryEligible(m *Message, version int) bool {
+	if version < 3 {
+		return false
+	}
+	switch {
+	case m.Broadcast != nil:
+		b := m.Broadcast
+		return fitsUint32(b.Round) && len(b.Params) <= maxBinaryValues
+	case m.Upload != nil:
+		u := m.Upload
+		return fitsUint32(u.Round) && fitsUint32(u.VehicleID) && len(u.Values) <= maxBinaryValues
+	}
+	return false
+}
+
+func fitsUint32(v int) bool { return v >= 0 && int64(v) <= math.MaxUint32 }
+
+// binaryBodyLen returns the body length of a binary-eligible message.
+func binaryBodyLen(m *Message) int {
+	if m.Broadcast != nil {
+		return 10 + 8*len(m.Broadcast.Params)
+	}
+	return 14 + 8*len(m.Upload.Values)
+}
+
+// appendBinary encodes a binary-eligible message into dst.
+func appendBinary(dst []byte, m *Message) []byte {
+	if b := m.Broadcast; b != nil {
+		dst = append(dst, binaryMagic, binaryKindBroadcast)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(b.Round))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Params)))
+		for _, v := range b.Params {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+		return dst
+	}
+	u := m.Upload
+	dst = append(dst, binaryMagic, binaryKindUpload)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(u.Round))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(u.VehicleID))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(u.Values)))
+	for _, v := range u.Values {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// parseBinary decodes a binary body (first byte already known to be
+// binaryMagic). Every length is validated exactly: a body that is too
+// short, too long, or over-counted is a frame-local error, mirroring the
+// strictness JSON unmarshalling provides on the text path.
+func parseBinary(body []byte) (*Message, error) {
+	if len(body) < 2 {
+		return nil, fmt.Errorf("protocol: binary body of %d bytes lacks a kind", len(body))
+	}
+	kind := body[1]
+	rest := body[2:]
+	readU32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		return v
+	}
+	switch kind {
+	case binaryKindBroadcast:
+		if len(rest) < 8 {
+			return nil, fmt.Errorf("protocol: binary broadcast header truncated (%d bytes)", len(rest))
+		}
+		round := readU32()
+		count := readU32()
+		if count > maxBinaryValues || len(rest) != 8*int(count) {
+			return nil, fmt.Errorf("protocol: binary broadcast declares %d values in %d payload bytes", count, len(rest))
+		}
+		bc := &Broadcast{Round: int(round)}
+		bc.Params = readFloats(rest, int(count))
+		return &Message{Broadcast: bc}, nil
+	case binaryKindUpload:
+		if len(rest) < 12 {
+			return nil, fmt.Errorf("protocol: binary upload header truncated (%d bytes)", len(rest))
+		}
+		round := readU32()
+		vehicle := readU32()
+		count := readU32()
+		if count > maxBinaryValues || len(rest) != 8*int(count) {
+			return nil, fmt.Errorf("protocol: binary upload declares %d values in %d payload bytes", count, len(rest))
+		}
+		up := &Upload{Round: int(round), VehicleID: int(vehicle)}
+		up.Values = readFloats(rest, int(count))
+		return &Message{Upload: up}, nil
+	}
+	return nil, fmt.Errorf("protocol: unknown binary message kind %d", kind)
+}
+
+func readFloats(b []byte, count int) []float64 {
+	if count == 0 {
+		return nil
+	}
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// Write frames and writes one message in JSON form — the encoding every
+// protocol revision accepts.
 func Write(w io.Writer, m *Message) error {
 	return writeFrame(w, m, 0)
+}
+
+// WriteVersion frames and writes one message under a negotiated protocol
+// version: bulk messages (Broadcast, Upload) go out as binary bodies
+// when the peer negotiated version >= 3, everything else (and every
+// message to an older peer) as JSON.
+func WriteVersion(w io.Writer, m *Message, version int) error {
+	if !binaryEligible(m, version) {
+		return writeFrame(w, m, 0)
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	body := appendBinary(make([]byte, 0, binaryBodyLen(m)), m)
+	if len(body) > MaxMessageSize {
+		return fmt.Errorf("protocol: %s message of %d bytes exceeds limit", m.kind(), len(body))
+	}
+	var header [headerLen]byte
+	binary.BigEndian.PutUint32(header[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(header[4:], crc32.ChecksumIEEE(body))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("protocol: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("protocol: write body: %w", err)
+	}
+	return nil
 }
 
 // WriteCorrupt frames and writes one message with a deliberately wrong
@@ -202,10 +389,19 @@ func writeFrame(w io.Writer, m *Message, crcFlip uint32) error {
 	return nil
 }
 
-// Read reads and validates one framed message. A checksum mismatch
+// Read reads and validates one framed message, accepting every body
+// encoding the current protocol revision knows. A checksum mismatch
 // returns an error wrapping ErrCorruptFrame with the frame fully
 // consumed, so the caller may continue reading the stream.
 func Read(r io.Reader) (*Message, error) {
+	return ReadVersion(r, Version)
+}
+
+// ReadVersion is Read restricted to the body encodings of the given
+// protocol version: a v2 reader handed a v3 binary frame returns a
+// frame-local error (the frame is fully consumed, the stream stays in
+// sync) instead of attempting to parse it.
+func ReadVersion(r io.Reader, version int) (*Message, error) {
 	var header [headerLen]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
 		return nil, err // io.EOF passes through for clean shutdown
@@ -221,6 +417,19 @@ func Read(r io.Reader) (*Message, error) {
 	}
 	if got := crc32.ChecksumIEEE(body); got != sum {
 		return nil, fmt.Errorf("%w: %d-byte frame, checksum %08x want %08x", ErrCorruptFrame, size, got, sum)
+	}
+	if len(body) > 0 && body[0] == binaryMagic {
+		if version < 3 {
+			return nil, fmt.Errorf("protocol: binary frame not supported at negotiated version %d", version)
+		}
+		m, err := parseBinary(body)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		return m, nil
 	}
 	var m Message
 	if err := json.Unmarshal(body, &m); err != nil {

@@ -74,7 +74,135 @@ func (d *Decoder) DecodeBatch(words [][]field.Element, src field.Source, workers
 	return results, errs, stats
 }
 
-// decodeBatch is DecodeBatch without the observability wrapper.
+// batchScratch holds the internal (never caller-visible) buffers of one
+// decodeBatch call, recycled through Decoder.scratchPool. Everything is
+// sized by the decoder's fixed (n, k) except the slot-indexed ok and
+// recovered marks, which grow to the largest slot count seen.
+type batchScratch struct {
+	ok        []bool // words with a valid length, eligible for combination
+	recovered []bool
+	combined  []field.Element
+	comboAcc  *field.Accumulator
+	flagged   []bool
+	support   []int
+	// erasure-basis buffers (see erasureBasisInto)
+	ts       []field.Element
+	phi      []field.Element
+	denomInv []field.Element
+	flat     []field.Element
+	basis    [][]field.Element
+}
+
+func (d *Decoder) getScratch(S int) *batchScratch {
+	n, k := len(d.xs), d.k
+	sc, _ := d.scratchPool.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{
+			combined: make([]field.Element, n),
+			comboAcc: field.NewAccumulator(n),
+			flagged:  make([]bool, n),
+			support:  make([]int, 0, k),
+			ts:       make([]field.Element, k),
+			phi:      make([]field.Element, k+1),
+			denomInv: make([]field.Element, k),
+			flat:     make([]field.Element, k*k),
+			basis:    make([][]field.Element, k),
+		}
+	}
+	if cap(sc.ok) < S {
+		sc.ok = make([]bool, S)
+		sc.recovered = make([]bool, S)
+	}
+	sc.ok = sc.ok[:S]
+	sc.recovered = sc.recovered[:S]
+	for i := range sc.ok {
+		sc.ok[i] = false
+		sc.recovered[i] = false
+	}
+	for i := range sc.flagged {
+		sc.flagged[i] = false
+	}
+	sc.support = sc.support[:0]
+	return sc
+}
+
+// batchRecovery carries the shared inputs of the per-slot erasure
+// recovery so the slot worker is a method, not a closure — the
+// sequential path then allocates nothing per slot.
+type batchRecovery struct {
+	d          *Decoder
+	words      [][]field.Element
+	sc         *batchScratch
+	basis      [][]field.Element
+	maxE       int
+	coeffSlab  []field.Element
+	errPosSlab []int
+	resultSlab []Result
+	results    []*Result
+	errs       []error
+}
+
+// slot recovers one verification slot: interpolate through the support
+// values (a cached-basis mat-vec, no divisions), then verify against the
+// slot's own word. Acceptance requires a valid decoding, so a cancelled
+// error inside the support can only force a fallback, never a wrong
+// result. All writes are slot-indexed, so outcomes are identical at any
+// worker count.
+func (br *batchRecovery) slot(s int) {
+	d, sc := br.d, br.sc
+	if !sc.ok[s] {
+		return
+	}
+	acc, _ := d.slotAccPool.Get().(*field.Accumulator)
+	if acc == nil {
+		acc = field.NewAccumulator(d.k)
+	}
+	word := br.words[s]
+	for j, i := range sc.support {
+		acc.VecMulAddScalar(word[i], br.basis[j])
+	}
+	// Slot coefficients come from the per-call slab: one allocation
+	// serves every slot, and the resulting Poly stays valid for the
+	// caller after the scratch is pooled again.
+	coeffs := poly.Poly(br.coeffSlab[s*d.k : (s+1)*d.k : (s+1)*d.k])
+	acc.Reduce(coeffs)
+	d.slotAccPool.Put(acc)
+	f := coeffsToPoly(coeffs)
+
+	// Error positions live in a cap-limited slab window: the moment one
+	// more disagreement would exceed maxE this slot is not a valid
+	// decoding and falls back, exactly when the collect-then-count
+	// formulation would.
+	errPos := br.errPosSlab[s*br.maxE : s*br.maxE : (s+1)*br.maxE]
+	for i, x := range d.xs {
+		if f.Eval(x) == word[i] {
+			continue
+		}
+		if len(errPos) == br.maxE {
+			br.results[s], br.errs[s] = d.Decode(word)
+			return
+		}
+		errPos = append(errPos, i)
+	}
+	if len(errPos) == 0 {
+		errPos = nil // match Decode's nil-when-clean representation
+	}
+	res := &br.resultSlab[s]
+	res.Poly = f
+	res.ErrorPositions = errPos
+	br.results[s] = res
+	sc.recovered[s] = true
+}
+
+func (br *batchRecovery) slotErr(s int) error {
+	br.slot(s)
+	return nil
+}
+
+// decodeBatch is DecodeBatch without the observability wrapper. Steady
+// state it allocates only what the caller keeps: the results/errs
+// slices and three slabs (Result structs, coefficient backing, error
+// positions) handed out slot by slot. All internal buffers are pooled.
 func (d *Decoder) decodeBatch(words [][]field.Element, src field.Source, workers int) ([]*Result, []error, BatchStats) {
 	n := len(d.xs)
 	S := len(words)
@@ -82,14 +210,15 @@ func (d *Decoder) decodeBatch(words [][]field.Element, src field.Source, workers
 	errs := make([]error, S)
 	var stats BatchStats
 
-	ok := make([]bool, S) // words with a valid length, eligible for combination
+	sc := d.getScratch(S)
+	defer d.scratchPool.Put(sc)
 	eligible := 0
 	for s, w := range words {
 		if len(w) != n {
 			errs[s] = fmt.Errorf("reedsolomon: %d values for %d points", len(w), n)
 			continue
 		}
-		ok[s] = true
+		sc.ok[s] = true
 		eligible++
 	}
 
@@ -101,7 +230,7 @@ func (d *Decoder) decodeBatch(words [][]field.Element, src field.Source, workers
 	// a full decode of that word.
 	if eligible < 2 {
 		for s := range words {
-			if ok[s] {
+			if sc.ok[s] {
 				fallback(s)
 				stats.Fallbacks++
 			}
@@ -114,22 +243,20 @@ func (d *Decoder) decodeBatch(words [][]field.Element, src field.Source, workers
 	// (degree ≤ K−1); a position corrupted in any slot survives the
 	// combination except when its error values conspire to cancel, which
 	// happens with probability ≤ 1/(p−1) per position (§9).
-	combined := make([]field.Element, n)
-	acc := field.NewAccumulator(n)
 	for s := range words {
-		if ok[s] {
-			acc.VecMulAddScalar(field.RandNonZero(src), words[s])
+		if sc.ok[s] {
+			sc.comboAcc.VecMulAddScalar(field.RandNonZero(src), words[s])
 		}
 	}
-	acc.Reduce(combined)
+	sc.comboAcc.Reduce(sc.combined)
 
-	comb, err := d.Decode(combined)
+	comb, err := d.Decode(sc.combined)
 	if err != nil {
 		// The union of corrupted positions exceeds the budget (or the
 		// slots disagree on the message polynomial's degree support in a
 		// way no single word does). Decode each slot on its own.
 		for s := range words {
-			if ok[s] {
+			if sc.ok[s] {
 				fallback(s)
 				stats.Fallbacks++
 			}
@@ -140,58 +267,38 @@ func (d *Decoder) decodeBatch(words [][]field.Element, src field.Source, workers
 
 	// Erasure support: the first K positions the locator did not flag.
 	// n − |flagged| ≥ n − ⌊(n−K)/2⌋ ≥ K, so the support always fills.
-	flagged := make([]bool, n)
 	for _, i := range comb.ErrorPositions {
-		flagged[i] = true
+		sc.flagged[i] = true
 	}
-	support := make([]int, 0, d.k)
-	for i := 0; i < n && len(support) < d.k; i++ {
-		if !flagged[i] {
-			support = append(support, i)
+	for i := 0; i < n && len(sc.support) < d.k; i++ {
+		if !sc.flagged[i] {
+			sc.support = append(sc.support, i)
 		}
 	}
-	basis := d.erasureBasis(support)
+	basis := d.erasureBasisInto(sc)
 	maxE := d.MaxErrors()
 
-	// Recover each slot independently: interpolate through the support
-	// values (a cached-basis mat-vec, no divisions), then verify against
-	// the slot's own word. Acceptance requires a valid decoding, so a
-	// cancelled error inside the support can only force a fallback, never
-	// a wrong result. All writes are slot-indexed, so outcomes are
-	// identical at any worker count.
-	recovered := make([]bool, S)
-	_ = parallel.ForEach(parallel.Workers(workers), S, func(s int) error {
-		if !ok[s] {
-			return nil
+	br := &batchRecovery{
+		d: d, words: words, sc: sc, basis: basis, maxE: maxE,
+		coeffSlab:  make([]field.Element, S*d.k),
+		errPosSlab: make([]int, S*maxE),
+		resultSlab: make([]Result, S),
+		results:    results,
+		errs:       errs,
+	}
+	if w := parallel.Workers(workers); w <= 1 {
+		for s := 0; s < S; s++ {
+			br.slot(s)
 		}
-		acc := field.NewAccumulator(d.k)
-		for j, i := range support {
-			acc.VecMulAddScalar(words[s][i], basis[j])
-		}
-		coeffs := make(poly.Poly, d.k)
-		acc.Reduce(coeffs)
-		f := coeffsToPoly(coeffs)
-
-		var errPos []int
-		for i, x := range d.xs {
-			if f.Eval(x) != words[s][i] {
-				errPos = append(errPos, i)
-			}
-		}
-		if len(errPos) > maxE {
-			fallback(s)
-			return nil
-		}
-		results[s] = &Result{Poly: f, ErrorPositions: errPos}
-		recovered[s] = true
-		return nil
-	})
+	} else {
+		_ = parallel.ForEach(w, S, br.slotErr)
+	}
 	// Tally outside the pool so the counters need no atomics.
 	for s := range words {
-		if !ok[s] {
+		if !sc.ok[s] {
 			continue
 		}
-		if recovered[s] {
+		if sc.recovered[s] {
 			stats.Recovered++
 		} else {
 			stats.Fallbacks++
@@ -200,20 +307,23 @@ func (d *Decoder) decodeBatch(words [][]field.Element, src field.Source, workers
 	return results, errs, stats
 }
 
-// erasureBasis returns, for each support index j, the monomial
+// erasureBasisInto computes, for each support index j, the monomial
 // coefficients of the Lagrange basis polynomial L_j over the support
 // points: L_j(x_{support[i]}) = [i == j]. A polynomial interpolating
 // values y over the support is then the mat-vec Σ_j y_j·L_j, which the
 // batch fast path evaluates with the lazy-reduction accumulator — no
-// per-slot divisions, unlike Newton interpolation.
-func (d *Decoder) erasureBasis(support []int) [][]field.Element {
-	k := len(support)
-	ts := make([]field.Element, k)
-	for j, i := range support {
+// per-slot divisions, unlike Newton interpolation. The support always
+// has exactly k points (see the fill loop in decodeBatch), so every
+// buffer comes pre-sized from the pooled scratch; every entry is
+// overwritten before it is read.
+func (d *Decoder) erasureBasisInto(sc *batchScratch) [][]field.Element {
+	k := d.k
+	ts := sc.ts
+	for j, i := range sc.support {
 		ts[j] = d.xs[i]
 	}
 	// Φ(x) = Π_j (x − ts[j]), degree k.
-	phi := make([]field.Element, k+1)
+	phi := sc.phi
 	phi[0] = field.One
 	deg := 0
 	for _, t := range ts {
@@ -225,7 +335,7 @@ func (d *Decoder) erasureBasis(support []int) [][]field.Element {
 		deg++
 	}
 	// Denominators Π_{i≠j}(ts[j] − ts[i]), inverted in one batch pass.
-	denomInv := make([]field.Element, k)
+	denomInv := sc.denomInv
 	for j := range ts {
 		dj := field.One
 		for i := range ts {
@@ -238,10 +348,9 @@ func (d *Decoder) erasureBasis(support []int) [][]field.Element {
 	field.BatchInv(denomInv)
 	// L_j = (Φ / (x − ts[j])) · denomInv[j] by synthetic division: O(k)
 	// per basis polynomial, O(k²) total.
-	basis := make([][]field.Element, k)
-	flat := make([]field.Element, k*k)
+	basis := sc.basis
 	for j := range ts {
-		row := flat[j*k : (j+1)*k]
+		row := sc.flat[j*k : (j+1)*k]
 		row[k-1] = phi[k]
 		for c := k - 1; c > 0; c-- {
 			row[c-1] = phi[c].Add(ts[j].Mul(row[c]))

@@ -256,10 +256,11 @@ func solveField(rows [][]field.Element, cols int) ([]field.Element, bool) {
 			if r == rank || rows[r][col] == field.Zero {
 				continue
 			}
-			factor := rows[r][col]
-			for c := col; c <= cols; c++ {
-				rows[r][c] = rows[r][c].Sub(factor.Mul(rows[rank][c]))
-			}
+			// rows[r] += (−factor)·rows[rank] over the active columns, via
+			// the fused kernel: one reduction per element instead of the
+			// separate Mul and Sub reductions of the scalar form.
+			neg := rows[r][col].Neg()
+			field.MulAddVec(rows[r][col:cols+1], neg, rows[rank][col:cols+1])
 		}
 		rank++
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package reedsolomon
+
+const raceEnabled = false

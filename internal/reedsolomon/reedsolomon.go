@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/field"
 	"repro/internal/linalg"
@@ -100,6 +101,103 @@ func Decode(xs, ys []field.Element, k int) (*Result, error) {
 // gaoEuclid runs the Euclidean stage of Gao decoding given the
 // precomputed locator product g0 and received-word interpolation g1.
 func gaoEuclid(xs, ys []field.Element, k int, g0, g1 poly.Poly) (*Result, error) {
+	return gaoEuclidInto(newGaoScratch(len(xs)), xs, ys, k, g0, g1)
+}
+
+// gaoScratch holds the working polynomials of one Gao decode: the
+// Newton interpolation buffers and the six dense coefficient buffers the
+// Euclidean stage swaps among. All degrees stay ≤ n (DESIGN §9), so
+// every buffer is capped at n+1 coefficients and a pooled scratch makes
+// the steady-state Euclid loop allocation-free. Buffers are plain
+// slices, not poly.Poly values: the loop re-slices them in place, which
+// the immutable poly API deliberately does not allow.
+type gaoScratch struct {
+	coef   []field.Element // divided-difference diagonal (InterpolateInto)
+	interp poly.Poly       // received-word interpolation g1
+	bufs   [6][]field.Element
+}
+
+func newGaoScratch(n int) *gaoScratch {
+	sc := &gaoScratch{
+		coef:   make([]field.Element, n),
+		interp: make(poly.Poly, 0, n),
+	}
+	for i := range sc.bufs {
+		sc.bufs[i] = make([]field.Element, 0, n+1)
+	}
+	return sc
+}
+
+// trimZeros strips trailing zero coefficients, the dense-slice analogue
+// of poly normalization (zero polynomial = empty slice).
+func trimZeros(p []field.Element) []field.Element {
+	n := len(p)
+	for n > 0 && p[n-1] == field.Zero {
+		n--
+	}
+	return p[:n]
+}
+
+// quoRemInPlace divides r by m (both normalized, m non-empty): the
+// quotient is written into quo's backing array and the remainder left in
+// r, both returned trimmed. The per-step update r −= c·z^shift·m runs on
+// the fused MulAddVec kernel with the negated coefficient.
+func quoRemInPlace(r, m, quo []field.Element) (q, rem []field.Element) {
+	if len(r) < len(m) {
+		return quo[:0], r
+	}
+	quo = quo[:len(r)-len(m)+1]
+	for i := range quo {
+		quo[i] = field.Zero
+	}
+	lcInv := m[len(m)-1].Inv()
+	for len(r) >= len(m) {
+		shift := len(r) - len(m)
+		c := r[len(r)-1].Mul(lcInv)
+		quo[shift] = c
+		field.MulAddVec(r[shift:], c.Neg(), m)
+		// The leading coefficient cancels by construction; deeper
+		// cancellation is handled by the trim.
+		r = trimZeros(r[:len(r)-1])
+	}
+	return trimZeros(quo), r
+}
+
+// mulInto writes a·b into dst's backing array and returns it trimmed.
+func mulInto(dst, a, b []field.Element) []field.Element {
+	if len(a) == 0 || len(b) == 0 {
+		return dst[:0]
+	}
+	dst = dst[:len(a)+len(b)-1]
+	for i := range dst {
+		dst[i] = field.Zero
+	}
+	for i, ai := range a {
+		if ai != field.Zero {
+			field.MulAddVec(dst[i:i+len(b)], ai, b)
+		}
+	}
+	return trimZeros(dst)
+}
+
+// subInPlace computes a −= b in place (growing a within its capacity as
+// needed) and returns it trimmed.
+func subInPlace(a, b []field.Element) []field.Element {
+	for len(a) < len(b) {
+		a = append(a, field.Zero)
+	}
+	for i, bi := range b {
+		a[i] = a[i].Sub(bi)
+	}
+	return trimZeros(a)
+}
+
+// gaoEuclidInto is gaoEuclid on caller-provided scratch. Only the
+// returned Result (its Poly and ErrorPositions) is freshly allocated;
+// every intermediate polynomial lives in sc. Results are bit-identical
+// to the immutable-poly formulation: the arithmetic is exact and the
+// iteration order unchanged.
+func gaoEuclidInto(sc *gaoScratch, xs, ys []field.Element, k int, g0, g1 poly.Poly) (*Result, error) {
 	n := len(xs)
 	if g1.IsZero() {
 		// All-zero word: the zero polynomial explains it with no errors.
@@ -108,33 +206,53 @@ func gaoEuclid(xs, ys []field.Element, k int, g0, g1 poly.Poly) (*Result, error)
 
 	// Partial extended Euclid on (g0, g1), tracking only the g1
 	// coefficient v: r = u·g0 + v·g1. Stop when 2·deg(r) < n + k.
-	r0, r1 := g0, g1
-	v0, v1 := poly.Poly(nil), poly.New(field.One)
-	for 2*r1.Degree() >= n+k {
-		quo, rem := r0.QuoRem(r1)
-		r0, r1 = r1, rem
-		v0, v1 = v1, v0.Sub(quo.Mul(v1))
-		if r1.IsZero() {
+	// The six scratch buffers rotate roles as the slice headers swap;
+	// their backing arrays are interchangeable and reset per call.
+	r0 := append(sc.bufs[0][:0], g0...)
+	r1 := append(sc.bufs[1][:0], g1...)
+	v0 := sc.bufs[2][:0]
+	v1 := append(sc.bufs[3][:0], field.One)
+	quo, tmp := sc.bufs[4], sc.bufs[5]
+	for 2*(len(r1)-1) >= n+k {
+		var q []field.Element
+		q, r0 = quoRemInPlace(r0, r1, quo)
+		r0, r1 = r1, r0
+		v0 = subInPlace(v0, mulInto(tmp, q, v1))
+		v0, v1 = v1, v0
+		if len(r1) == 0 {
 			break
 		}
 	}
-	if v1.IsZero() {
+	if len(v1) == 0 {
 		return nil, ErrTooManyErrors
 	}
-	f, rem := r1.QuoRem(v1)
-	if !rem.IsZero() || f.Degree() > k-1 {
+	fq, rem := quoRemInPlace(r1, v1, quo)
+	if len(rem) != 0 || len(fq)-1 > k-1 {
 		return nil, ErrTooManyErrors
+	}
+	var f poly.Poly
+	if len(fq) > 0 {
+		f = make(poly.Poly, len(fq))
+		copy(f, fq)
 	}
 
-	// Verify the error budget and locate the malicious positions.
+	// Verify the error budget and locate the malicious positions. The
+	// slice is sized to the budget up front: the moment one more
+	// disagreement would exceed maxE the word is undecodable, exactly
+	// when the count-then-check formulation would reject it.
+	maxE := MaxErrors(n, k)
 	var errPos []int
 	for i, x := range xs {
-		if f.Eval(x) != ys[i] {
-			errPos = append(errPos, i)
+		if f.Eval(x) == ys[i] {
+			continue
 		}
-	}
-	if len(errPos) > MaxErrors(n, k) {
-		return nil, ErrTooManyErrors
+		if len(errPos) == maxE {
+			return nil, ErrTooManyErrors
+		}
+		if errPos == nil {
+			errPos = make([]int, 0, maxE)
+		}
+		errPos = append(errPos, i)
 	}
 	return &Result{Poly: f, ErrorPositions: errPos}, nil
 }
@@ -159,6 +277,16 @@ type Decoder struct {
 	cBatchFallback *obs.Counter
 	cCombinedOK    *obs.Counter
 	cCombinedFail  *obs.Counter
+
+	// Scratch pools; all buffers are sized by the decoder's fixed (n, k),
+	// so pooled entries never need re-validation. gaoPool recycles the
+	// Euclidean-stage working polynomials of Decode, scratchPool the
+	// internal buffers of one decodeBatch call, and slotAccPool the
+	// width-k accumulators of the per-slot erasure recovery (one per
+	// concurrent worker).
+	gaoPool     sync.Pool
+	scratchPool sync.Pool
+	slotAccPool sync.Pool
 }
 
 // SetObs attaches observability to the decoder: DecodeBatch increments
@@ -197,16 +325,22 @@ func NewDecoder(xs []field.Element, k int) (*Decoder, error) {
 func (d *Decoder) MaxErrors() int { return MaxErrors(len(d.xs), d.k) }
 
 // Decode reconstructs the polynomial from one received word (one value
-// per point, in point order).
+// per point, in point order). Steady state it allocates only the
+// returned Result: interpolation and the Euclidean stage run on pooled
+// scratch (the construction-time distinctness check of the points
+// licenses the unchecked InterpolateInto).
 func (d *Decoder) Decode(ys []field.Element) (*Result, error) {
 	if len(ys) != len(d.xs) {
 		return nil, fmt.Errorf("reedsolomon: %d values for %d points", len(ys), len(d.xs))
 	}
-	g1, err := poly.Interpolate(d.xs, ys)
-	if err != nil {
-		return nil, err
+	sc, ok := d.gaoPool.Get().(*gaoScratch)
+	if !ok {
+		sc = newGaoScratch(len(d.xs))
 	}
-	return gaoEuclid(d.xs, ys, d.k, d.g0, g1)
+	g1 := poly.InterpolateInto(sc.interp, sc.coef, d.xs, ys)
+	res, err := gaoEuclidInto(sc, d.xs, ys, d.k, d.g0, g1)
+	d.gaoPool.Put(sc)
+	return res, err
 }
 
 // DecodeErasures reconstructs the degree ≤ k-1 polynomial from a subset of

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -30,6 +31,7 @@ func Instrument(c Conn, o *obs.Obs, peer string) Conn {
 		return c
 	}
 	ic := &instrumentedConn{inner: c, o: o, peer: peer}
+	ic.version.Store(2)
 	ic.cSendMsgs = o.Counter("transport.send_msgs")
 	ic.cSendBytes = o.Counter("transport.send_bytes")
 	ic.cSendErrors = o.Counter("transport.send_errors")
@@ -45,8 +47,9 @@ func Instrument(c Conn, o *obs.Obs, peer string) Conn {
 // itself adds only atomics and a mutex-guarded peer label, so it stays
 // race-clean under close-vs-send stress (instrument_test.go).
 type instrumentedConn struct {
-	inner Conn
-	o     *obs.Obs
+	inner   Conn
+	o       *obs.Obs
+	version atomic.Int32 // mirrors the inner conn's negotiated wire version
 
 	mu   sync.Mutex // guards peer
 	peer string     // guarded by mu
@@ -74,6 +77,41 @@ func (c *instrumentedConn) peerLabel() string {
 	return c.peer
 }
 
+// SetWireVersion implements WireVersioner, mirroring the version locally
+// so byte accounting matches what actually goes on the wire, then
+// forwarding to the wrapped fabric.
+func (c *instrumentedConn) SetWireVersion(v int) {
+	c.version.Store(int32(v))
+	SetWireVersion(c.inner, v)
+}
+
+// Flush implements Flusher by delegation.
+func (c *instrumentedConn) Flush() error { return Flush(c.inner) }
+
+// Pending implements Pender by delegation.
+func (c *instrumentedConn) Pending() bool { return Pending(c.inner) }
+
+// SendCorrupt implements Faulter when the wrapped fabric does; corrupted
+// frames are JSON-encoded, so they count at the version-2 size.
+func (c *instrumentedConn) SendCorrupt(m *protocol.Message) error {
+	f, ok := c.inner.(Faulter)
+	if !ok {
+		return fmt.Errorf("transport: wrapped fabric cannot corrupt frames")
+	}
+	err := f.SendCorrupt(m)
+	if err != nil {
+		c.stats.sendErrors.Add(1)
+		c.cSendErrors.Inc()
+		return err
+	}
+	bytes := int64(protocol.EncodedSize(m))
+	c.stats.sentMsgs.Add(1)
+	c.stats.sentBytes.Add(bytes)
+	c.cSendMsgs.Inc()
+	c.cSendBytes.Add(bytes)
+	return nil
+}
+
 // Stats returns the connection's traffic totals so far.
 func (c *instrumentedConn) Stats() ConnStats {
 	return ConnStats{
@@ -94,7 +132,7 @@ func (c *instrumentedConn) Send(m *protocol.Message) error {
 		c.cSendErrors.Inc()
 		return err
 	}
-	bytes := int64(protocol.EncodedSize(m))
+	bytes := int64(protocol.EncodedSizeVersion(m, int(c.version.Load())))
 	c.stats.sentMsgs.Add(1)
 	c.stats.sentBytes.Add(bytes)
 	c.cSendMsgs.Inc()
@@ -116,7 +154,7 @@ func (c *instrumentedConn) Recv() (*protocol.Message, error) {
 		c.cRecvErrors.Inc()
 		return nil, err
 	}
-	bytes := int64(protocol.EncodedSize(m))
+	bytes := int64(protocol.EncodedSizeVersion(m, int(c.version.Load())))
 	c.stats.recvMsgs.Add(1)
 	c.stats.recvBytes.Add(bytes)
 	c.cRecvMsgs.Inc()

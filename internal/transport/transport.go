@@ -6,9 +6,12 @@
 package transport
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/protocol"
@@ -32,6 +35,56 @@ type Conn interface {
 // layer (internal/chaos) exercises the genuine detection path end-to-end.
 type Faulter interface {
 	SendCorrupt(m *protocol.Message) error
+}
+
+// Flusher is the optional coalescing face of a connection: fabrics (or
+// wrappers) built with a write buffer expose Flush to push pending
+// frames onto the wire in one syscall. Callers that enable buffering own
+// the flush barriers — see node.Server.
+type Flusher interface {
+	Flush() error
+}
+
+// WireVersioner is the optional negotiated-encoding face: after the
+// handshake, node code raises (or pins down) the framing version so both
+// ends agree on whether protocol v3 binary bodies are legal on this
+// connection.
+type WireVersioner interface {
+	SetWireVersion(v int)
+}
+
+// Pender reports whether more input is already buffered locally, i.e. a
+// Recv would return without touching the network. Relays use it to keep
+// coalescing while a burst is still arriving.
+type Pender interface {
+	Pending() bool
+}
+
+// Flush pushes any buffered frames on c; connections without a write
+// buffer report success immediately.
+func Flush(c Conn) error {
+	if f, ok := c.(Flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// SetWireVersion records the negotiated protocol version on c. A no-op
+// on fabrics that do not encode frames (the in-memory pipe passes
+// message pointers, so every version is trivially supported).
+func SetWireVersion(c Conn, v int) {
+	if w, ok := c.(WireVersioner); ok {
+		w.SetWireVersion(v)
+	}
+}
+
+// Pending reports whether c has input already buffered locally; false
+// for connections that cannot know.
+func Pending(c Conn) bool {
+	if p, ok := c.(Pender); ok {
+		return p.Pending()
+	}
+	return false
 }
 
 // Listener accepts inbound connections.
@@ -126,6 +179,9 @@ func (c *pipeConn) Recv() (*protocol.Message, error) {
 	}
 }
 
+// Pending implements Pender: a pipe knows exactly what is queued.
+func (c *pipeConn) Pending() bool { return len(c.in) > 0 }
+
 // deliver translates the corruption marker; honest messages pass through.
 func (c *pipeConn) deliver(m *protocol.Message) (*protocol.Message, error) {
 	if m == corruptMarker {
@@ -147,20 +203,80 @@ func (c *pipeConn) Close() error {
 
 // --- TCP fabric ---
 
+// Options tunes the TCP fabric. The zero value reproduces the legacy
+// behaviour exactly: unbuffered writes (one syscall per Send) and
+// unbuffered reads.
+type Options struct {
+	// WriteBuffer > 0 attaches a write buffer of that many bytes, so
+	// consecutive Sends coalesce in memory until Flush (or Close) pushes
+	// them out as one write. Callers that enable it own the flush
+	// barriers; an unflushed frame is never delivered.
+	WriteBuffer int
+	// ReadBuffer > 0 attaches a read buffer, which additionally makes
+	// Pending meaningful: a relay can tell whether the next frame is
+	// already in memory and keep coalescing its forwarded burst.
+	ReadBuffer int
+}
+
 // tcpConn frames protocol messages over a net.Conn.
 type tcpConn struct {
 	conn    net.Conn
-	sendMu  sync.Mutex // serializes frame writes on conn
-	recvMu  sync.Mutex // serializes frame reads on conn
+	version atomic.Int32 // negotiated wire version for framing (starts at 2)
+	sendMu  sync.Mutex   // serializes frame writes on conn
+	// bw is nil when unbuffered. The pointer is set once at construction
+	// and never reassigned; the buffer's mutable state is only touched
+	// under sendMu (Send/SendCorrupt/Flush) or best-effort in Close.
+	bw     *bufio.Writer
+	recvMu sync.Mutex // serializes frame reads on conn
+	// br is nil when unbuffered; set once at construction, state touched
+	// under recvMu (Recv/Pending).
+	br      *bufio.Reader
 	closeMu sync.Mutex // guards closed
 	closed  bool       // guarded by closeMu
 }
+
+func newTCPConn(c net.Conn, opts Options) *tcpConn {
+	t := &tcpConn{conn: c}
+	// Until the Hello/Setup handshake negotiates otherwise, frame at the
+	// JSON-only revision 2 that every peer accepts.
+	t.version.Store(2)
+	if opts.WriteBuffer > 0 {
+		t.bw = bufio.NewWriterSize(c, opts.WriteBuffer)
+	}
+	if opts.ReadBuffer > 0 {
+		t.br = bufio.NewReaderSize(c, opts.ReadBuffer)
+	}
+	return t
+}
+
+// writer returns the frame destination; callers hold sendMu.
+func (c *tcpConn) writer() io.Writer {
+	if c.bw != nil {
+		return c.bw
+	}
+	return c.conn
+}
+
+// reader returns the frame source; callers hold recvMu.
+func (c *tcpConn) reader() io.Reader {
+	if c.br != nil {
+		return c.br
+	}
+	return c.conn
+}
+
+// SetWireVersion implements WireVersioner: subsequent Sends may frame
+// bulk messages in the v3 binary encoding when v >= 3. Only the send
+// side is governed — Recv always accepts every revision this build
+// understands (liberal in what we accept), which also keeps a Recv
+// already blocked across a mid-session negotiation correct.
+func (c *tcpConn) SetWireVersion(v int) { c.version.Store(int32(v)) }
 
 // Send implements Conn.
 func (c *tcpConn) Send(m *protocol.Message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	return protocol.Write(c.conn, m)
+	return protocol.WriteVersion(c.writer(), m, int(c.version.Load()))
 }
 
 // SendCorrupt implements Faulter: the frame goes out with a flipped
@@ -168,14 +284,34 @@ func (c *tcpConn) Send(m *protocol.Message) error {
 func (c *tcpConn) SendCorrupt(m *protocol.Message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	return protocol.WriteCorrupt(c.conn, m)
+	return protocol.WriteCorrupt(c.writer(), m)
+}
+
+// Flush implements Flusher.
+func (c *tcpConn) Flush() error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.bw == nil {
+		return nil
+	}
+	return c.bw.Flush()
 }
 
 // Recv implements Conn.
 func (c *tcpConn) Recv() (*protocol.Message, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
-	return protocol.Read(c.conn)
+	return protocol.Read(c.reader())
+}
+
+// Pending implements Pender.
+func (c *tcpConn) Pending() bool {
+	if c.br == nil {
+		return false
+	}
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	return c.br.Buffered() > 0
 }
 
 // Close implements Conn.
@@ -186,21 +322,35 @@ func (c *tcpConn) Close() error {
 		return nil
 	}
 	c.closed = true
+	if c.bw != nil && c.sendMu.TryLock() {
+		// Best-effort flush of buffered frames. TryLock, not Lock: Close
+		// must stay able to interrupt a sender blocked on a stuck socket,
+		// which would otherwise hold sendMu forever.
+		_ = c.bw.Flush()
+		c.sendMu.Unlock()
+	}
 	return c.conn.Close()
 }
 
 // tcpListener adapts net.Listener.
 type tcpListener struct {
-	l net.Listener
+	l    net.Listener
+	opts Options
 }
 
 // ListenTCP starts a listener on addr ("127.0.0.1:0" picks a free port).
 func ListenTCP(addr string) (Listener, error) {
+	return ListenTCPOptions(addr, Options{})
+}
+
+// ListenTCPOptions starts a listener whose accepted connections carry
+// the given buffering options.
+func ListenTCPOptions(addr string, opts Options) (Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	return &tcpListener{l: l}, nil
+	return &tcpListener{l: l, opts: opts}, nil
 }
 
 // Accept implements Listener.
@@ -209,7 +359,7 @@ func (t *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: accept: %w", err)
 	}
-	return &tcpConn{conn: c}, nil
+	return newTCPConn(c, t.opts), nil
 }
 
 // Addr implements Listener.
@@ -230,6 +380,12 @@ func DialTCP(addr string) (Conn, error) {
 // DialTCPTimeout connects to a fusion centre at addr, failing after the
 // given timeout (<= 0 selects DefaultDialTimeout).
 func DialTCPTimeout(addr string, timeout time.Duration) (Conn, error) {
+	return DialTCPOptions(addr, timeout, Options{})
+}
+
+// DialTCPOptions connects with the given timeout (<= 0 selects
+// DefaultDialTimeout) and buffering options.
+func DialTCPOptions(addr string, timeout time.Duration, opts Options) (Conn, error) {
 	if timeout <= 0 {
 		timeout = DefaultDialTimeout
 	}
@@ -238,5 +394,5 @@ func DialTCPTimeout(addr string, timeout time.Duration) (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	return &tcpConn{conn: c}, nil
+	return newTCPConn(c, opts), nil
 }
