@@ -30,10 +30,12 @@
 //     max_speedup is still recorded either way.
 //   - -min-ratio name=V (repeatable) fails the run unless derived ratio
 //     "name" exists and is >= V. Ratios are computed from sibling
-//     entries: batch_vs_perslot from /mode=batch vs /mode=perslot pairs
-//     and binary_vs_json from /enc=binary vs /enc=json pairs, each the
-//     minimum (most conservative) across all matched pairs. A requested
-//     ratio that cannot be derived is a loud failure, never a skip.
+//     entries: batch_vs_perslot from /mode=batch vs /mode=perslot pairs,
+//     binary_vs_json from /enc=binary vs /enc=json pairs and
+//     pipelined_vs_lockstep from the RoundPipelined vs RoundLockstep
+//     pair, each the minimum (most conservative) across all matched
+//     pairs. A requested ratio that cannot be derived is a loud failure,
+//     never a skip.
 //
 // The report deliberately carries the host's core count: on a single-core
 // machine the pool degrades to interleaving and speedups hover at 1×, so
@@ -108,7 +110,7 @@ type Report struct {
 	// that carry "target_met": false still parse.
 	TargetMet *bool `json:"target_met,omitempty"`
 	// Ratios holds derived sibling-entry ratios (see the package doc):
-	// batch_vs_perslot, binary_vs_json.
+	// batch_vs_perslot, binary_vs_json, pipelined_vs_lockstep.
 	Ratios map[string]float64 `json:"ratios,omitempty"`
 	Note   string             `json:"note,omitempty"`
 }
@@ -284,6 +286,7 @@ var ratioSpecs = []struct {
 }{
 	{"batch_vs_perslot", "mode=batch", "mode=perslot"},
 	{"binary_vs_json", "enc=binary", "enc=json"},
+	{"pipelined_vs_lockstep", "RoundPipelined", "RoundLockstep"},
 }
 
 // computeRatios derives the sibling-entry ratios present in entries.

@@ -143,6 +143,8 @@ func TestComputeRatios(t *testing.T) {
 		"BenchmarkDecodeBatch/slots=8/mode=perslot-8    15  3000 ns/op",
 		"BenchmarkWireCodec/params=1000/enc=json-8     100  9000 ns/op",
 		"BenchmarkWireCodec/params=1000/enc=binary-8   100  1000 ns/op",
+		"BenchmarkRoundPipelined-8                      10  2000 ns/op",
+		"BenchmarkRoundLockstep-8                       10  8000 ns/op",
 	}, "\n"))
 	// Minimum across pairs: slots=8 gives 3x, slots=32 gives 8x.
 	if r := rep.Ratios["batch_vs_perslot"]; r != 3 {
@@ -150,6 +152,9 @@ func TestComputeRatios(t *testing.T) {
 	}
 	if r := rep.Ratios["binary_vs_json"]; r != 9 {
 		t.Errorf("binary_vs_json = %g, want 9", r)
+	}
+	if r := rep.Ratios["pipelined_vs_lockstep"]; r != 4 {
+		t.Errorf("pipelined_vs_lockstep = %g, want 4", r)
 	}
 	if _, ok := rep.Ratios["nonexistent"]; ok {
 		t.Error("phantom ratio derived")

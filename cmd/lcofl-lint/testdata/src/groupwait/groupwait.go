@@ -79,3 +79,35 @@ func twoGroups() error {
 	b.Go(func() error { return nil })
 	return b.Wait()
 }
+
+// The pipelined collect idiom (node's round engine): receiver
+// goroutines are spawned per connection, and the collect loop may exit
+// early on a labeled break (budget close) — the Wait after the loop
+// still covers every path.
+func budgetCloseJoined(n, target int) error {
+	var g parallel.Group
+	for i := 0; i < n; i++ {
+		g.Go(func() error { return nil })
+	}
+	arrived := 0
+collect:
+	for i := 0; i < n; i++ {
+		arrived++
+		if arrived >= target {
+			break collect
+		}
+	}
+	return g.Wait()
+}
+
+// An early return from inside the collect loop skips the join: flagged.
+func budgetCloseLeaky(n, target int) error {
+	var g parallel.Group
+	g.Go(func() error { return nil }) // want "without a Wait on every path"
+	for i := 0; i < n; i++ {
+		if i >= target {
+			return nil // leaks the receivers
+		}
+	}
+	return g.Wait()
+}

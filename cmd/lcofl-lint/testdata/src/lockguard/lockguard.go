@@ -173,3 +173,49 @@ func (c *framedConn) close() {
 func (c *framedConn) badClosedRead() bool {
 	return c.closed // want "c.closed accessed without holding c.closeMu"
 }
+
+// The pipelined-ingest idiom (node's round engine): a sink fed by a
+// receiver goroutine while the round loop polls it for the budget
+// close — both sides must hold the mutex, including the early-close
+// check inside a collect loop.
+type ingestBox struct {
+	mu      sync.Mutex // guards arrived
+	arrived int        // guarded by mu
+}
+
+func (b *ingestBox) ingest() {
+	b.mu.Lock()
+	b.arrived++
+	b.mu.Unlock()
+}
+
+func (b *ingestBox) closeAtBudget(target int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.arrived >= target
+}
+
+func (b *ingestBox) collect(target, uploads int) int {
+	closed := 0
+	for i := 0; i < uploads; i++ {
+		b.ingest()
+		if b.closeAtBudget(target) {
+			closed++
+			break
+		}
+	}
+	return closed
+}
+
+func (b *ingestBox) finalizeBad() int {
+	return b.arrived // want "b.arrived accessed without holding b.mu"
+}
+
+func (b *ingestBox) budgetCheckBad(target, uploads int) bool {
+	for i := 0; i < uploads; i++ {
+		if b.arrived >= target { // want "accessed without holding"
+			return true
+		}
+	}
+	return false
+}

@@ -438,6 +438,26 @@ func addChaosFlag(fs *flag.FlagSet) func(ob *obs.Obs) (*chaos.Injector, error) {
 	}
 }
 
+// addPipelineFlags registers the round-engine knobs shared by serve and
+// dist and returns an applier that copies them into a ServerConfig. The
+// defaults keep the pipelined engine in its bit-identical-to-lock-step
+// mode (unlimited wait-budget); see DESIGN.md §14.
+func addPipelineFlags(fs *flag.FlagSet) func(*node.ServerConfig) {
+	lockstep := fs.Bool("lockstep", false, "disable the pipelined round engine and run lock-step rounds")
+	waitBudget := fs.Int("wait-budget", 0,
+		"uploads beyond the recover threshold K to wait for before closing a round (-1 = close at K, 0 = wait for the whole fleet)")
+	adaptiveBudget := fs.Bool("adaptive-budget", false,
+		"adapt the wait-budget per round from the observed straggler distribution (overrides -wait-budget)")
+	window := fs.Int("pipeline-window", 0,
+		"rounds a budget-excluded vehicle may fall behind before its broadcasts are withheld (0 = default)")
+	return func(cfg *node.ServerConfig) {
+		cfg.DisablePipeline = *lockstep
+		cfg.WaitBudget = *waitBudget
+		cfg.AdaptiveBudget = *adaptiveBudget
+		cfg.PipelineWindow = *window
+	}
+}
+
 // chaosWrap applies the injector when one is configured.
 func chaosWrap(inj *chaos.Injector, peer int, c transport.Conn) transport.Conn {
 	if inj == nil {
@@ -484,6 +504,7 @@ func cmdServe(args []string) (retErr error) {
 	rounds := fs.Int("rounds", 10, "global rounds")
 	seed := fs.Int64("seed", 1, "shared scenario seed")
 	checkpoint := fs.String("checkpoint", "", "write the final shared model as JSON")
+	pipeline := addPipelineFlags(fs)
 	observe := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -506,7 +527,7 @@ func cmdServe(args []string) (retErr error) {
 	if err != nil {
 		return err
 	}
-	srv, err := node.NewServer(node.ServerConfig{
+	scfg := node.ServerConfig{
 		FL: fl.Config{
 			InputSize: traffic.NumFeatures, LocalEpochs: 5, LocalRate: 0.2,
 			DistillEpochs: 30, DistillRate: 0.2, ServerStep: 0.5, Seed: *seed + 4,
@@ -518,7 +539,9 @@ func cmdServe(args []string) (retErr error) {
 		ActivationCoeffs: p,
 		Rounds:           *rounds,
 		Obs:              ob,
-	})
+	}
+	pipeline(&scfg)
+	srv, err := node.NewServer(scfg)
 	if err != nil {
 		return err
 	}
@@ -734,6 +757,7 @@ func cmdDist(args []string) (retErr error) {
 	workers := fs.Int("workers", 0, "worker-pool size for the decode hot paths (0 = all cores)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-round upload deadline (dropped uploads surface as stragglers after this)")
 	retries := fs.Int("retries", 5, "per-vehicle consecutive failed connection attempts before giving up")
+	pipeline := addPipelineFlags(fs)
 	buildChaos := addChaosFlag(fs)
 	observe := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -765,7 +789,7 @@ func cmdDist(args []string) (retErr error) {
 	if err != nil {
 		return err
 	}
-	srv, err := node.NewServer(node.ServerConfig{
+	scfg := node.ServerConfig{
 		FL: fl.Config{
 			InputSize: traffic.NumFeatures, LocalEpochs: 5, LocalRate: 0.2,
 			DistillEpochs: 30, DistillRate: 0.2, ServerStep: 0.5, Seed: *seed + 4,
@@ -779,7 +803,9 @@ func cmdDist(args []string) (retErr error) {
 		Rounds:           *rounds,
 		RoundTimeout:     *timeout,
 		Obs:              ob,
-	})
+	}
+	pipeline(&scfg)
+	srv, err := node.NewServer(scfg)
 	if err != nil {
 		return err
 	}

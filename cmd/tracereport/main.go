@@ -130,18 +130,26 @@ type chaosSummary struct {
 }
 
 type summary struct {
-	Events     int                      `json:"events"`
-	Runs       int                      `json:"runs"`
-	FLRounds   int                      `json:"fl_rounds"`
-	NodeRounds int                      `json:"node_rounds"`
-	RecvErrors int64                    `json:"recv_errors"`
-	Stragglers int64                    `json:"stragglers"`
-	Decode     decodeSummary            `json:"decode"`
-	Recovery   recoverySummary          `json:"recovery"`
-	Chaos      chaosSummary             `json:"chaos"`
-	Stages     map[string]*stageStats   `json:"stages"`
-	Peers      map[string]*peerStats    `json:"peers"`
-	Vehicles   map[string]*vehicleStats `json:"vehicles"`
+	Events     int   `json:"events"`
+	Runs       int   `json:"runs"`
+	FLRounds   int   `json:"fl_rounds"`
+	NodeRounds int   `json:"node_rounds"`
+	RecvErrors int64 `json:"recv_errors"`
+	Stragglers int64 `json:"stragglers"`
+	// PipelineRounds counts node.pipeline events (one per round on the
+	// pipelined engine); EarlyCloses are the budget-closed subset, and
+	// PipelineOverlapRatio is Σ overlap_ns over Σ node.round dur_ns — the
+	// fraction of total round time spent ingesting uploads concurrently
+	// with the rest of the round.
+	PipelineRounds       int                      `json:"pipeline_rounds"`
+	EarlyCloses          int64                    `json:"early_closes"`
+	PipelineOverlapRatio float64                  `json:"pipeline_overlap_ratio"`
+	Decode               decodeSummary            `json:"decode"`
+	Recovery             recoverySummary          `json:"recovery"`
+	Chaos                chaosSummary             `json:"chaos"`
+	Stages               map[string]*stageStats   `json:"stages"`
+	Peers                map[string]*peerStats    `json:"peers"`
+	Vehicles             map[string]*vehicleStats `json:"vehicles"`
 }
 
 // num reads a numeric field; JSON numbers decode as float64.
@@ -162,6 +170,12 @@ func summarize(r io.Reader) (*summary, error) {
 		Vehicles: map[string]*vehicleStats{},
 	}
 	durs := map[string][]int64{}
+	// Spans that carry a round ID are keyed by it and summed per round, so
+	// a stage whose work for one round is split across several spans — or
+	// interleaved with the next round's by the pipelined engine — yields
+	// one latency sample per ROUND, not one per span in arrival order.
+	roundDurs := map[string]map[int64]int64{}
+	var overlapNs, nodeRoundNs int64
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
 	lineNo := 0
@@ -184,7 +198,16 @@ func summarize(r io.Reader) (*summary, error) {
 		}
 		sum.Events++
 		if d, ok := num(rec, "dur_ns"); ok {
-			durs[ev] = append(durs[ev], d)
+			if round, ok := num(rec, "round"); ok {
+				m := roundDurs[ev]
+				if m == nil {
+					m = map[int64]int64{}
+					roundDurs[ev] = m
+				}
+				m[round] += d
+			} else {
+				durs[ev] = append(durs[ev], d)
+			}
 		}
 		switch ev {
 		case "experiments.run_start":
@@ -193,6 +216,16 @@ func summarize(r io.Reader) (*summary, error) {
 			sum.FLRounds++
 		case "node.round":
 			sum.NodeRounds++
+			if d, ok := num(rec, "dur_ns"); ok {
+				nodeRoundNs += d
+			}
+		case "node.pipeline":
+			sum.PipelineRounds++
+			o, _ := num(rec, "overlap_ns")
+			overlapNs += o
+			if str(rec, "closed_by") == "budget" {
+				sum.EarlyCloses++
+			}
 		case "node.recv_error":
 			sum.RecvErrors++
 		case "node.straggler":
@@ -253,6 +286,11 @@ func summarize(r io.Reader) (*summary, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
 	}
+	for ev, byRound := range roundDurs {
+		for _, d := range byRound {
+			durs[ev] = append(durs[ev], d)
+		}
+	}
 	for ev, ds := range durs {
 		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 		sum.Stages[ev] = &stageStats{
@@ -262,6 +300,9 @@ func summarize(r io.Reader) (*summary, error) {
 			P99:   percentile(ds, 0.99),
 			Max:   ds[len(ds)-1],
 		}
+	}
+	if nodeRoundNs > 0 {
+		sum.PipelineOverlapRatio = float64(overlapNs) / float64(nodeRoundNs)
 	}
 	return sum, nil
 }
@@ -333,6 +374,7 @@ func crossCheck(sum *summary, metricsPath string) error {
 		{"node.reconnects", sum.Recovery.Reconnects},
 		{"node.degraded_rounds", sum.Recovery.DegradedRounds},
 		{"node.client_corrupt_frames", sum.Recovery.ClientCorruptFrames},
+		{"node.early_closes", sum.EarlyCloses},
 		{"chaos.drops", sum.Chaos.Drops},
 		{"chaos.corrupts", sum.Chaos.Corrupts},
 		{"chaos.delays", sum.Chaos.Delays},
@@ -358,6 +400,10 @@ func writeText(w io.Writer, sum *summary) error {
 		sum.Decode.BatchGroups, sum.Decode.BatchWords, sum.Decode.BatchRecovered, sum.Decode.BatchFallbacks)
 	if sum.RecvErrors > 0 || sum.Stragglers > 0 {
 		fmt.Fprintf(&b, "node: %d receive errors, %d straggler timeouts\n", sum.RecvErrors, sum.Stragglers)
+	}
+	if sum.PipelineRounds > 0 {
+		fmt.Fprintf(&b, "pipeline: %d pipelined rounds, %d early closes, overlap ratio %.3f\n",
+			sum.PipelineRounds, sum.EarlyCloses, sum.PipelineOverlapRatio)
 	}
 	if sum.Chaos != (chaosSummary{}) {
 		fmt.Fprintf(&b, "chaos: %d drops, %d corrupts, %d delays, %d crashes injected\n",

@@ -23,6 +23,12 @@ const sampleTrace = `{"ev":"experiments.run_start","t_ns":0,"variant":"l-cofl"}
 {"ev":"transport.send","t_ns":250,"peer":"vehicle-0","kind":"round","bytes":60}
 {"ev":"transport.recv","t_ns":260,"peer":"vehicle-0","kind":"upload","bytes":300}
 {"ev":"node.round","t_ns":300,"dur_ns":5000,"round":1}
+{"ev":"node.pipeline","t_ns":305,"round":1,"wait_budget":2,"arrived":10,"closed_by":"budget","overlap_ns":2000}
+{"ev":"node.round","t_ns":600,"dur_ns":3000,"round":2}
+{"ev":"node.pipeline","t_ns":605,"round":2,"wait_budget":-1,"arrived":12,"closed_by":"all","overlap_ns":1000}
+{"ev":"core.aggregate","t_ns":320,"dur_ns":400,"round":1}
+{"ev":"core.aggregate","t_ns":610,"dur_ns":250,"round":2}
+{"ev":"core.aggregate","t_ns":650,"dur_ns":150,"round":2}
 {"ev":"node.recv_error","t_ns":310,"round":1,"vehicle":2,"error":"closed"}
 {"ev":"node.straggler","t_ns":320,"round":1,"vehicle":5}
 {"ev":"chaos.drop","t_ns":330,"peer":4,"kind":"upload","rule":0}
@@ -44,11 +50,19 @@ func TestSummarize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sum.Events != 28 || sum.Runs != 1 || sum.FLRounds != 2 || sum.NodeRounds != 1 {
+	if sum.Events != 34 || sum.Runs != 1 || sum.FLRounds != 2 || sum.NodeRounds != 2 {
 		t.Fatalf("headline counts wrong: %+v", sum)
 	}
 	if sum.RecvErrors != 1 || sum.Stragglers != 1 {
 		t.Fatalf("node counts wrong: %+v", sum)
+	}
+	// Two pipelined rounds, one budget-closed; overlap ratio is the
+	// summed overlap over the summed node.round duration.
+	if sum.PipelineRounds != 2 || sum.EarlyCloses != 1 {
+		t.Fatalf("pipeline counts wrong: %+v", sum)
+	}
+	if want := 3000.0 / 8000.0; sum.PipelineOverlapRatio != want {
+		t.Fatalf("overlap ratio = %g, want %g", sum.PipelineOverlapRatio, want)
 	}
 	wantChaos := chaosSummary{Drops: 1, Corrupts: 2, Delays: 1, Crashes: 1}
 	if sum.Chaos != wantChaos {
@@ -69,6 +83,13 @@ func TestSummarize(t *testing.T) {
 	fr := sum.Stages["fl.round"]
 	if fr == nil || fr.Count != 2 || fr.P50 != 1000 || fr.P95 != 3000 || fr.Max != 3000 {
 		t.Fatalf("fl.round stage stats wrong: %+v", fr)
+	}
+	// Round-keyed pairing: round 2's aggregate work is split across two
+	// spans but must yield ONE 400ns sample, same as round 1 — not three
+	// arrival-order samples.
+	ca := sum.Stages["core.aggregate"]
+	if ca == nil || ca.Count != 2 || ca.P50 != 400 || ca.Max != 400 {
+		t.Fatalf("core.aggregate stage stats wrong: %+v", ca)
 	}
 	p := sum.Peers["vehicle-0"]
 	if p == nil || p.SentMsgs != 2 || p.SentBytes != 160 || p.RecvMsgs != 1 || p.RecvBytes != 300 {
@@ -128,7 +149,8 @@ func TestCrossCheck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	good := `{"counters":{"fl.rounds":2,"node.rounds":1,"node.recv_errors":1,"node.stragglers":1,
+	good := `{"counters":{"fl.rounds":2,"node.rounds":2,"node.recv_errors":1,"node.stragglers":1,
+		"node.early_closes":1,
 		"core.decode_failures":1,"rs.bw.attempts":2,"rs.bw.wins":1,
 		"rs.batch.words":8,"rs.batch.recovered":6,"rs.batch.fallbacks":2,
 		"node.corrupt_frames":2,"node.retransmits":1,"node.rejoins":1,"node.reconnects":1,
@@ -153,6 +175,13 @@ func TestCrossCheck(t *testing.T) {
 	err = crossCheck(sum, writeTemp(t, "bad-rejoin.json", bad))
 	if err == nil || !strings.Contains(err.Error(), "node.rejoins") {
 		t.Fatalf("drifting rejoin counter accepted: %v", err)
+	}
+	// The early-close ledger is pinned: the counter must match the count
+	// of budget-closed node.pipeline events.
+	bad = strings.Replace(good, `"node.early_closes":1`, `"node.early_closes":2`, 1)
+	err = crossCheck(sum, writeTemp(t, "bad-early.json", bad))
+	if err == nil || !strings.Contains(err.Error(), "node.early_closes") {
+		t.Fatalf("drifting early-close counter accepted: %v", err)
 	}
 }
 
@@ -182,6 +211,7 @@ func TestRunText(t *testing.T) {
 		"2 fl rounds", "1/2 BW attempts won", "vehicle-0", "stage latencies",
 		"chaos: 1 drops, 2 corrupts, 1 delays, 1 crashes injected",
 		"recovery: 2 corrupt frames (1 client-side), 1 retransmits, 1 rejoins, 1 reconnects, 1 degraded rounds",
+		"pipeline: 2 pipelined rounds, 1 early closes, overlap ratio 0.375",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("text output missing %q:\n%s", want, out)

@@ -120,6 +120,11 @@ type Scheme struct {
 	aggEligible []int
 	aggBatch    [][]field.Element
 
+	// pendingIngest, when non-nil, is the round's streamed decode state
+	// (stream.go): set by AggregateStreamed for the duration of one
+	// Aggregate call and consumed by the first matching presence group.
+	pendingIngest *RoundIngest
+
 	// DecodeFailures counts verification slots whose decode exceeded the
 	// error budget in the last Aggregate.
 	DecodeFailures int
@@ -578,6 +583,15 @@ func (s *Scheme) aggregateBatch(words []slotWord, outcomes []slotOutcome, points
 // vehicle set), writing outcomes in place.
 func (s *Scheme) decodeGroup(words []slotWord, outcomes []slotOutcome, points []field.Element, slots []int) {
 	ids := words[slots[0]].ids
+	// Streamed fast path: when this group spans every verification slot
+	// and its vehicle set is exactly the ingested set, each slot's word
+	// equals the streamed symbols and the incremental decoder's Finalize
+	// is bit-identical to DecodeBatch on it (stream.go).
+	if ri := s.pendingIngest; ri != nil && len(slots) == s.slots && ri.matches(ids) {
+		s.pendingIngest = nil
+		s.finalizeIngest(ri, outcomes, slots, len(ids))
+		return
+	}
 	dec := s.dec
 	if len(ids) != s.cfg.NumVehicles {
 		xs := make([]field.Element, len(ids))

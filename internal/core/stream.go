@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/field"
+	"repro/internal/fl"
+	"repro/internal/obs"
+	"repro/internal/reedsolomon"
+)
+
+// Streaming aggregation (DESIGN.md §14).
+//
+// The pipelined round engine hands the scheme each upload as it arrives;
+// the scheme feeds the verification symbols into an incremental
+// Reed–Solomon decoder so the interpolation work is already paid when
+// the collection window closes. AggregateStreamed then runs the normal
+// Aggregate, except that the one presence group whose vehicle set equals
+// the ingested set is finalised from the streamed state instead of
+// re-decoded from scratch. The incremental decoder is bit-identical to
+// DecodeBatch over the same positions (reedsolomon/incremental.go), and
+// every group that does not exactly match the ingested set falls back to
+// the ordinary batch path, so AggregateStreamed(sink, uploads) ==
+// Aggregate(uploads) bit for bit, always.
+
+// RoundIngest absorbs one round's uploads incrementally. It implements
+// fl.UploadSink; build it with Scheme.BeginIngest and consume it with
+// Scheme.AggregateStreamed. Not safe for concurrent use.
+type RoundIngest struct {
+	s       *Scheme
+	inc     *reedsolomon.IncrementalDecoder
+	present []bool // ingested vehicles (full verification words only)
+	count   int
+	syms    []field.Element // per-Add scratch, one symbol per slot
+}
+
+// BeginIngest starts a round's incremental ingest. One sink per round;
+// feed it via Add and hand it back through AggregateStreamed.
+func (s *Scheme) BeginIngest() fl.UploadSink {
+	return &RoundIngest{
+		s:       s,
+		inc:     s.dec.NewIncremental(s.slots),
+		present: make([]bool, s.cfg.NumVehicles),
+		syms:    make([]field.Element, s.slots),
+	}
+}
+
+// Add implements fl.UploadSink. It parses the upload's verification
+// channel and streams it into the incremental decoder. A vehicle with
+// ANY dropped verification half is skipped entirely (per-value drops
+// give slots differing vehicle sets, which the grouped batch path
+// handles); skipping here only moves that work back to Aggregate, it
+// never changes results.
+func (r *RoundIngest) Add(vehicleID int, upload []float64) error {
+	s := r.s
+	if vehicleID < 0 || vehicleID >= s.cfg.NumVehicles {
+		return fmt.Errorf("core: ingest vehicle ID %d outside [0, %d)", vehicleID, s.cfg.NumVehicles)
+	}
+	if upload == nil {
+		return nil
+	}
+	if len(upload) != s.UploadLen() {
+		return fmt.Errorf("core: ingest vehicle %d uploaded %d values, want %d", vehicleID, len(upload), s.UploadLen())
+	}
+	if r.present[vehicleID] {
+		return fmt.Errorf("core: vehicle %d ingested twice", vehicleID)
+	}
+	for j := 0; j < s.slots; j++ {
+		if fl.IsDropped(upload[2*j]) || fl.IsDropped(upload[2*j+1]) {
+			return nil
+		}
+	}
+	for j := 0; j < s.slots; j++ {
+		r.syms[j] = floatsToSymbol(upload[2*j], upload[2*j+1])
+	}
+	// The decoder's points are coder.Points(), indexed by vehicle ID, so
+	// the ingest position IS the vehicle ID (and error positions come
+	// back in vehicle-ID space).
+	if err := r.inc.Ingest(vehicleID, r.syms); err != nil {
+		return err
+	}
+	r.present[vehicleID] = true
+	r.count++
+	return nil
+}
+
+// matches reports whether the ingested vehicle set equals the given
+// strictly-increasing ID list.
+func (r *RoundIngest) matches(ids []int) bool {
+	if len(ids) != r.count {
+		return false
+	}
+	for _, id := range ids {
+		if !r.present[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// AggregateStreamed implements fl.StreamingAggregator: Aggregate, with
+// the streamed state consumed where it applies. Results are bit-identical
+// to Aggregate(uploads) for any ingest subset and arrival order.
+func (s *Scheme) AggregateStreamed(sink fl.UploadSink, uploads [][]float64) ([]float64, error) {
+	if ri, ok := sink.(*RoundIngest); ok && ri.s == s && !s.cfg.DisableBatchDecode {
+		s.pendingIngest = ri
+		defer func() { s.pendingIngest = nil }()
+	}
+	return s.Aggregate(uploads)
+}
+
+// finalizeIngest consumes the streamed state for one presence group. The
+// caller (decodeGroup) has already established that the group covers all
+// S slots and its vehicle set equals the ingested set, so each slot's
+// word is exactly the ingested symbols and Finalize's outcome is
+// bit-identical to DecodeBatch on the gathered words. Error positions
+// arrive in vehicle-ID space directly — no ids[idx] remap.
+func (s *Scheme) finalizeIngest(ri *RoundIngest, outcomes []slotOutcome, slots []int, present int) {
+	results, errs, stats := ri.inc.Finalize(s.workers)
+	s.BatchRecovered += stats.Recovered
+	s.BatchFallbacks += stats.Fallbacks
+	if s.obs.TraceEnabled() {
+		s.obs.Emit("core.batch_group",
+			obs.F("slots", len(slots)),
+			obs.F("present", present),
+			obs.F("recovered", stats.Recovered),
+			obs.F("fallbacks", stats.Fallbacks),
+			obs.F("combined_ok", stats.CombinedOK))
+	}
+	for t, j := range slots {
+		if errs[t] != nil {
+			outcomes[j].failed = true
+			continue
+		}
+		for _, id := range results[t].ErrorPositions {
+			outcomes[j].flagged = append(outcomes[j].flagged, id)
+		}
+	}
+}

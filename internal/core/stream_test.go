@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fl"
+)
+
+// streamedAggregate runs AggregateStreamed after ingesting the uploads
+// in the given arrival order, mirroring what the pipelined round engine
+// does with its receive stream.
+func streamedAggregate(t *testing.T, s *Scheme, ups [][]float64, order []int) []float64 {
+	t.Helper()
+	sink := s.BeginIngest()
+	for _, id := range order {
+		if ups[id] == nil {
+			continue
+		}
+		if err := sink.Add(id, ups[id]); err != nil {
+			t.Fatalf("Add(%d): %v", id, err)
+		}
+	}
+	targets, err := s.AggregateStreamed(sink, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return targets
+}
+
+// TestAggregateStreamedBitIdentical is the scheme-level half of the
+// pipeline invariant: ingesting uploads in ANY arrival order (including
+// none at all) and aggregating via AggregateStreamed is bit-identical to
+// the plain Aggregate — targets, DecodeFailures, DetectedMalicious and
+// the batch recovered/fallback split.
+func TestAggregateStreamedBitIdentical(t *testing.T) {
+	ref := refFeatures(t, 8*4) // S = 4 slots
+	const v, m, degree = 40, 8, 2
+	model := polyActivationModel(t, degree, 21)
+	rng := rand.New(rand.NewSource(77))
+	for _, workers := range []int{1, 2, 8} {
+		cfg := SchemeConfig{NumVehicles: v, NumBatches: m, Degree: degree, Workers: workers, Seed: 3}
+		streamed, err := NewScheme(ref, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := NewScheme(ref, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maxE := streamed.MaxMalicious()
+		for _, e := range []int{0, 1, maxE, maxE + 5} {
+			ups := roundUploads(t, streamed, model, nil)
+			for _, id := range rng.Perm(v)[:e] {
+				for j := range ups[id] {
+					ups[id][j] = ups[id][j]*2 + 7
+				}
+			}
+			// Straggler mix: some vehicles never arrive at all.
+			for _, id := range rng.Perm(v)[:3] {
+				ups[id] = nil
+			}
+			gotT := streamedAggregate(t, streamed, ups, rng.Perm(v))
+			wantT, err := plain.Aggregate(ups)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range wantT {
+				if math.Float64bits(gotT[j]) != math.Float64bits(wantT[j]) {
+					t.Fatalf("workers=%d e=%d target[%d]: streamed %g, plain %g", workers, e, j, gotT[j], wantT[j])
+				}
+			}
+			if streamed.DecodeFailures != plain.DecodeFailures {
+				t.Fatalf("workers=%d e=%d DecodeFailures: streamed %d, plain %d", workers, e, streamed.DecodeFailures, plain.DecodeFailures)
+			}
+			for i := range plain.DetectedMalicious {
+				if streamed.DetectedMalicious[i] != plain.DetectedMalicious[i] {
+					t.Fatalf("workers=%d e=%d DetectedMalicious[%d]: streamed %d, plain %d",
+						workers, e, i, streamed.DetectedMalicious[i], plain.DetectedMalicious[i])
+				}
+			}
+			if streamed.BatchRecovered+streamed.BatchFallbacks != plain.BatchRecovered+plain.BatchFallbacks {
+				t.Fatalf("workers=%d e=%d batch split: streamed %d+%d, plain %d+%d", workers, e,
+					streamed.BatchRecovered, streamed.BatchFallbacks, plain.BatchRecovered, plain.BatchFallbacks)
+			}
+		}
+	}
+}
+
+// TestAggregateStreamedPartialDrops pins that per-value drops — slots
+// seeing different vehicle subsets, where the streamed state cannot
+// match any presence group — silently fall back to the batch path with
+// identical results.
+func TestAggregateStreamedPartialDrops(t *testing.T) {
+	ref := refFeatures(t, 8*4)
+	const v, m, degree = 40, 8, 1
+	model := polyActivationModel(t, degree, 23)
+	rng := rand.New(rand.NewSource(31))
+	cfg := SchemeConfig{NumVehicles: v, NumBatches: m, Degree: degree, Workers: 2, Seed: 5}
+	streamed, err := NewScheme(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewScheme(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 4; trial++ {
+		ups := roundUploads(t, streamed, model, nil)
+		// Scatter per-value verification drops so masks differ by slot.
+		for i := 0; i < 6; i++ {
+			id := rng.Intn(v)
+			slot := rng.Intn(streamed.Slots())
+			ups[id][2*slot] = fl.Dropped
+		}
+		gotT := streamedAggregate(t, streamed, ups, rng.Perm(v))
+		wantT, err := plain.Aggregate(ups)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range wantT {
+			if math.Float64bits(gotT[j]) != math.Float64bits(wantT[j]) {
+				t.Fatalf("trial %d target[%d]: streamed %g, plain %g", trial, j, gotT[j], wantT[j])
+			}
+		}
+	}
+}
+
+func TestRoundIngestValidation(t *testing.T) {
+	ref := refFeatures(t, 8*2)
+	cfg := SchemeConfig{NumVehicles: 12, NumBatches: 8, Degree: 1, Workers: 1, Seed: 9}
+	s, err := NewScheme(ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := polyActivationModel(t, 1, 41)
+	ups := roundUploads(t, s, model, nil)
+	sink := s.BeginIngest()
+	if err := sink.Add(-1, ups[0]); err == nil {
+		t.Fatal("negative vehicle ID accepted")
+	}
+	if err := sink.Add(12, ups[0]); err == nil {
+		t.Fatal("out-of-range vehicle ID accepted")
+	}
+	if err := sink.Add(0, ups[0][:3]); err == nil {
+		t.Fatal("short upload accepted")
+	}
+	if err := sink.Add(0, nil); err != nil {
+		t.Fatalf("nil upload should be a no-op: %v", err)
+	}
+	if err := sink.Add(0, ups[0]); err != nil {
+		t.Fatalf("valid add rejected: %v", err)
+	}
+	if err := sink.Add(0, ups[0]); err == nil {
+		t.Fatal("duplicate vehicle accepted")
+	}
+	// A foreign sink type must not break AggregateStreamed.
+	var foreign dummySink
+	if _, err := s.AggregateStreamed(&foreign, ups); err != nil {
+		t.Fatalf("foreign sink: %v", err)
+	}
+}
+
+type dummySink struct{}
+
+func (*dummySink) Add(int, []float64) error { return nil }
+
+// The scheme must satisfy the fl.StreamingAggregator contract.
+var _ fl.StreamingAggregator = (*Scheme)(nil)

@@ -247,6 +247,28 @@ type Scheme interface {
 	Aggregate(uploads [][]float64) ([]float64, error)
 }
 
+// UploadSink ingests one round's uploads as they arrive, so a pipelined
+// driver (package node) can overlap decode work with the collection
+// window instead of holding everything for the round barrier. Add is
+// not safe for concurrent use — the driver feeds it from its single
+// collection loop. The upload slice handed to Add must be the same row
+// later passed to the aggregation call; a nil upload is a no-op.
+type UploadSink interface {
+	Add(vehicleID int, upload []float64) error
+}
+
+// StreamingAggregator is an optional Scheme extension. A scheme that
+// implements it can absorb uploads incrementally during the collection
+// window; AggregateStreamed then consumes the sink's accumulated state
+// where it applies and MUST return results bit-identical to
+// Aggregate(uploads) — streaming is a latency optimisation, never a
+// semantic change. The sink is single-use: one BeginIngest per round.
+type StreamingAggregator interface {
+	Scheme
+	BeginIngest() UploadSink
+	AggregateStreamed(sink UploadSink, uploads [][]float64) ([]float64, error)
+}
+
 // RoundStats reports what happened during one global round.
 type RoundStats struct {
 	// Round is the 1-based round number.

@@ -163,7 +163,7 @@ func TestChaosCrashAfterUpload(t *testing.T) {
 	}
 }
 
-func mustChaosSpec(t *testing.T, s string) *chaos.Spec {
+func mustChaosSpec(t testing.TB, s string) *chaos.Spec {
 	t.Helper()
 	spec, err := chaos.Parse(s)
 	if err != nil {

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/field"
 	"repro/internal/fl"
+	"repro/internal/latency"
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/poly"
@@ -65,6 +66,30 @@ type ServerConfig struct {
 	// resend it. 0 selects the default of 3; negative disables
 	// retransmission, turning corrupted uploads into stragglers.
 	MaxRetransmits int
+	// DisablePipeline forces the legacy lock-step engine: no streaming
+	// ingest into the incremental decoder, no early round closes, no
+	// broadcast withholding. The pipelined engine produces bit-identical
+	// FinalParams for any schedule, worker count and wire-version mix
+	// (DESIGN.md §14, pinned by TestPipelineBitIdentical); the knob exists
+	// for A/B benchmarks and as an escape hatch.
+	DisablePipeline bool
+	// WaitBudget sets how many uploads beyond the recover threshold K the
+	// pipelined engine waits for before closing a round's collection
+	// window. 0 (the default) waits for every live vehicle — close
+	// conditions identical to lock-step; -1 closes at exactly K; n > 0
+	// closes at K+n. Ignored under DisablePipeline.
+	WaitBudget int
+	// AdaptiveBudget derives the effective wait-budget per round from the
+	// observed straggler distribution and flagged-vehicle count
+	// (AdaptiveRedundancy), overriding WaitBudget. Ignored under
+	// DisablePipeline.
+	AdaptiveBudget bool
+	// PipelineWindow bounds in-flight rounds for vehicles that fell
+	// behind a budget-based early close: once a behind vehicle is more
+	// than PipelineWindow rounds stale, its broadcasts are withheld
+	// (latest only) until any upload proves it alive, keeping per-vehicle
+	// buffered state flat. 0 selects the default of 2.
+	PipelineWindow int
 	// Obs attaches the observability layer to the fusion centre and (via
 	// Scheme.Obs, unless the caller already set one) to its coding scheme.
 	// Nil disables all instrumentation.
@@ -74,6 +99,10 @@ type ServerConfig struct {
 // defaultMaxRetransmits bounds corrupt-upload recovery per vehicle per
 // round.
 const defaultMaxRetransmits = 3
+
+// defaultPipelineWindow bounds how many rounds a behind vehicle may lag
+// before its broadcasts are withheld.
+const defaultPipelineWindow = 2
 
 // Report summarises a completed distributed session.
 type Report struct {
@@ -125,6 +154,7 @@ type Server struct {
 	cRetransmit *obs.Counter
 	cRejoins    *obs.Counter
 	cDegraded   *obs.Counter
+	cEarlyClose *obs.Counter
 }
 
 // rejoinReq is a reconnected, handshaked vehicle awaiting revival.
@@ -147,6 +177,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.MaxRetransmits == 0 {
 		cfg.MaxRetransmits = defaultMaxRetransmits
+	}
+	if cfg.PipelineWindow == 0 {
+		cfg.PipelineWindow = defaultPipelineWindow
+	}
+	if cfg.PipelineWindow < 0 {
+		return nil, fmt.Errorf("node: pipeline window %d must be positive", cfg.PipelineWindow)
+	}
+	if cfg.WaitBudget < -1 {
+		return nil, fmt.Errorf("node: wait budget %d outside {-1, 0, 1, ...}", cfg.WaitBudget)
 	}
 	act := approx.FromPolynomial("wire-poly", poly.NewReal(cfg.ActivationCoeffs...))
 	sizes := append([]int{cfg.FL.InputSize}, cfg.FL.Hidden...)
@@ -177,6 +216,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		srv.cRetransmit = cfg.Obs.Counter("node.retransmits")
 		srv.cRejoins = cfg.Obs.Counter("node.rejoins")
 		srv.cDegraded = cfg.Obs.Counter("node.degraded_rounds")
+		srv.cEarlyClose = cfg.Obs.Counter("node.early_closes")
 	}
 	return srv, nil
 }
@@ -340,7 +380,20 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 	// frames are frame-local (the stream stays in sync), so the receiver
 	// reports them and keeps reading; any other error is terminal for the
 	// connection.
-	results := make(chan result, 4*v)
+	//
+	// The buffer is sized so a receiver goroutine can never block while
+	// the round loop is busy elsewhere (broadcasting, aggregating,
+	// distilling): with PipelineWindow+1 rounds in flight per vehicle (the
+	// current round plus up to window stale rounds a behind vehicle may
+	// still answer), each round can produce at most one upload, up to
+	// MaxRetransmits corrupt-frame reports answered by re-prompts plus the
+	// original corrupt frame — maxRe+2 frames — and the connection's one
+	// terminal error is covered by the final slot of its last round.
+	maxRe := s.cfg.MaxRetransmits
+	if maxRe < 0 {
+		maxRe = 0
+	}
+	results := make(chan result, v*(s.cfg.PipelineWindow+1)*(maxRe+2))
 	startReceiver := func(id int, conn transport.Conn) {
 		go func() {
 			for {
@@ -369,6 +422,33 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 	flagged := map[int]bool{}
 	dead := map[int]bool{}
 
+	// Pipeline state (DESIGN.md §14), confined to this goroutine like the
+	// maps above. streamer absorbs uploads into the incremental decoder as
+	// they arrive; lastSeen/behind/pendingBc implement the bounded
+	// in-flight-rounds window for vehicles outpaced by a budget close.
+	pipeline := !s.cfg.DisablePipeline
+	var streamer fl.StreamingAggregator
+	if pipeline {
+		var sch fl.Scheme = s.scheme
+		streamer, _ = sch.(fl.StreamingAggregator)
+	}
+	var adaptive *AdaptiveRedundancy
+	if pipeline && s.cfg.AdaptiveBudget {
+		ctrl, err := NewAdaptiveRedundancy(latency.Scenario{
+			Vehicles:      v,
+			Batches:       s.cfg.Scheme.NumBatches,
+			Degree:        s.cfg.Scheme.Degree,
+			UploadScalars: s.scheme.UploadLen(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		adaptive = ctrl
+	}
+	lastSeen := make(map[int]int, v)             // latest round each vehicle uploaded for
+	behind := make(map[int]bool)                 // vehicles outpaced by a budget close
+	pendingBc := make(map[int]*protocol.Message) // withheld broadcasts, latest only
+
 	// Per-round state, hoisted so the rejoin handler (a closure shared by
 	// every round's collect loop) sees the current round's values.
 	var (
@@ -377,6 +457,25 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 		uploads     [][]float64
 		outstanding map[int]bool
 	)
+
+	// noteUpload records an upload's arrival — current round or stale —
+	// as proof of life: the in-flight window tracks the vehicle's latest
+	// round, it is no longer behind, and a withheld broadcast (always the
+	// current round's) is released, putting the vehicle back in play.
+	noteUpload := func(id, r int) {
+		if r > lastSeen[id] {
+			lastSeen[id] = r
+		}
+		delete(behind, id)
+		if wb, ok := pendingBc[id]; ok {
+			delete(pendingBc, id)
+			if err := sendFlush(byID[id], wb); err != nil {
+				dead[id] = true
+				return
+			}
+			outstanding[id] = true
+		}
+	}
 
 	// handleRejoin revives a reconnected vehicle mid-round: the
 	// connection is swapped in (the stale one closed), Setup is resent so
@@ -389,6 +488,10 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 		}
 		byID[id] = req.conn
 		dead[id] = false
+		// The revival below resends the broadcast directly; a withheld one
+		// is obsolete, and the rejoined vehicle is current again.
+		delete(behind, id)
+		delete(pendingBc, id)
 		if sp, ok := req.conn.(interface{ SetPeer(string) }); ok {
 			sp.SetPeer(fmt.Sprintf("vehicle-%d", id))
 		}
@@ -431,6 +534,14 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 			if dead[id] {
 				continue
 			}
+			// In-flight window: a vehicle outpaced by a budget close more
+			// than PipelineWindow rounds ago gets its broadcast withheld
+			// (latest only — stashing overwrites) until any upload proves
+			// it alive, so a vanished straggler never accumulates frames.
+			if behind[id] && round-lastSeen[id] > s.cfg.PipelineWindow {
+				pendingBc[id] = bc
+				continue
+			}
 			// The flush barrier after each broadcast is where a buffered
 			// fabric pays its one write syscall; in round 1 the frame
 			// coalesces with the still-unflushed Setup. A flush failure is
@@ -443,11 +554,40 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 		uploads = make([][]float64, v)
 		outstanding = make(map[int]bool, v)
 		for id := range byID {
-			if !dead[id] {
+			if !dead[id] && pendingBc[id] == nil {
 				outstanding[id] = true
 			}
 		}
 		retrans := make(map[int]int)
+
+		// Streaming ingest: each accepted upload flows into the scheme's
+		// incremental decoder immediately, so most of the decode work is
+		// already done when the collection window closes. The effective
+		// wait-budget decides that close: -1 waits for every live vehicle
+		// (lock-step-identical), otherwise the window closes once
+		// K + effBudget uploads have landed.
+		var sink fl.UploadSink
+		if streamer != nil {
+			sink = streamer.BeginIngest()
+		}
+		effBudget := -1
+		switch {
+		case !pipeline:
+		case adaptive != nil:
+			adaptive.SetErrors(len(flagged))
+			effBudget = adaptive.Budget()
+		case s.cfg.WaitBudget == -1:
+			effBudget = 0
+		case s.cfg.WaitBudget > 0:
+			effBudget = s.cfg.WaitBudget
+		}
+		budgetTarget := 0
+		if effBudget >= 0 {
+			budgetTarget = s.scheme.RecoverThreshold() + effBudget
+		}
+		arrived := 0
+		closedBy := "all"
+		var overlapNs int64
 		deadline := time.After(s.cfg.RoundTimeout)
 	collect:
 		for len(outstanding) > 0 {
@@ -491,16 +631,53 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 						obs.F("error", u.err.Error()))
 				case u.round != round:
 					// Stale upload from a previous round's straggler:
-					// discard; the vehicle still owes the current round.
+					// discard; the vehicle still owes the current round,
+					// but the arrival is proof of life for the window.
+					if byID[u.vehicleID] == u.conn && !dead[u.vehicleID] {
+						noteUpload(u.vehicleID, u.round)
+					}
 				case outstanding[u.vehicleID]:
+					noteUpload(u.vehicleID, u.round)
 					uploads[u.vehicleID] = u.values
 					delete(outstanding, u.vehicleID)
+					arrived++
+					if sink != nil {
+						t0 := s.obs.Now()
+						if err := sink.Add(u.vehicleID, u.values); err != nil {
+							// Defensive: a rejected ingest only forfeits the
+							// streamed state; Aggregate redoes the work.
+							sink = nil
+						}
+						overlapNs += int64(s.obs.Now() - t0)
+					}
+					if budgetTarget > 0 && arrived >= budgetTarget && len(outstanding) > 0 {
+						// Enough redundancy: close early and mark the rest
+						// behind — candidates for broadcast withholding once
+						// they trail by more than the in-flight window.
+						for id := range outstanding {
+							behind[id] = true
+						}
+						closedBy = "budget"
+						break collect
+					}
 				}
 			case req := <-s.rejoin:
 				handleRejoin(req)
 			case <-deadline:
+				closedBy = "timeout"
 				break collect // stragglers: leave their uploads nil
 			}
+		}
+		if pipeline {
+			if closedBy == "budget" {
+				s.cEarlyClose.Inc()
+			}
+			s.obs.Emit("node.pipeline",
+				obs.F("round", round),
+				obs.F("wait_budget", effBudget),
+				obs.F("arrived", arrived),
+				obs.F("closed_by", closedBy),
+				obs.F("overlap_ns", overlapNs))
 		}
 		roundStragglers := 0
 		for _, id := range ids {
@@ -510,6 +687,9 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 				s.cStragglers.Inc()
 				s.obs.Emit("node.straggler", obs.F("round", round), obs.F("vehicle", id))
 			}
+		}
+		if adaptive != nil {
+			adaptive.ObserveStragglers(roundStragglers)
 		}
 
 		present := 0
@@ -534,7 +714,15 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 			continue
 		}
 
-		targets, err := s.scheme.Aggregate(uploads)
+		// Aggregate, consuming the streamed decode state where it applies
+		// (bit-identical to the plain Aggregate, core/stream.go).
+		var targets []float64
+		var err error
+		if sink != nil {
+			targets, err = streamer.AggregateStreamed(sink, uploads)
+		} else {
+			targets, err = s.scheme.Aggregate(uploads)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("node: round %d aggregate: %w", round, err)
 		}

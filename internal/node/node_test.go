@@ -39,8 +39,9 @@ func buildSessionObs(t *testing.T, vehicles, rounds int, maliciousFrac float64, 
 }
 
 // buildSessionFull additionally pins the scheme's worker count (0 =
-// GOMAXPROCS) — the chaos determinism tests sweep it.
-func buildSessionFull(t *testing.T, vehicles, rounds int, maliciousFrac float64, o *obs.Obs, workers int) *session {
+// GOMAXPROCS) — the chaos determinism tests sweep it. It takes a
+// testing.TB so the round-engine benchmarks can reuse it.
+func buildSessionFull(t testing.TB, vehicles, rounds int, maliciousFrac float64, o *obs.Obs, workers int) *session {
 	t.Helper()
 	ds, err := traffic.Generate(traffic.GenConfig{Rows: 1200, Seed: 21})
 	if err != nil {

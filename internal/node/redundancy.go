@@ -1,0 +1,149 @@
+package node
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/latency"
+)
+
+// Adaptive redundancy (DESIGN.md §14).
+//
+// The pipelined round engine can close a round's collection window after
+// K + D uploads instead of waiting for the full fleet, where D is the
+// wait-budget — the redundancy the paper's eq. 6 buys: K uploads decode,
+// and every extra upload beyond K either absorbs an erroneous vehicle
+// (two per error, K + 2E ≤ V) or merely confirms. AdaptiveRedundancy
+// picks D per round from two observed signals:
+//
+//   - the straggler distribution: if the recent rounds' straggler counts
+//     concentrate around σ, waiting for more than V − K − σ extra
+//     uploads is waiting for vehicles that will not arrive before the
+//     timeout, so the budget shrinks toward V − K − σ (a high percentile
+//     of σ, so bursts do not whipsaw the budget);
+//   - the flagged-vehicle count: eq. 6 needs K + 2E arrivals to both
+//     decode and FLAG E erroneous vehicles, so once E vehicles stand
+//     accused the budget never drops below 2E — closing earlier would
+//     trade error identification for latency.
+//
+// The controller is pure arithmetic over a sliding window — no clocks,
+// no randomness — so engine runs stay deterministic for a given upload
+// schedule.
+
+// redundancyWindow is how many recent rounds' straggler counts inform
+// the budget; small enough to track mobility-driven drift, large enough
+// that the percentile is not a single round's mood.
+const redundancyWindow = 8
+
+// redundancyQuantile is the straggler percentile the budget plans for.
+const redundancyQuantile = 0.9
+
+// AdaptiveRedundancy adapts the per-round wait-budget D (uploads beyond
+// the recover threshold K to wait for) to the observed straggler
+// distribution, floored by the eq. 6 error-identification requirement.
+// It is confined to the engine's round loop; not safe for concurrent use.
+type AdaptiveRedundancy struct {
+	maxBudget int   // V − K: waiting for the whole fleet
+	minBudget int   // 2E floor from the flagged-vehicle count
+	recent    []int // straggler counts of the last redundancyWindow rounds
+}
+
+// NewAdaptiveRedundancy builds the controller from the round's latency
+// scenario (the same shape package latency costs): V and K bound the
+// budget range, and Errors — the assumed erroneous-vehicle count E —
+// sets the initial 2E floor.
+func NewAdaptiveRedundancy(scen latency.Scenario) (*AdaptiveRedundancy, error) {
+	k := scen.Degree*(scen.Batches-1) + 1
+	if scen.Vehicles < k {
+		return nil, fmt.Errorf("node: adaptive redundancy: K=%d exceeds V=%d", k, scen.Vehicles)
+	}
+	a := &AdaptiveRedundancy{maxBudget: scen.Vehicles - k}
+	a.SetErrors(scen.Errors)
+	return a, nil
+}
+
+// SetErrors raises (or lowers) the budget floor to 2e — the extra
+// uploads eq. 6 charges for identifying e erroneous vehicles. The engine
+// feeds it the session's accumulated flagged-vehicle count.
+func (a *AdaptiveRedundancy) SetErrors(e int) {
+	m := 2 * e
+	if m < 0 {
+		m = 0
+	}
+	if m > a.maxBudget {
+		m = a.maxBudget
+	}
+	a.minBudget = m
+}
+
+// ObserveStragglers records one completed round's straggler count.
+func (a *AdaptiveRedundancy) ObserveStragglers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	a.recent = append(a.recent, n)
+	if len(a.recent) > redundancyWindow {
+		a.recent = a.recent[1:]
+	}
+}
+
+// Budget returns the wait-budget D for the next round: V − K until the
+// first observation (wait for everyone while the distribution is
+// unknown), then V − K − P90(stragglers) clamped to [2E, V − K].
+func (a *AdaptiveRedundancy) Budget() int {
+	if len(a.recent) == 0 {
+		return a.maxBudget
+	}
+	d := a.maxBudget - percentileInt(a.recent, redundancyQuantile)
+	if d < a.minBudget {
+		d = a.minBudget
+	}
+	if d > a.maxBudget {
+		d = a.maxBudget
+	}
+	return d
+}
+
+// percentileInt is the nearest-rank percentile of xs (q in (0, 1]).
+func percentileInt(xs []int, q float64) int {
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// RoundLatency estimates one round's wall-clock under a wait-budget: the
+// analytic LCoFL breakdown (package latency) with the uplink phase
+// ending at the (K+D)-th arrival order statistic. delays holds each
+// vehicle's extra per-round delay in seconds (stragglers — zero for a
+// punctual vehicle); the round closes when K+D uploads have landed, so
+// its latency is the (K+D)-th smallest arrival time plus the fusion
+// centre's decode. The EXPERIMENTS straggler-latency curve sweeps D
+// through this model next to the measured engine.
+func RoundLatency(scen latency.Scenario, p latency.Params, budget int, delays []float64) (float64, error) {
+	if len(delays) != scen.Vehicles {
+		return 0, fmt.Errorf("node: %d delays for %d vehicles", len(delays), scen.Vehicles)
+	}
+	b, err := latency.LCoFL(scen, p)
+	if err != nil {
+		return 0, err
+	}
+	k := scen.Degree*(scen.Batches-1) + 1
+	target := k + budget
+	if target < k {
+		target = k
+	}
+	if target > scen.Vehicles {
+		target = scen.Vehicles
+	}
+	arrivals := make([]float64, len(delays))
+	for i, d := range delays {
+		arrivals[i] = b.VehicleCompute + b.Uplink + d
+	}
+	sort.Float64s(arrivals)
+	return arrivals[target-1] + b.FusionCompute, nil
+}

@@ -1,0 +1,147 @@
+package node
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/latency"
+)
+
+func adaptive(t *testing.T, scen latency.Scenario) *AdaptiveRedundancy {
+	t.Helper()
+	a, err := NewAdaptiveRedundancy(scen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// scen20 is V=20, M=8, Degree=1 → K=8, max budget 12.
+func scen20() latency.Scenario {
+	return latency.Scenario{Vehicles: 20, Batches: 8, Degree: 1, UploadScalars: 16}
+}
+
+func TestAdaptiveBudgetTracksStragglers(t *testing.T) {
+	a := adaptive(t, scen20())
+	// Before any observation: wait for the whole fleet.
+	if got := a.Budget(); got != 12 {
+		t.Fatalf("initial budget = %d, want 12", got)
+	}
+	// A stable straggler population of 3 → P90 = 3 → budget 9.
+	for i := 0; i < redundancyWindow; i++ {
+		a.ObserveStragglers(3)
+	}
+	if got := a.Budget(); got != 9 {
+		t.Fatalf("budget after steady 3 stragglers = %d, want 9", got)
+	}
+	// One quiet round does not whipsaw the P90 back up.
+	a.ObserveStragglers(0)
+	if got := a.Budget(); got != 9 {
+		t.Fatalf("budget after one quiet round = %d, want 9", got)
+	}
+	// The window slides: enough quiet rounds and the budget relaxes.
+	for i := 0; i < redundancyWindow; i++ {
+		a.ObserveStragglers(0)
+	}
+	if got := a.Budget(); got != 12 {
+		t.Fatalf("budget after quiet window = %d, want 12", got)
+	}
+}
+
+func TestAdaptiveBudgetErrorFloor(t *testing.T) {
+	a := adaptive(t, scen20())
+	for i := 0; i < redundancyWindow; i++ {
+		a.ObserveStragglers(11) // would push the budget to 1...
+	}
+	a.SetErrors(3) // ...but identifying 3 errors needs K+6 arrivals.
+	if got := a.Budget(); got != 6 {
+		t.Fatalf("budget = %d, want eq. 6 floor of 6", got)
+	}
+	// The floor itself clamps to the fleet size.
+	a.SetErrors(100)
+	if got := a.Budget(); got != 12 {
+		t.Fatalf("budget = %d, want max 12", got)
+	}
+	a.SetErrors(-1) // defensive: never negative
+	if got := a.Budget(); got != 1 {
+		t.Fatalf("budget = %d, want 1 (pure P90)", got)
+	}
+}
+
+func TestAdaptiveScenarioErrorsSeedFloor(t *testing.T) {
+	scen := scen20()
+	scen.Errors = 2
+	a := adaptive(t, scen)
+	for i := 0; i < redundancyWindow; i++ {
+		a.ObserveStragglers(12)
+	}
+	if got := a.Budget(); got != 4 {
+		t.Fatalf("budget = %d, want scenario-seeded floor 4", got)
+	}
+}
+
+func TestAdaptiveRejectsUndersizedFleet(t *testing.T) {
+	if _, err := NewAdaptiveRedundancy(latency.Scenario{Vehicles: 7, Batches: 8, Degree: 1}); err == nil {
+		t.Fatal("V < K accepted")
+	}
+}
+
+func TestPercentileInt(t *testing.T) {
+	xs := []int{5, 1, 4, 2, 3}
+	if got := percentileInt(xs, 0.9); got != 5 {
+		t.Fatalf("P90 = %d, want 5", got)
+	}
+	if got := percentileInt(xs, 0.5); got != 3 {
+		t.Fatalf("P50 = %d, want 3", got)
+	}
+	if got := percentileInt([]int{7}, 0.9); got != 7 {
+		t.Fatalf("single-sample P90 = %d, want 7", got)
+	}
+	// The input must not be reordered in place.
+	if xs[0] != 5 || xs[1] != 1 {
+		t.Fatal("percentileInt mutated its input")
+	}
+}
+
+// TestRoundLatencyOrderStatistic pins the model the EXPERIMENTS
+// straggler-latency recipe sweeps: shrinking the budget below the
+// straggler count removes the straggler delay from the round, and the
+// budget clamps to [K, V].
+func TestRoundLatencyOrderStatistic(t *testing.T) {
+	scen := scen20()
+	p := latency.Params{}
+	delays := make([]float64, scen.Vehicles)
+	delays[18], delays[19] = 2.0, 3.0              // two stragglers
+	full, err := RoundLatency(scen, p, 12, delays) // wait for everyone
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := RoundLatency(scen, p, 10, delays) // close at K+10 = 18
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full-tight-3.0) > 1e-9 {
+		t.Fatalf("full %g vs tight %g: closing before the stragglers should save their 3s delay", full, tight)
+	}
+	over, err := RoundLatency(scen, p, 99, delays) // clamps to V
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over != full {
+		t.Fatalf("over-budget %g != full-fleet %g", over, full)
+	}
+	under, err := RoundLatency(scen, p, -5, delays) // clamps to K
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := RoundLatency(scen, p, 0, delays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if under != zero {
+		t.Fatalf("negative budget %g != K-close %g", under, zero)
+	}
+	if _, err := RoundLatency(scen, p, 0, delays[:3]); err == nil {
+		t.Fatal("mismatched delay count accepted")
+	}
+}

@@ -60,9 +60,17 @@ func (r *Relay) Serve() error {
 			return fmt.Errorf("node: relay upstream dial: %w", err)
 		}
 		r.mu.Lock()
+		if r.closed {
+			// Close already snapshotted conns and may be in wg.Wait: adding
+			// here would race it. Drop the late pair instead.
+			r.mu.Unlock()
+			_ = down.Close()
+			_ = up.Close()
+			return nil
+		}
 		r.conns = append(r.conns, down, up)
-		r.mu.Unlock()
 		r.wg.Add(2)
+		r.mu.Unlock()
 		go r.pipe(down, up)
 		go r.pipe(up, down)
 	}

@@ -1,0 +1,265 @@
+package reedsolomon
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/field"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/poly"
+)
+
+// Incremental decoding (DESIGN.md §14).
+//
+// The pipelined round engine feeds uploads into the decoder AS THEY
+// ARRIVE instead of waiting for the full round barrier. The decoder
+// maintains shared Newton-interpolation state across all verification
+// slots: each of the first K arrivals extends every slot's candidate
+// polynomial by one divided-difference step (O(S·K) per arrival, with
+// one shared nodal polynomial and a single field inversion), and every
+// later arrival is merely evaluated against the candidates (O(S·K)).
+// By the time the collection window closes, the per-slot interpolation
+// work of the batch decoder has already been paid during the waiting.
+//
+// Correctness never rests on arrival order. An accepted candidate is a
+// polynomial of degree ≤ K−1 that disagrees with the ingested word in at
+// most E = ⌊(m−K)/2⌋ positions, which by unique decoding pins it to
+// exactly what Decode would return for that word; a slot whose candidate
+// fails that check (for example because an erroneous upload landed among
+// the first K arrivals) falls back to the authoritative per-slot Decode
+// on the ingested sub-word. Arrival order can therefore shift work
+// between the fast and slow paths, but never change a result — the same
+// argument, and the same verification, as DecodeBatch (§9).
+
+// IncrementalDecoder accumulates one round's uploads position by
+// position and decodes all slots over exactly the ingested positions.
+// It is built by Decoder.NewIncremental, fed by Ingest, and consumed by
+// one Finalize call. It is not safe for concurrent use: the round
+// engine ingests from its single collect loop.
+type IncrementalDecoder struct {
+	d     *Decoder
+	slots int
+
+	seen  []bool // parent-position presence mask
+	order []int  // parent positions in arrival order
+	// nodal is N(x) = Π_j (x − xs[order[j]]) over the interpolated
+	// arrivals (the first min(arrivals, k)); coefficient of x^i at index i.
+	nodal []field.Element
+	// coeffs holds every slot's Newton candidate P_s, slot-major with k
+	// coefficients per slot; the valid prefix has min(arrivals, k) terms.
+	coeffs []field.Element
+	// words stores the ingested symbols slot-major by parent position, so
+	// Finalize can rebuild any slot's sub-word for the fallback decode.
+	words []field.Element
+	// mismatch collects, per slot, the parent positions (in arrival
+	// order) whose symbol disagreed with the slot's candidate.
+	mismatch  [][]int
+	finalized bool
+}
+
+// NewIncremental begins an incremental decode of `slots` words sharing
+// the decoder's evaluation points, to be fed one position at a time.
+func (d *Decoder) NewIncremental(slots int) *IncrementalDecoder {
+	n, k := len(d.xs), d.k
+	inc := &IncrementalDecoder{
+		d:        d,
+		slots:    slots,
+		seen:     make([]bool, n),
+		order:    make([]int, 0, n),
+		nodal:    make([]field.Element, 1, k+1),
+		coeffs:   make([]field.Element, slots*k),
+		words:    make([]field.Element, slots*n),
+		mismatch: make([][]int, slots),
+	}
+	inc.nodal[0] = field.One // N = 1 before the first arrival
+	return inc
+}
+
+// Arrived returns how many positions have been ingested so far.
+func (inc *IncrementalDecoder) Arrived() int { return len(inc.order) }
+
+// Ingest feeds the arrival of position pos: one symbol per slot,
+// index-aligned with the slot words of the eventual decode. The first k
+// arrivals each extend every slot's candidate polynomial by one Newton
+// step; later arrivals are checked against the candidates and recorded.
+func (inc *IncrementalDecoder) Ingest(pos int, syms []field.Element) error {
+	if inc.finalized {
+		return fmt.Errorf("reedsolomon: ingest after finalize")
+	}
+	n, k := len(inc.d.xs), inc.d.k
+	if pos < 0 || pos >= n {
+		return fmt.Errorf("reedsolomon: position %d outside [0, %d)", pos, n)
+	}
+	if inc.seen[pos] {
+		return fmt.Errorf("reedsolomon: position %d ingested twice", pos)
+	}
+	if len(syms) != inc.slots {
+		return fmt.Errorf("reedsolomon: %d symbols for %d slots", len(syms), inc.slots)
+	}
+	x := inc.d.xs[pos]
+	j := len(inc.order)
+	if j < k {
+		// Newton step, shared across slots: one evaluation and one
+		// inversion of the nodal polynomial N (x is distinct from every
+		// interpolated point, so N(x) ≠ 0), then per slot the update
+		// P_s += (y_s − P_s(x))·N(x)^{-1} · N.
+		invN := poly.Poly(inc.nodal).Eval(x).Inv()
+		for s, y := range syms {
+			row := inc.coeffs[s*k : (s+1)*k]
+			c := y.Sub(poly.Poly(row[:j]).Eval(x)).Mul(invN)
+			field.MulAddVec(row[:j+1], c, inc.nodal[:j+1])
+		}
+		// N *= (x' − x), in place: degree grows from j to j+1.
+		inc.nodal = append(inc.nodal, inc.nodal[j])
+		for t := j; t > 0; t-- {
+			inc.nodal[t] = inc.nodal[t-1].Sub(x.Mul(inc.nodal[t]))
+		}
+		inc.nodal[0] = inc.nodal[0].Mul(x.Neg())
+	} else {
+		for s, y := range syms {
+			row := inc.coeffs[s*k : (s+1)*k]
+			if poly.Poly(row).Eval(x) != y {
+				inc.mismatch[s] = append(inc.mismatch[s], pos)
+			}
+		}
+	}
+	for s, y := range syms {
+		inc.words[s*n+pos] = y
+	}
+	inc.seen[pos] = true
+	inc.order = append(inc.order, pos)
+	return nil
+}
+
+// Finalize decodes every slot over exactly the ingested positions,
+// returning one Result or one error per slot. Each slot's outcome is
+// bit-identical to running Decode (equivalently DecodeBatch, §9) on the
+// sub-word of ingested symbols at the ingested points — independent of
+// arrival order and worker count — with ErrorPositions reported in the
+// PARENT position space (the decoder's point indices, which for the
+// L-CoFL scheme are vehicle IDs). CombinedOK in the returned stats
+// records whether the shared interpolation state was usable (at least k
+// arrivals); Recovered counts slots whose streamed candidate verified,
+// Fallbacks slots that re-ran the per-slot decode.
+func (inc *IncrementalDecoder) Finalize(workers int) ([]*Result, []error, BatchStats) {
+	results, errs, stats := inc.finalize(workers)
+	d := inc.d
+	if d.obs.Enabled() {
+		d.cBatchWords.Add(int64(inc.slots))
+		d.cBatchRecov.Add(int64(stats.Recovered))
+		d.cBatchFallback.Add(int64(stats.Fallbacks))
+		if stats.CombinedOK {
+			d.cCombinedOK.Inc()
+		} else {
+			d.cCombinedFail.Inc()
+		}
+		if d.obs.TraceEnabled() {
+			d.obs.Emit("rs.batch",
+				obs.F("words", inc.slots),
+				obs.F("points", len(inc.order)),
+				obs.F("combined_ok", stats.CombinedOK),
+				obs.F("recovered", stats.Recovered),
+				obs.F("fallbacks", stats.Fallbacks))
+		}
+	}
+	return results, errs, stats
+}
+
+func (inc *IncrementalDecoder) finalize(workers int) ([]*Result, []error, BatchStats) {
+	inc.finalized = true
+	d := inc.d
+	n, k, S := len(d.xs), d.k, inc.slots
+	m := len(inc.order)
+	results := make([]*Result, S)
+	errs := make([]error, S)
+	var stats BatchStats
+	if m < k {
+		for s := range errs {
+			errs[s] = fmt.Errorf("reedsolomon: %d positions ingested, need at least k=%d", m, k)
+		}
+		return results, errs, stats
+	}
+	stats.CombinedOK = true
+	maxE := MaxErrors(m, k)
+	sorted := append([]int(nil), inc.order...)
+	sort.Ints(sorted)
+
+	// Decide each slot's path up front (a length comparison), so the
+	// fallback sub-decoder is built exactly once and only when needed.
+	needFallback := false
+	for s := 0; s < S; s++ {
+		if len(inc.mismatch[s]) > maxE {
+			needFallback = true
+			break
+		}
+	}
+	subDec := d
+	if needFallback && m != n {
+		subXs := make([]field.Element, m)
+		for t, pos := range sorted {
+			subXs[t] = d.xs[pos]
+		}
+		// The points are a subset of the validated parent points, so the
+		// construction cannot fail.
+		var err error
+		subDec, err = NewDecoder(subXs, k)
+		if err != nil {
+			for s := range errs {
+				errs[s] = err
+			}
+			return results, errs, stats
+		}
+	}
+
+	slot := func(s int) error {
+		if len(inc.mismatch[s]) <= maxE {
+			// The streamed candidate is a valid decoding: degree ≤ k−1 by
+			// construction and at most E disagreements with the ingested
+			// word (the interpolated positions agree exactly), so unique
+			// decoding pins it to the per-slot Decode result.
+			out := make(poly.Poly, k)
+			copy(out, inc.coeffs[s*k:(s+1)*k])
+			var errPos []int
+			if len(inc.mismatch[s]) > 0 {
+				errPos = append([]int(nil), inc.mismatch[s]...)
+				sort.Ints(errPos)
+			}
+			results[s] = &Result{Poly: coeffsToPoly(out), ErrorPositions: errPos}
+			return nil
+		}
+		ys := make([]field.Element, m)
+		for t, pos := range sorted {
+			ys[t] = inc.words[s*n+pos]
+		}
+		res, err := subDec.Decode(ys)
+		if err != nil {
+			errs[s] = err
+			return nil
+		}
+		var errPos []int
+		if len(res.ErrorPositions) > 0 {
+			errPos = make([]int, len(res.ErrorPositions))
+			for i, idx := range res.ErrorPositions {
+				errPos[i] = sorted[idx]
+			}
+		}
+		results[s] = &Result{Poly: res.Poly, ErrorPositions: errPos}
+		return nil
+	}
+	if w := parallel.Workers(workers); w <= 1 {
+		for s := 0; s < S; s++ {
+			_ = slot(s)
+		}
+	} else {
+		_ = parallel.ForEach(w, S, slot)
+	}
+	for s := 0; s < S; s++ {
+		if len(inc.mismatch[s]) <= maxE {
+			stats.Recovered++
+		} else {
+			stats.Fallbacks++
+		}
+	}
+	return results, errs, stats
+}

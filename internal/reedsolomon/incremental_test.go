@@ -1,0 +1,216 @@
+package reedsolomon
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/field"
+)
+
+// incRef decodes the ingested sub-word the authoritative way: a fresh
+// decoder over the sorted ingested positions, DecodeBatch on the
+// sub-words, error positions mapped back to parent space. The property
+// tests pin IncrementalDecoder to this reference for every arrival order.
+func incRef(t *testing.T, d *Decoder, words [][]field.Element, positions []int, workers int) ([]*Result, []error) {
+	t.Helper()
+	sorted := append([]int(nil), positions...)
+	sort.Ints(sorted)
+	subXs := make([]field.Element, len(sorted))
+	for i, pos := range sorted {
+		subXs[i] = d.xs[pos]
+	}
+	sub, err := NewDecoder(subXs, d.k)
+	if err != nil {
+		t.Fatalf("sub decoder: %v", err)
+	}
+	subWords := make([][]field.Element, len(words))
+	for s, w := range words {
+		sw := make([]field.Element, len(sorted))
+		for i, pos := range sorted {
+			sw[i] = w[pos]
+		}
+		subWords[s] = sw
+	}
+	results, errs, _ := sub.DecodeBatch(subWords, field.NewSeededSource(7), workers)
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		for i, idx := range res.ErrorPositions {
+			res.ErrorPositions[i] = sorted[idx]
+		}
+	}
+	return results, errs
+}
+
+func ingestAll(t *testing.T, inc *IncrementalDecoder, words [][]field.Element, order []int) {
+	t.Helper()
+	syms := make([]field.Element, len(words))
+	for _, pos := range order {
+		for s, w := range words {
+			syms[s] = w[pos]
+		}
+		if err := inc.Ingest(pos, syms); err != nil {
+			t.Fatalf("Ingest(%d): %v", pos, err)
+		}
+	}
+}
+
+func assertSameOutcomes(t *testing.T, label string, got, want []*Result, gotErrs, wantErrs []error) {
+	t.Helper()
+	for s := range want {
+		if (wantErrs[s] == nil) != (gotErrs[s] == nil) {
+			t.Fatalf("%s: slot %d error mismatch: got %v want %v", label, s, gotErrs[s], wantErrs[s])
+		}
+		if wantErrs[s] != nil {
+			continue
+		}
+		if !got[s].Poly.Equal(want[s].Poly) {
+			t.Fatalf("%s: slot %d poly mismatch:\n got %v\nwant %v", label, s, got[s].Poly, want[s].Poly)
+		}
+		if len(got[s].ErrorPositions) != len(want[s].ErrorPositions) {
+			t.Fatalf("%s: slot %d error positions: got %v want %v", label, s, got[s].ErrorPositions, want[s].ErrorPositions)
+		}
+		for i := range want[s].ErrorPositions {
+			if got[s].ErrorPositions[i] != want[s].ErrorPositions[i] {
+				t.Fatalf("%s: slot %d error positions: got %v want %v", label, s, got[s].ErrorPositions, want[s].ErrorPositions)
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesBatch is the pinned property: for every
+// prefix of every arrival order tried (with at least k arrivals), the
+// incremental decoder agrees bit-for-bit with DecodeBatch over the same
+// positions — polynomials, error positions (parent space), and error/ok
+// split — at every worker count.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	const n, k, S = 24, 8, 6
+	rng := rand.New(rand.NewSource(31))
+	xs, _ := batchWords(rng, n, k, S, 0, false)
+	d, err := NewDecoder(xs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxE := MaxErrors(n, k)
+	for _, e := range []int{0, 1, maxE, maxE + 2} {
+		for _, shared := range []bool{true, false} {
+			for trial := 0; trial < 4; trial++ {
+				_, words := batchWords(rng, n, k, S, e, shared)
+				order := rng.Perm(n)
+				for _, m := range []int{k, k + 1, k + 2*maxE, n} {
+					prefix := order[:m]
+					for _, workers := range []int{1, 2, 8} {
+						inc := d.NewIncremental(S)
+						ingestAll(t, inc, words, prefix)
+						if got := inc.Arrived(); got != m {
+							t.Fatalf("Arrived() = %d, want %d", got, m)
+						}
+						results, errs, stats := inc.Finalize(workers)
+						wantRes, wantErrs := incRef(t, d, words, prefix, workers)
+						label := fmt.Sprintf("e=%d shared=%v trial=%d m=%d workers=%d", e, shared, trial, m, workers)
+						assertSameOutcomes(t, label, results, wantRes, errs, wantErrs)
+						if !stats.CombinedOK {
+							t.Fatalf("%s: CombinedOK=false with m=%d >= k", label, m)
+						}
+						if stats.Recovered+stats.Fallbacks != S {
+							t.Fatalf("%s: stats %+v do not cover %d slots", label, stats, S)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalOrderIndependent pins that two different arrival orders
+// of the same position set produce identical results — the engine's
+// bit-identity invariant does not depend on network timing.
+func TestIncrementalOrderIndependent(t *testing.T) {
+	const n, k, S = 20, 7, 5
+	rng := rand.New(rand.NewSource(97))
+	xs, words := batchWords(rng, n, k, S, 2, true)
+	d, err := NewDecoder(xs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	positions := rng.Perm(n)[:k+5]
+	var base []*Result
+	var baseErrs []error
+	for trial := 0; trial < 6; trial++ {
+		order := append([]int(nil), positions...)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		inc := d.NewIncremental(S)
+		ingestAll(t, inc, words, order)
+		results, errs, _ := inc.Finalize(1)
+		if trial == 0 {
+			base, baseErrs = results, errs
+			continue
+		}
+		assertSameOutcomes(t, fmt.Sprintf("trial=%d", trial), results, base, errs, baseErrs)
+	}
+}
+
+// TestIncrementalFullPresenceMatchesDecodeBatch checks the m == n case
+// reuses the parent decoder and still agrees with a direct DecodeBatch.
+func TestIncrementalFullPresenceMatchesDecodeBatch(t *testing.T) {
+	const n, k, S = 16, 6, 4
+	rng := rand.New(rand.NewSource(5))
+	xs, words := batchWords(rng, n, k, S, MaxErrors(n, k), true)
+	d, err := NewDecoder(xs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := d.NewIncremental(S)
+	ingestAll(t, inc, words, rng.Perm(n))
+	results, errs, _ := inc.Finalize(2)
+	wantRes, wantErrs, _ := d.DecodeBatch(words, field.NewSeededSource(3), 2)
+	assertSameOutcomes(t, "full presence", results, wantRes, errs, wantErrs)
+}
+
+func TestIncrementalValidation(t *testing.T) {
+	const n, k, S = 10, 4, 3
+	rng := rand.New(rand.NewSource(11))
+	xs, words := batchWords(rng, n, k, S, 0, false)
+	d, err := NewDecoder(xs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := make([]field.Element, S)
+	for s, w := range words {
+		syms[s] = w[0]
+	}
+
+	inc := d.NewIncremental(S)
+	if err := inc.Ingest(-1, syms); err == nil {
+		t.Fatal("negative position accepted")
+	}
+	if err := inc.Ingest(n, syms); err == nil {
+		t.Fatal("out-of-range position accepted")
+	}
+	if err := inc.Ingest(0, syms[:S-1]); err == nil {
+		t.Fatal("short symbol slice accepted")
+	}
+	if err := inc.Ingest(0, syms); err != nil {
+		t.Fatalf("valid ingest rejected: %v", err)
+	}
+	if err := inc.Ingest(0, syms); err == nil {
+		t.Fatal("duplicate position accepted")
+	}
+
+	// Fewer than k arrivals: every slot errors, nothing decodes.
+	results, errs, stats := inc.Finalize(1)
+	for s := range errs {
+		if errs[s] == nil || results[s] != nil {
+			t.Fatalf("slot %d: want under-determined error, got %v / %v", s, errs[s], results[s])
+		}
+	}
+	if stats.CombinedOK || stats.Recovered != 0 || stats.Fallbacks != 0 {
+		t.Fatalf("under-determined stats: %+v", stats)
+	}
+	if err := inc.Ingest(1, syms); err == nil {
+		t.Fatal("ingest after finalize accepted")
+	}
+}

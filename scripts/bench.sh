@@ -21,6 +21,15 @@
 #                            instrumentation cost cannot creep into the
 #                            disabled path.
 #
+#   BENCH_pipeline.json    — the round-engine suite (DESIGN.md §14):
+#                            BenchmarkRoundPipelined vs
+#                            BenchmarkRoundLockstep under a seeded
+#                            straggler distribution (two vehicles sleep
+#                            40ms before every upload). benchreport
+#                            derives pipelined_vs_lockstep and enforces
+#                            the >=1.5x round-latency floor; the floor is
+#                            sleep-driven, so it holds on any core count.
+#
 #   BENCH_multicore.json   — (--matrix only) the speedup matrix: the
 #                            workers sweeps, the batch-decode suite and the
 #                            wire codec re-run at GOMAXPROCS 1/2/4 (capped
@@ -66,6 +75,7 @@ fi
 out="${BENCH_OUT:-BENCH_parallel.json}"
 batch_out="${BENCH_BATCH_OUT:-BENCH_batchdecode.json}"
 obs_out="${BENCH_OBS_OUT:-BENCH_obs.json}"
+pipe_out="${BENCH_PIPELINE_OUT:-BENCH_pipeline.json}"
 matrix_out="${BENCH_MATRIX_OUT:-BENCH_multicore.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -141,3 +151,21 @@ else
     echo "== benchreport -> $obs_out (no baseline yet)"
 fi
 go run ./cmd/benchreport -out "$obs_out" "${obs_compare_args[@]}" < "$raw"
+
+echo "== go test -bench pipeline suite -benchtime $benchtime"
+go test -run NONE -bench 'RoundPipelined|RoundLockstep' \
+    -benchtime "$benchtime" ./internal/node | tee "$raw"
+
+# The pipelined-vs-lockstep floor is driven by injected 40ms straggler
+# sleeps, not by parallel compute, so it is enforced even in --quick mode
+# and on single-core hosts.
+pipe_compare_args=()
+if [[ -f "$pipe_out" ]]; then
+    echo "== benchreport -> $pipe_out (regression gate vs previous, max +${max_regress})"
+    pipe_compare_args=(-compare "$pipe_out" -max-regress "$max_regress")
+else
+    echo "== benchreport -> $pipe_out (no baseline yet)"
+fi
+go run ./cmd/benchreport -out "$pipe_out" \
+    -min-ratio pipelined_vs_lockstep=1.5 \
+    "${pipe_compare_args[@]}" < "$raw"
