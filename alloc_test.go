@@ -7,6 +7,7 @@ import (
 	"repro/internal/approx"
 	"repro/internal/core"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/traffic"
 )
 
@@ -78,5 +79,21 @@ func TestAggregateAllocs(t *testing.T) {
 	}
 	if avg > 120 {
 		t.Errorf("Aggregate allocates %.1f times per call, want <= 120", avg)
+	}
+
+	// Trace-context propagation must be free when tracing is off: with no
+	// obs attached, a scheme carrying a span parent (the node engine sets
+	// one every round regardless) must allocate exactly what the plain
+	// scheme allocates — the parent is two stored uint64s, and the span
+	// emission path behind them is never reached.
+	trace := obs.TraceIDFromSeed(3)
+	s.SetSpanParent(obs.SpanContext{Trace: trace, Span: obs.DeriveSpan(trace, "node.round", 0)})
+	withParent := testing.AllocsPerRun(30, func() {
+		if _, err := s.Aggregate(ups); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if withParent != avg {
+		t.Errorf("SetSpanParent changed the untraced alloc count: %.1f with parent, %.1f without", withParent, avg)
 	}
 }

@@ -366,10 +366,12 @@ func BenchmarkAggregateBatch(b *testing.B) {
 // BenchmarkAggregateObs measures the observability layer's overhead on
 // the fusion centre's hot path: the BenchmarkAggregateBatch workload
 // with obs detached (mode=off), with counters and histograms only
-// (mode=metrics), and with the JSONL tracer also attached, writing to
-// io.Discard (mode=trace). scripts/bench.sh gates mode=off against the
-// checked-in baseline so instrumentation cost can never creep into the
-// disabled path.
+// (mode=metrics), with the JSONL tracer also attached, writing to
+// io.Discard (mode=trace), and with trace-context propagation on top —
+// a round span parent installed via SetSpanParent so every
+// core.aggregate span carries trace/span/parent fields (mode=propagate).
+// scripts/bench.sh gates mode=off against the checked-in baseline so
+// instrumentation cost can never creep into the disabled path.
 func BenchmarkAggregateObs(b *testing.B) {
 	const v, m, degree, slots = 40, 8, 2, 32
 	act := approx.SymmetricSigmoid()
@@ -390,13 +392,13 @@ func BenchmarkAggregateObs(b *testing.B) {
 		b.Fatal(err)
 	}
 	ref := ds.Features()
-	for _, mode := range []string{"off", "metrics", "trace"} {
+	for _, mode := range []string{"off", "metrics", "trace", "propagate"} {
 		b.Run("mode="+mode, func(b *testing.B) {
 			var o *obs.Obs
 			switch mode {
 			case "metrics":
 				o = obs.New(obs.NewRegistry(), nil, obs.NewRealClock())
-			case "trace":
+			case "trace", "propagate":
 				clk := obs.NewRealClock()
 				o = obs.New(obs.NewRegistry(), obs.NewTracer(io.Discard, clk), clk)
 			}
@@ -406,6 +408,10 @@ func BenchmarkAggregateObs(b *testing.B) {
 			})
 			if err != nil {
 				b.Fatal(err)
+			}
+			if mode == "propagate" {
+				trace := obs.TraceIDFromSeed(3)
+				s.SetSpanParent(obs.SpanContext{Trace: trace, Span: obs.DeriveSpan(trace, "node.round", 0)})
 			}
 			if err := s.BeginRound(net); err != nil {
 				b.Fatal(err)

@@ -255,6 +255,35 @@ func TestLintSelfClean(t *testing.T) {
 	}
 }
 
+// TestAllowedPackageCarveOut pins the allow-list mechanism from the
+// other side: the same fixture sources that produce diagnostics above
+// must produce NONE when their package path is in the analyzer's allowed
+// map — the mechanism the defaults use to exempt internal/obs/debugz
+// (a net/http accept loop and an operator-facing /healthz wall-clock
+// stamp) without per-line suppressions.
+func TestAllowedPackageCarveOut(t *testing.T) {
+	tests := []struct {
+		fixture  string
+		analyzer func(allowed map[string]bool) *Analyzer
+	}{
+		{"rawgo", newRawGoAnalyzer},
+		{"wallclock", newWallClockAnalyzer},
+	}
+	for _, tc := range tests {
+		t.Run(tc.fixture, func(t *testing.T) {
+			pkg := loadFixture(t, tc.fixture)
+			diags, err := runAnalyzers([]*Package{pkg},
+				[]*Analyzer{tc.analyzer(map[string]bool{pkg.Path: true})})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diags {
+				t.Errorf("allowed package still diagnosed: %s", d)
+			}
+		})
+	}
+}
+
 // TestDiagnosticOrdering checks the driver sorts findings by position.
 func TestDiagnosticOrdering(t *testing.T) {
 	pkg := loadFixture(t, "fieldarith")

@@ -37,12 +37,15 @@ func newRawGoAnalyzer(allowed map[string]bool) *Analyzer {
 }
 
 // defaultRawGoAllowed lists the packages allowed to start goroutines
-// directly: the worker pool itself and the networking layers whose
-// goroutine-per-connection structure is the point.
+// directly: the worker pool itself, the networking layers whose
+// goroutine-per-connection structure is the point, and the debug server
+// whose accept loop runs for the life of the process (net/http's serving
+// model — there is nothing to join it to).
 func defaultRawGoAllowed() map[string]bool {
 	return map[string]bool{
-		"repro/internal/parallel":  true,
-		"repro/internal/transport": true,
-		"repro/internal/node":      true,
+		"repro/internal/parallel":   true,
+		"repro/internal/transport":  true,
+		"repro/internal/node":       true,
+		"repro/internal/obs/debugz": true,
 	}
 }

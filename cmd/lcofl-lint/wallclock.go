@@ -70,10 +70,13 @@ func newWallClockAnalyzer(allowed map[string]bool) *Analyzer {
 }
 
 // defaultWallClockAllowed lists the packages permitted to read the wall
-// clock: only the observability layer, whose NewRealClock is the single
-// sanctioned bridge to real time.
+// clock: the observability layer, whose NewRealClock is the single
+// sanctioned bridge to real time, and its debug server, whose /healthz
+// uptime stamp is operator-facing wall time by design (nothing
+// deterministic consumes it).
 func defaultWallClockAllowed() map[string]bool {
 	return map[string]bool{
-		"repro/internal/obs": true,
+		"repro/internal/obs":        true,
+		"repro/internal/obs/debugz": true,
 	}
 }

@@ -24,9 +24,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/adversary"
@@ -38,6 +41,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/node"
 	"repro/internal/obs"
+	"repro/internal/obs/debugz"
 	"repro/internal/parallel"
 	"repro/internal/plot"
 	"repro/internal/traffic"
@@ -145,17 +149,46 @@ func addProfileFlags(fs *flag.FlagSet) func() (stop func() error, err error) {
 	}
 }
 
-// addObsFlags registers -trace/-metrics and returns a builder. The
-// builder yields the run's Obs (nil when neither flag is set, so the
-// whole stack stays uninstrumented) and a close function that stops the
-// runtime sampler, publishes the worker-pool counters, flushes the
-// trace, and writes the metrics snapshot. See DESIGN.md §10.
-func addObsFlags(fs *flag.FlagSet) func() (*obs.Obs, func() error, error) {
+// watchSignals installs a SIGINT/SIGTERM handler that runs flush —
+// the once-wrapped observability shutdown — before exiting, so an
+// interrupted session still yields a valid (flushed) trace and a final
+// metrics snapshot instead of a truncated file.
+func watchSignals(flush func() error) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	//lint:ignore rawgo the signal watcher lives for the whole process and exits it; nothing joins it
+	go func() {
+		sig := <-ch
+		if err := flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "lcofl:", err)
+		}
+		code := 130 // 128 + SIGINT
+		if sig == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
+}
+
+// addObsFlags registers -trace/-metrics (plus -debug-addr when
+// withDebug is set) and returns a builder. The builder yields the run's
+// Obs (nil when no flag is set, so the whole stack stays
+// uninstrumented), the live introspection server (nil without
+// -debug-addr), and a close function that stops the runtime sampler,
+// publishes the worker-pool counters, flushes the trace, and writes the
+// metrics snapshot. The close function is idempotent and also wired to
+// SIGINT/SIGTERM, so interrupted runs flush too. See DESIGN.md §10/§15.
+func addObsFlags(fs *flag.FlagSet, withDebug bool) func() (*obs.Obs, *debugz.Server, func() error, error) {
 	trace := fs.String("trace", "", "write a JSONL event trace to this file (summarise with cmd/tracereport)")
 	metricsPath := fs.String("metrics", "", "write a JSON counter/gauge/histogram snapshot to this file on exit")
-	return func() (*obs.Obs, func() error, error) {
-		if *trace == "" && *metricsPath == "" {
-			return nil, func() error { return nil }, nil
+	debugAddr := new(string)
+	if withDebug {
+		debugAddr = fs.String("debug-addr", "",
+			"serve the live introspection plane (/healthz /metricz /roundz /profilez, net/http/pprof) on this address")
+	}
+	return func() (*obs.Obs, *debugz.Server, func() error, error) {
+		if *trace == "" && *metricsPath == "" && *debugAddr == "" {
+			return nil, nil, func() error { return nil }, nil
 		}
 		reg := obs.NewRegistry()
 		clock := obs.NewRealClock()
@@ -164,15 +197,35 @@ func addObsFlags(fs *flag.FlagSet) func() (*obs.Obs, func() error, error) {
 		if *trace != "" {
 			f, err := os.Create(*trace)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			traceFile = f
 			tr = obs.NewTracer(f, clock)
 		}
 		o := obs.New(reg, tr, clock)
 		sampler := obs.NewRuntimeSampler(reg)
+		var dbg *debugz.Server
+		if *debugAddr != "" {
+			// Periodic heap profiles back /profilez between scrapes.
+			sampler.EnableProfiles(clock)
+			srv, err := debugz.Start(debugz.Config{
+				Addr:     *debugAddr,
+				Registry: reg,
+				Sampler:  sampler,
+				Clock:    clock,
+			})
+			if err != nil {
+				if traceFile != nil {
+					_ = traceFile.Close()
+				}
+				return nil, nil, nil, err
+			}
+			dbg = srv
+			fmt.Fprintf(os.Stderr, "lcofl: debug server on http://%s\n", dbg.Addr())
+		}
 		sampler.Start(obs.DefaultSampleInterval)
 		closeObs := func() error {
+			firstErr := dbg.Close()
 			sampler.Stop()
 			ps := parallel.Snapshot()
 			reg.Gauge("parallel.pool_runs").Set(ps.PoolRuns)
@@ -180,9 +233,8 @@ func addObsFlags(fs *flag.FlagSet) func() (*obs.Obs, func() error, error) {
 			reg.Gauge("parallel.tasks").Set(ps.Tasks)
 			reg.Gauge("parallel.workers_spawned").Set(ps.WorkersSpawned)
 			reg.Gauge("parallel.group_tasks").Set(ps.GroupTasks)
-			var firstErr error
 			if traceFile != nil {
-				if err := tr.Flush(); err != nil {
+				if err := tr.Flush(); err != nil && firstErr == nil {
 					firstErr = err
 				}
 				if err := traceFile.Close(); err != nil && firstErr == nil {
@@ -206,7 +258,16 @@ func addObsFlags(fs *flag.FlagSet) func() (*obs.Obs, func() error, error) {
 			}
 			return firstErr
 		}
-		return o, closeObs, nil
+		// Both the deferred command-exit path and the signal handler call
+		// the close function; the Once keeps the flush single-shot.
+		var once sync.Once
+		var closeErr error
+		closeOnce := func() error {
+			once.Do(func() { closeErr = closeObs() })
+			return closeErr
+		}
+		watchSignals(closeOnce)
+		return o, dbg, closeOnce, nil
 	}
 }
 
@@ -218,7 +279,7 @@ func cmdRun(args []string) (retErr error) {
 	repeat := fs.Int("repeat", 1, "repeat over this many consecutive seeds and report mean ± std")
 	asPlot := fs.Bool("plot", false, "render an ASCII chart instead of TSV")
 	profiles := addProfileFlags(fs)
-	observe := addObsFlags(fs)
+	observe := addObsFlags(fs, false)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -229,7 +290,7 @@ func cmdRun(args []string) (retErr error) {
 	if err != nil {
 		return err
 	}
-	ob, closeObs, err := observe()
+	ob, _, closeObs, err := observe()
 	if err != nil {
 		return err
 	}
@@ -282,14 +343,14 @@ func cmdAll(args []string) (retErr error) {
 	o := addOptionFlags(fs)
 	outdir := fs.String("outdir", "results", "output directory")
 	profiles := addProfileFlags(fs)
-	observe := addObsFlags(fs)
+	observe := addObsFlags(fs, false)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
 		return err
 	}
-	ob, closeObs, err := observe()
+	ob, _, closeObs, err := observe()
 	if err != nil {
 		return err
 	}
@@ -333,11 +394,11 @@ func cmdDemo(args []string) (retErr error) {
 	vehicles := fs.Int("vehicles", 40, "fleet size")
 	malicious := fs.Float64("malicious", 0.3, "malicious fraction")
 	seed := fs.Int64("seed", 1, "seed")
-	observe := addObsFlags(fs)
+	observe := addObsFlags(fs, false)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ob, closeObs, err := observe()
+	ob, _, closeObs, err := observe()
 	if err != nil {
 		return err
 	}
@@ -505,11 +566,11 @@ func cmdServe(args []string) (retErr error) {
 	seed := fs.Int64("seed", 1, "shared scenario seed")
 	checkpoint := fs.String("checkpoint", "", "write the final shared model as JSON")
 	pipeline := addPipelineFlags(fs)
-	observe := addObsFlags(fs)
+	observe := addObsFlags(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ob, closeObs, err := observe()
+	ob, dbg, closeObs, err := observe()
 	if err != nil {
 		return err
 	}
@@ -545,6 +606,8 @@ func cmdServe(args []string) (retErr error) {
 	if err != nil {
 		return err
 	}
+	// /roundz serves the engine's live snapshot once the session starts.
+	dbg.SetRoundz(func() any { return srv.Status() })
 	l, err := transport.ListenTCP(*addr)
 	if err != nil {
 		return err
@@ -683,11 +746,11 @@ func cmdVehicle(args []string) (retErr error) {
 	retries := fs.Int("retries", 5, "consecutive failed connection attempts before giving up")
 	dialTimeout := fs.Duration("dial-timeout", transport.DefaultDialTimeout, "per-attempt connection timeout")
 	buildChaos := addChaosFlag(fs)
-	observe := addObsFlags(fs)
+	observe := addObsFlags(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ob, closeObs, err := observe()
+	ob, _, closeObs, err := observe()
 	if err != nil {
 		return err
 	}
@@ -759,11 +822,11 @@ func cmdDist(args []string) (retErr error) {
 	retries := fs.Int("retries", 5, "per-vehicle consecutive failed connection attempts before giving up")
 	pipeline := addPipelineFlags(fs)
 	buildChaos := addChaosFlag(fs)
-	observe := addObsFlags(fs)
+	observe := addObsFlags(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ob, closeObs, err := observe()
+	ob, dbg, closeObs, err := observe()
 	if err != nil {
 		return err
 	}
@@ -809,6 +872,7 @@ func cmdDist(args []string) (retErr error) {
 	if err != nil {
 		return err
 	}
+	dbg.SetRoundz(func() any { return srv.Status() })
 	var plan *adversary.Plan
 	if *malicious > 0 {
 		plan, err = adversary.NewPlan(*vehicles, *malicious, adversary.ConstantLie{Value: 5}, *seed+6)

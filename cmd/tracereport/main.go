@@ -6,13 +6,18 @@
 // Usage:
 //
 //	tracereport [-json] [-check-metrics metrics.json] [trace.jsonl]
+//	tracereport -merge fusion.jsonl [vehicle.jsonl ...]
 //
 // With no file argument the trace is read from stdin. -json replaces
 // the text tables with a machine-readable summary. -check-metrics
 // cross-checks the trace-derived counts against the counter snapshot
-// written by `lcofl -metrics` and fails when the two ledgers disagree —
-// CI runs this so the tracer and the registry can never drift apart
-// silently.
+// written by `lcofl -metrics` — both exact event counts against the
+// registry counters and exact stage-span duration sums against the
+// histogram sums — and fails when the two ledgers disagree; CI runs
+// this so the tracer and the registry can never drift apart silently.
+// -merge combines the fusion centre's trace with per-vehicle traces
+// from a distributed run into one causally ordered per-round timeline
+// on the fusion clock (see merge.go).
 package main
 
 import (
@@ -40,8 +45,15 @@ func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("tracereport", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "emit the summary as JSON instead of text tables")
 	checkMetrics := fs.String("check-metrics", "", "cross-check against this `lcofl -metrics` snapshot and fail on disagreement")
+	merge := fs.Bool("merge", false, "merge a fusion trace (first file) with per-vehicle traces into one fleet timeline")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *merge {
+		if *asJSON || *checkMetrics != "" {
+			return fmt.Errorf("-merge cannot be combined with -json or -check-metrics")
+		}
+		return runMerge(fs.Args(), w)
 	}
 	var r io.Reader = os.Stdin
 	name := "stdin"
@@ -141,15 +153,19 @@ type summary struct {
 	// PipelineOverlapRatio is Σ overlap_ns over Σ node.round dur_ns — the
 	// fraction of total round time spent ingesting uploads concurrently
 	// with the rest of the round.
-	PipelineRounds       int                      `json:"pipeline_rounds"`
-	EarlyCloses          int64                    `json:"early_closes"`
-	PipelineOverlapRatio float64                  `json:"pipeline_overlap_ratio"`
-	Decode               decodeSummary            `json:"decode"`
-	Recovery             recoverySummary          `json:"recovery"`
-	Chaos                chaosSummary             `json:"chaos"`
-	Stages               map[string]*stageStats   `json:"stages"`
-	Peers                map[string]*peerStats    `json:"peers"`
-	Vehicles             map[string]*vehicleStats `json:"vehicles"`
+	PipelineRounds       int             `json:"pipeline_rounds"`
+	EarlyCloses          int64           `json:"early_closes"`
+	PipelineOverlapRatio float64         `json:"pipeline_overlap_ratio"`
+	Decode               decodeSummary   `json:"decode"`
+	Recovery             recoverySummary `json:"recovery"`
+	Chaos                chaosSummary    `json:"chaos"`
+	// SpanSums holds the exact total duration per span event — the raw
+	// Σ dur_ns, unkeyed by round — paired by crossCheck against the
+	// matching histogram's sum field.
+	SpanSums map[string]int64         `json:"span_sum_ns,omitempty"`
+	Stages   map[string]*stageStats   `json:"stages"`
+	Peers    map[string]*peerStats    `json:"peers"`
+	Vehicles map[string]*vehicleStats `json:"vehicles"`
 }
 
 // num reads a numeric field; JSON numbers decode as float64.
@@ -165,6 +181,7 @@ func str(rec map[string]any, key string) string {
 
 func summarize(r io.Reader) (*summary, error) {
 	sum := &summary{
+		SpanSums: map[string]int64{},
 		Stages:   map[string]*stageStats{},
 		Peers:    map[string]*peerStats{},
 		Vehicles: map[string]*vehicleStats{},
@@ -198,6 +215,7 @@ func summarize(r io.Reader) (*summary, error) {
 		}
 		sum.Events++
 		if d, ok := num(rec, "dur_ns"); ok {
+			sum.SpanSums[ev] += d
 			if round, ok := num(rec, "round"); ok {
 				m := roundDurs[ev]
 				if m == nil {
@@ -349,7 +367,11 @@ func crossCheck(sum *summary, metricsPath string) error {
 		return err
 	}
 	var snap struct {
-		Counters map[string]int64 `json:"counters"`
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]struct {
+			Count int64 `json:"count"`
+			Sum   int64 `json:"sum"`
+		} `json:"histograms"`
 	}
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return fmt.Errorf("%s: %w", metricsPath, err)
@@ -384,6 +406,38 @@ func crossCheck(sum *summary, metricsPath string) error {
 		if got := snap.Counters[c.counter]; got != c.trace {
 			return fmt.Errorf("trace disagrees with %s: %s = %d in counters, %d derived from trace",
 				metricsPath, c.counter, got, c.trace)
+		}
+	}
+	// Histograms and spans observe the SAME measured interval through
+	// independent sinks, so when a run records both (-trace and -metrics
+	// together) the histogram's sum must equal the trace's Σ dur_ns
+	// exactly. fl.train_ns is the odd one out: the fl layer emits the
+	// per-vehicle training time as a train_ns field on fl.vehicle events
+	// rather than as a span. Skipped when the snapshot predates the
+	// histogram (absent key), since the counter checks above still hold.
+	var flTrainNs int64
+	for _, v := range sum.Vehicles {
+		flTrainNs += v.TrainNs
+	}
+	histChecks := []struct {
+		hist  string
+		trace int64
+	}{
+		{"core.aggregate_ns", sum.SpanSums["core.aggregate"]},
+		{"lagrange.encode_ns", sum.SpanSums["lagrange.encode"]},
+		{"node.train_ns", sum.SpanSums["node.train"]},
+		{"node.encode_ns", sum.SpanSums["node.encode"]},
+		{"node.upload_ns", sum.SpanSums["node.upload"]},
+		{"fl.train_ns", flTrainNs},
+	}
+	for _, c := range histChecks {
+		h, ok := snap.Histograms[c.hist]
+		if !ok {
+			continue
+		}
+		if h.Sum != c.trace {
+			return fmt.Errorf("trace disagrees with %s: histogram %s sum = %d ns, %d ns derived from trace spans",
+				metricsPath, c.hist, h.Sum, c.trace)
 		}
 	}
 	return nil

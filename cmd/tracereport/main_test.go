@@ -155,9 +155,27 @@ func TestCrossCheck(t *testing.T) {
 		"rs.batch.words":8,"rs.batch.recovered":6,"rs.batch.fallbacks":2,
 		"node.corrupt_frames":2,"node.retransmits":1,"node.rejoins":1,"node.reconnects":1,
 		"node.degraded_rounds":1,"node.client_corrupt_frames":1,
-		"chaos.drops":1,"chaos.corrupts":2,"chaos.delays":1,"chaos.crashes":1}}`
+		"chaos.drops":1,"chaos.corrupts":2,"chaos.delays":1,"chaos.crashes":1},
+		"histograms":{"core.aggregate_ns":{"count":3,"sum":800},"fl.train_ns":{"count":3,"sum":2100}}}`
 	if err := crossCheck(sum, writeTemp(t, "good.json", good)); err != nil {
 		t.Fatalf("consistent snapshot rejected: %v", err)
+	}
+	// Histogram sums are pinned to the trace-span duration sums: the
+	// sample trace carries three core.aggregate spans of 400+250+150 ns
+	// and per-vehicle training times of 500+700+900 ns, so a histogram
+	// whose sum drifts from either total must fail the gate. A snapshot
+	// without the histogram is still accepted (older metrics files).
+	badHist := strings.Replace(good, `"core.aggregate_ns":{"count":3,"sum":800}`,
+		`"core.aggregate_ns":{"count":3,"sum":801}`, 1)
+	err = crossCheck(sum, writeTemp(t, "bad-hist.json", badHist))
+	if err == nil || !strings.Contains(err.Error(), "core.aggregate_ns") {
+		t.Fatalf("drifting histogram sum accepted: %v", err)
+	}
+	badHist = strings.Replace(good, `"fl.train_ns":{"count":3,"sum":2100}`,
+		`"fl.train_ns":{"count":3,"sum":2000}`, 1)
+	err = crossCheck(sum, writeTemp(t, "bad-train-hist.json", badHist))
+	if err == nil || !strings.Contains(err.Error(), "fl.train_ns") {
+		t.Fatalf("drifting train histogram sum accepted: %v", err)
 	}
 	bad := strings.Replace(good, `"rs.batch.fallbacks":2`, `"rs.batch.fallbacks":5`, 1)
 	err = crossCheck(sum, writeTemp(t, "bad.json", bad))

@@ -149,7 +149,16 @@ type Scheme struct {
 	cAggregates     *obs.Counter
 	cFlagged        *obs.Counter
 	hAggregateNs    *obs.Histogram
+	spanParent      obs.SpanContext
 }
+
+// SetSpanParent links the next Aggregate's core.aggregate span under the
+// given parent — the round span of whichever engine drives the scheme —
+// so a merged timeline can nest the decode inside its round. The zero
+// context detaches. Call between rounds, from the goroutine that calls
+// Aggregate (the field is unsynchronised like the per-round report
+// fields).
+func (s *Scheme) SetSpanParent(ctx obs.SpanContext) { s.spanParent = ctx }
 
 // NewScheme quantises and Lagrange-encodes the reference features and
 // fixes the encoding elements. len(refX) must be a positive multiple of M
@@ -374,12 +383,18 @@ func (s *Scheme) Aggregate(uploads [][]float64) ([]float64, error) {
 			elapsed := s.obs.Now() - start
 			s.cAggregates.Inc()
 			s.hAggregateNs.Observe(int64(elapsed))
-			s.obs.EmitSpan("core.aggregate", start, elapsed,
+			fields := []obs.Field{
 				obs.F("slots", s.slots),
 				obs.F("decode_failures", s.DecodeFailures),
 				obs.F("batch_recovered", s.BatchRecovered),
 				obs.F("batch_fallbacks", s.BatchFallbacks),
-				obs.F("flagged", len(s.SuspectedMalicious())))
+				obs.F("flagged", len(s.SuspectedMalicious())),
+			}
+			if p := s.spanParent; p.Valid() {
+				span := obs.DeriveSpan(p.Trace, "core.aggregate", p.Span)
+				fields = append(fields, obs.CtxFields(obs.SpanContext{Trace: p.Trace, Span: span}, p.Span)...)
+			}
+			s.obs.EmitSpan("core.aggregate", start, elapsed, fields...)
 		}()
 	}
 	s.DecodeFailures = 0

@@ -144,11 +144,14 @@ type System struct {
 	round    int
 
 	// Observability handles, resolved once in NewSystem so the per-round
-	// and per-vehicle paths never touch the registry.
+	// and per-vehicle paths never touch the registry. trace is the
+	// session trace ID (obs.TraceIDFromSeed(cfg.Seed)); zero with
+	// tracing off.
 	obs      *obs.Obs
 	cRounds  *obs.Counter
 	cDropped *obs.Counter
 	hTrainNs *obs.Histogram
+	trace    uint64
 }
 
 // NewSystem builds the deployment: one vehicle per local dataset, a shared
@@ -189,6 +192,9 @@ func NewSystem(cfg Config, localData [][]nn.Sample, refX [][]float64, act approx
 		s.cRounds = cfg.Obs.Counter("fl.rounds")
 		s.cDropped = cfg.Obs.Counter("fl.dropped_scalars")
 		s.hTrainNs = cfg.Obs.Histogram("fl.train_ns", obs.LatencyBuckets())
+		if cfg.Obs.TraceEnabled() {
+			s.trace = obs.TraceIDFromSeed(cfg.Seed)
+		}
 	}
 	for i, data := range localData {
 		if len(data) == 0 {
@@ -304,7 +310,16 @@ func (s *System) RunRound(scheme Scheme, plan *adversary.Plan, ch channel.Model)
 
 	stats := &RoundStats{Round: s.round + 1}
 	uploads := make([][]float64, len(s.vehicles))
-	roundSpan := s.obs.Start("fl.round", obs.F("round", stats.Round), obs.F("scheme", scheme.Name()))
+	// roundCtx is the round's span context; every span this round emits
+	// parents under it, and the scheme's core.aggregate span joins the
+	// same tree via SetSpanParent. Zero with tracing off.
+	var roundCtx obs.SpanContext
+	roundFields := []obs.Field{obs.F("round", stats.Round), obs.F("scheme", scheme.Name())}
+	if s.obs.TraceEnabled() {
+		roundCtx = obs.SpanContext{Trace: s.trace, Span: obs.DeriveSpan(s.trace, "fl.round", uint64(stats.Round))}
+		roundFields = append(roundFields, obs.CtxFields(roundCtx, 0)...)
+	}
+	roundSpan := s.obs.Start("fl.round", roundFields...)
 	s.obs.Emit("round.start", obs.F("round", stats.Round), obs.F("vehicles", len(s.vehicles)))
 
 	// Steps 1–3a: broadcast, local training (eq. 1), and honest upload,
@@ -352,11 +367,15 @@ func (s *System) RunRound(scheme Scheme, plan *adversary.Plan, ch channel.Model)
 		for i, v := range s.vehicles {
 			s.hTrainNs.Observe(trainNs[i])
 			if s.obs.TraceEnabled() {
-				s.obs.Emit("fl.vehicle",
+				vehicleCtx := obs.SpanContext{Trace: s.trace,
+					Span: obs.DeriveSpan(s.trace, "fl.vehicle", uint64(stats.Round), uint64(v.ID))}
+				fields := append([]obs.Field{
 					obs.F("round", stats.Round),
 					obs.F("vehicle", v.ID),
 					obs.F("train_ns", trainNs[i]),
-					obs.F("loss", losses[i]))
+					obs.F("loss", losses[i]),
+				}, obs.CtxFields(vehicleCtx, roundCtx.Span)...)
+				s.obs.Emit("fl.vehicle", fields...)
 			}
 		}
 	}
@@ -388,8 +407,19 @@ func (s *System) RunRound(scheme Scheme, plan *adversary.Plan, ch channel.Model)
 	}
 	stats.MeanLocalLoss = lossSum / float64(len(s.vehicles))
 
-	// Step 4: aggregation and distillation update.
-	aggSpan := s.obs.Start("fl.aggregate", obs.F("round", stats.Round))
+	// Step 4: aggregation and distillation update. The scheme's own
+	// core.aggregate span (when it has one) nests under this fl.aggregate
+	// span via SetSpanParent.
+	aggFields := []obs.Field{obs.F("round", stats.Round)}
+	var aggCtx obs.SpanContext
+	if roundCtx.Valid() {
+		aggCtx = obs.SpanContext{Trace: s.trace, Span: obs.DeriveSpan(s.trace, "fl.aggregate", uint64(stats.Round))}
+		aggFields = append(aggFields, obs.CtxFields(aggCtx, roundCtx.Span)...)
+	}
+	if sp, ok := scheme.(interface{ SetSpanParent(obs.SpanContext) }); ok {
+		sp.SetSpanParent(aggCtx)
+	}
+	aggSpan := s.obs.Start("fl.aggregate", aggFields...)
 	targets, err := scheme.Aggregate(uploads)
 	aggSpan.End()
 	if err != nil {

@@ -1,10 +1,12 @@
 package node
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -12,6 +14,14 @@ import (
 // the server report. Vehicles dial with the same buffering options the
 // listener hands out.
 func runOverTCP(t *testing.T, s *session, opts transport.Options) *Report {
+	t.Helper()
+	return runOverTCPObs(t, s, opts, nil)
+}
+
+// runOverTCPObs is runOverTCP with an observability handle attached to
+// every vehicle session (nil = plain vehicles), so propagation-enabled
+// interop can be exercised end to end.
+func runOverTCPObs(t *testing.T, s *session, opts transport.Options, vo *obs.Obs) *Report {
 	t.Helper()
 	l, err := transport.ListenTCPOptions("127.0.0.1:0", opts)
 	if err != nil {
@@ -38,7 +48,12 @@ func runOverTCP(t *testing.T, s *session, opts transport.Options) *Report {
 		wg.Add(1)
 		go func(i int, conn transport.Conn) {
 			defer wg.Done()
-			if err := RunVehicle(conn, s.clients[i]); err != nil {
+			sess, err := newVehicleSession(s.clients[i], vo)
+			if err != nil {
+				t.Errorf("vehicle %d: %v", i, err)
+				return
+			}
+			if err := sess.run(conn); err != nil {
 				t.Errorf("vehicle %d: %v", i, err)
 			}
 		}(i, conn)
@@ -92,6 +107,41 @@ func TestMixedVersionSession(t *testing.T) {
 		if pureReport.FinalParams[i] != mixedReport.FinalParams[i] {
 			t.Fatalf("param %d differs: %v (all-v3) vs %v (mixed)", i,
 				pureReport.FinalParams[i], mixedReport.FinalParams[i])
+		}
+	}
+
+	// ISSUE 9 extension: the same mixed fleet with trace propagation on —
+	// both sides tracing, so Setup/Broadcast/Upload frames carry the
+	// session trace context (JSON fallback on the v2 and v3 connections,
+	// binary ctx kinds at v4) — must still produce the identical model.
+	reg := obs.NewRegistry()
+	var trace bytes.Buffer
+	clk := &obs.ManualClock{}
+	o := obs.New(reg, obs.NewTracer(&trace, clk), clk)
+	prop := buildSessionObs(t, 10, 3, 0, o)
+	for i := range prop.clients {
+		switch i % 3 {
+		case 0:
+			prop.clients[i].ForceVersion = 2
+		case 1:
+			prop.clients[i].ForceVersion = 3
+		}
+	}
+	propReport := runOverTCPObs(t, prop, opts, o)
+	if propReport.Rounds != 3 || propReport.Stragglers != 0 || propReport.RecvErrors != 0 {
+		t.Fatalf("propagated session not clean: %+v", propReport)
+	}
+	for i := range pureReport.FinalParams {
+		if pureReport.FinalParams[i] != propReport.FinalParams[i] {
+			t.Fatalf("param %d differs: %v (plain) vs %v (propagation on)", i,
+				pureReport.FinalParams[i], propReport.FinalParams[i])
+		}
+	}
+	// The propagation must actually have happened: vehicle-side stage
+	// spans carry the fusion round span as their parent.
+	for _, key := range []string{`"ev":"node.ingest"`, `"ev":"node.train"`, `"parent":`} {
+		if !bytes.Contains(trace.Bytes(), []byte(key)) {
+			t.Fatalf("propagated session trace missing %s", key)
 		}
 	}
 }

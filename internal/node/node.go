@@ -145,6 +145,14 @@ type Server struct {
 	done      bool       // guarded by mu
 	finRounds int        // guarded by mu
 
+	// trace is the session trace ID every process joins
+	// (obs.TraceIDFromSeed(Scheme.Seed)); zero with tracing off. Set
+	// once at the top of Run, read only by the run goroutine.
+	trace uint64
+
+	statusMu sync.Mutex // guards status
+	status   Status     // guarded by statusMu
+
 	// Observability handles, resolved once in NewServer.
 	obs         *obs.Obs
 	cRecvErrors *obs.Counter
@@ -159,9 +167,61 @@ type Server struct {
 
 // rejoinReq is a reconnected, handshaked vehicle awaiting revival.
 type rejoinReq struct {
-	id   int
-	ver  int // negotiated wire version for this connection
-	conn transport.Conn
+	id      int
+	ver     int // negotiated wire version for this connection
+	conn    transport.Conn
+	helloNs int64 // server clock when the hello arrived (0 untraced)
+}
+
+// Status is a point-in-time snapshot of the round engine, served live by
+// the debugz introspection plane (/roundz). All fields describe the
+// moment of the call; Behind lists the vehicles currently outpaced by a
+// budget close, sorted.
+type Status struct {
+	// Phase is handshake, collect, aggregate, or done.
+	Phase string `json:"phase"`
+	// Round is the current (1-based) round; Rounds the configured total.
+	Round  int `json:"round"`
+	Rounds int `json:"rounds"`
+	// RecoverK is the scheme's RS decode threshold K; BudgetTarget is
+	// K + D for the round's effective wait budget D (0 = wait for all);
+	// WaitBudget is that effective D (-1 = wait for all).
+	RecoverK     int `json:"recover_k"`
+	WaitBudget   int `json:"wait_budget"`
+	BudgetTarget int `json:"budget_target"`
+	// Arrived and Outstanding count this round's uploads landed and
+	// still owed.
+	Arrived     int `json:"arrived"`
+	Outstanding int `json:"outstanding"`
+	// PipelineWindow and AdaptiveBudget echo the engine config; Behind
+	// lists vehicles outpaced by a budget close.
+	PipelineWindow int   `json:"pipeline_window"`
+	AdaptiveBudget bool  `json:"adaptive_budget"`
+	Behind         []int `json:"behind,omitempty"`
+	// Cumulative recovery tallies, mirroring the Report fields.
+	Stragglers     int `json:"stragglers"`
+	Rejoins        int `json:"rejoins"`
+	DegradedRounds int `json:"degraded_rounds"`
+	// TraceID is the session trace (empty with tracing off).
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// Status returns the engine snapshot. Safe from any goroutine while Run
+// executes — the debugz /roundz handler calls it on HTTP goroutines.
+func (s *Server) Status() Status {
+	s.statusMu.Lock()
+	defer s.statusMu.Unlock()
+	st := s.status
+	st.Behind = append([]int(nil), s.status.Behind...)
+	return st
+}
+
+// setStatus applies one mutation to the live status snapshot. The
+// closure runs with statusMu held and must stay cheap.
+func (s *Server) setStatus(mutate func(*Status)) {
+	s.statusMu.Lock()
+	mutate(&s.status)
+	s.statusMu.Unlock()
 }
 
 // NewServer builds the shared model and the coding scheme.
@@ -232,16 +292,20 @@ func (s *Server) Shared() *nn.Network { return s.shared }
 // with Finished and closed, so a retrying vehicle terminates cleanly.
 func (s *Server) Rejoin(conn transport.Conn) {
 	go func() {
-		id, ver, err := readHello(conn, s.cfg.Scheme.NumVehicles)
+		h, ver, err := readHello(conn, s.cfg.Scheme.NumVehicles)
 		if err != nil {
 			_ = conn.Close()
 			return
+		}
+		var helloNs int64
+		if s.obs.TraceEnabled() {
+			helloNs = int64(s.obs.Now())
 		}
 		transport.SetWireVersion(conn, ver)
 		s.mu.Lock()
 		if !s.done {
 			select {
-			case s.rejoin <- rejoinReq{id: id, ver: ver, conn: conn}:
+			case s.rejoin <- rejoinReq{id: h.VehicleID, ver: ver, conn: conn, helloNs: helloNs}:
 				s.mu.Unlock()
 				return
 			default: // queue full: treat as too-late
@@ -280,29 +344,28 @@ func (s *Server) finish(rounds int) {
 const minWireVersion = 2
 
 // readHello consumes and validates a vehicle's opening hello, returning
-// the vehicle's ID and the negotiated wire version for the connection:
+// the hello itself and the negotiated wire version for the connection:
 // min(our protocol.Version, the peer's announced revision). A peer older
 // than revision 2 is rejected; a newer one is clamped down to ours.
-func readHello(conn transport.Conn, vehicles int) (int, int, error) {
+func readHello(conn transport.Conn, vehicles int) (*protocol.Hello, int, error) {
 	m, err := conn.Recv()
 	if err != nil {
-		return 0, 0, fmt.Errorf("node: hello: %w", err)
+		return nil, 0, fmt.Errorf("node: hello: %w", err)
 	}
 	if m.Hello == nil {
-		return 0, 0, fmt.Errorf("node: connection opened with %s, want hello", m.Kind())
+		return nil, 0, fmt.Errorf("node: connection opened with %s, want hello", m.Kind())
 	}
 	if m.Hello.Version < minWireVersion {
-		return 0, 0, fmt.Errorf("node: peer speaks version %d, want >= %d", m.Hello.Version, minWireVersion)
+		return nil, 0, fmt.Errorf("node: peer speaks version %d, want >= %d", m.Hello.Version, minWireVersion)
 	}
 	ver := m.Hello.Version
 	if ver > protocol.Version {
 		ver = protocol.Version
 	}
-	id := m.Hello.VehicleID
-	if id < 0 || id >= vehicles {
-		return 0, 0, fmt.Errorf("node: vehicle ID %d out of range", id)
+	if id := m.Hello.VehicleID; id < 0 || id >= vehicles {
+		return nil, 0, fmt.Errorf("node: vehicle ID %d out of range", id)
 	}
-	return id, ver, nil
+	return m.Hello, ver, nil
 }
 
 // result is one event from a connection's receiver goroutine: an upload,
@@ -314,6 +377,7 @@ type result struct {
 	conn      transport.Conn
 	round     int
 	values    []float64
+	span      string // propagated upload span ID ("" when absent)
 	corrupt   bool
 	err       error
 }
@@ -326,15 +390,36 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 	if len(conns) != v {
 		return nil, fmt.Errorf("node: got %d connections, scheme expects %d vehicles", len(conns), v)
 	}
+	// The session trace every process joins is derived deterministically
+	// from the scheme seed (DESIGN §15), so fusion centre and vehicles
+	// agree on it even before the Setup message announces it.
+	traced := s.obs.TraceEnabled()
+	var traceHex string
+	if traced {
+		s.trace = obs.TraceIDFromSeed(s.cfg.Scheme.Seed)
+		traceHex = obs.FormatID(s.trace)
+	}
+	s.setStatus(func(st *Status) {
+		*st = Status{
+			Phase:          "handshake",
+			Rounds:         s.cfg.Rounds,
+			RecoverK:       s.scheme.RecoverThreshold(),
+			PipelineWindow: s.cfg.PipelineWindow,
+			AdaptiveBudget: s.cfg.AdaptiveBudget,
+			TraceID:        traceHex,
+		}
+	})
 	// Handshake: map connections to vehicle IDs and negotiate each
 	// connection's wire version from the peer's announced revision.
 	byID := make(map[int]transport.Conn, v)
 	vers := make(map[int]int, v)
+	helloNs := make(map[int]int64, v)
 	for i, conn := range conns {
-		id, ver, err := readHello(conn, v)
+		h, ver, err := readHello(conn, v)
 		if err != nil {
 			return nil, fmt.Errorf("node: conn %d: %w", i, err)
 		}
+		id := h.VehicleID
 		if _, dup := byID[id]; dup {
 			return nil, fmt.Errorf("node: duplicate vehicle ID %d", id)
 		}
@@ -346,6 +431,22 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 		// instead of the accept-order placeholder.
 		if sp, ok := conn.(interface{ SetPeer(string) }); ok {
 			sp.SetPeer(fmt.Sprintf("vehicle-%d", id))
+		}
+		if traced {
+			// The hello receive timestamp anchors this connection's
+			// clock-offset estimate: Setup echoes it back alongside the
+			// send timestamp, and the vehicle brackets the pair with its
+			// own clock (RTT midpoint, DESIGN §15).
+			helloNs[id] = int64(s.obs.Now())
+			fields := []obs.Field{
+				obs.F("vehicle", id),
+				obs.F("version", ver),
+				obs.F("trace", traceHex),
+			}
+			if h.TraceID != "" {
+				fields = append(fields, obs.F("peer_trace", h.TraceID))
+			}
+			s.obs.Emit("node.hello", fields...)
 		}
 	}
 	setup := &protocol.Setup{
@@ -371,6 +472,11 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 		// into a single write.
 		su := *setup
 		su.WireVersion = vers[id]
+		if traced {
+			su.TraceID = traceHex
+			su.HelloNs = helloNs[id]
+			su.ClockNs = int64(s.obs.Now())
+		}
 		if err := byID[id].Send(&protocol.Message{Setup: &su}); err != nil {
 			return nil, fmt.Errorf("node: setup to vehicle %d: %w", id, err)
 		}
@@ -410,7 +516,7 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 					results <- result{vehicleID: id, conn: conn, err: fmt.Errorf("unexpected %s", m.Kind())}
 					return
 				}
-				results <- result{vehicleID: id, conn: conn, round: m.Upload.Round, values: m.Upload.Values}
+				results <- result{vehicleID: id, conn: conn, round: m.Upload.Round, values: m.Upload.Values, span: m.Upload.SpanID}
 			}
 		}()
 	}
@@ -497,6 +603,7 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 		}
 		report.Rejoins++
 		s.cRejoins.Inc()
+		s.setStatus(func(st *Status) { st.Rejoins++ })
 		s.obs.Emit("node.rejoin", obs.F("round", round), obs.F("vehicle", id))
 		fail := func() {
 			dead[id] = true
@@ -505,6 +612,11 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 		}
 		su := *setup
 		su.WireVersion = req.ver
+		if traced {
+			su.TraceID = traceHex
+			su.HelloNs = req.helloNs
+			su.ClockNs = int64(s.obs.Now())
+		}
 		if err := req.conn.Send(&protocol.Message{Setup: &su}); err != nil {
 			fail()
 			return
@@ -525,11 +637,24 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 
 	for round = 1; round <= s.cfg.Rounds; round++ {
 		s.obs.Emit("node.round_start", obs.F("round", round))
-		roundSpan := s.obs.Start("node.round", obs.F("round", round))
+		// The round span's ID is derived, not random, so every process
+		// computes the same value and the merged timeline can nest
+		// vehicle-side spans under it even across JSON-only (v2) hops.
+		var roundCtx obs.SpanContext
+		roundFields := []obs.Field{obs.F("round", round)}
+		if traced {
+			roundCtx = obs.SpanContext{Trace: s.trace, Span: obs.DeriveSpan(s.trace, "node.round", uint64(round))}
+			roundFields = append(roundFields, obs.CtxFields(roundCtx, 0)...)
+		}
+		roundSpan := s.obs.Start("node.round", roundFields...)
 		if err := s.scheme.BeginRound(s.shared.Clone()); err != nil {
 			return nil, fmt.Errorf("node: round %d: %w", round, err)
 		}
 		bc = &protocol.Message{Broadcast: &protocol.Broadcast{Round: round, Params: s.shared.Params()}}
+		if traced {
+			bc.Broadcast.TraceID = traceHex
+			bc.Broadcast.SpanID = obs.FormatID(roundCtx.Span)
+		}
 		for _, id := range ids {
 			if dead[id] {
 				continue
@@ -588,6 +713,15 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 		arrived := 0
 		closedBy := "all"
 		var overlapNs int64
+		s.setStatus(func(st *Status) {
+			st.Phase = "collect"
+			st.Round = round
+			st.WaitBudget = effBudget
+			st.BudgetTarget = budgetTarget
+			st.Arrived = 0
+			st.Outstanding = len(outstanding)
+			st.Behind = sortedFlagged(behind)
+		})
 		deadline := time.After(s.cfg.RoundTimeout)
 	collect:
 		for len(outstanding) > 0 {
@@ -641,6 +775,28 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 					uploads[u.vehicleID] = u.values
 					delete(outstanding, u.vehicleID)
 					arrived++
+					s.setStatus(func(st *Status) {
+						st.Arrived = arrived
+						st.Outstanding = len(outstanding)
+					})
+					if traced {
+						// The ingest event parents under the upload span the
+						// vehicle propagated (network vs. compute attribution
+						// in the merged waterfall); an upload without context
+						// — an old-build vehicle — parents under the round.
+						ingest := obs.SpanContext{
+							Trace: s.trace,
+							Span:  obs.DeriveSpan(s.trace, "node.ingest", uint64(round), uint64(u.vehicleID)),
+						}
+						parent := roundCtx.Span
+						if p := obs.ParseID(u.span); p != 0 {
+							parent = p
+						}
+						s.obs.Emit("node.ingest", append([]obs.Field{
+							obs.F("round", round),
+							obs.F("vehicle", u.vehicleID),
+						}, obs.CtxFields(ingest, parent)...)...)
+					}
 					if sink != nil {
 						t0 := s.obs.Now()
 						if err := sink.Add(u.vehicleID, u.values); err != nil {
@@ -658,6 +814,7 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 							behind[id] = true
 						}
 						closedBy = "budget"
+						s.setStatus(func(st *Status) { st.Behind = sortedFlagged(behind) })
 						break collect
 					}
 				}
@@ -688,6 +845,10 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 				s.obs.Emit("node.straggler", obs.F("round", round), obs.F("vehicle", id))
 			}
 		}
+		s.setStatus(func(st *Status) {
+			st.Phase = "aggregate"
+			st.Stragglers += roundStragglers
+		})
 		if adaptive != nil {
 			adaptive.ObserveStragglers(roundStragglers)
 		}
@@ -704,6 +865,7 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 			// session (DESIGN.md §11).
 			report.DegradedRounds++
 			s.cDegraded.Inc()
+			s.setStatus(func(st *Status) { st.DegradedRounds++ })
 			s.obs.Emit("node.degraded",
 				obs.F("round", round),
 				obs.F("present", present),
@@ -715,7 +877,10 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 		}
 
 		// Aggregate, consuming the streamed decode state where it applies
-		// (bit-identical to the plain Aggregate, core/stream.go).
+		// (bit-identical to the plain Aggregate, core/stream.go). The
+		// scheme's core.aggregate span nests under this round's span; the
+		// zero context with tracing off keeps it detached.
+		s.scheme.SetSpanParent(roundCtx)
 		var targets []float64
 		var err error
 		if sink != nil {
@@ -756,6 +921,12 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 		}
 	}
 	s.finish(report.Rounds)
+	s.setStatus(func(st *Status) {
+		st.Phase = "done"
+		st.Round = report.Rounds
+		st.Arrived = 0
+		st.Outstanding = 0
+	})
 	for id := range flagged {
 		report.SuspectedMalicious = append(report.SuspectedMalicious, id)
 	}
@@ -771,6 +942,20 @@ func sendFlush(conn transport.Conn, m *protocol.Message) error {
 		return err
 	}
 	return transport.Flush(conn)
+}
+
+// sortedFlagged returns the set's members in ascending order (nil when
+// empty), for deterministic Status snapshots.
+func sortedFlagged(set map[int]bool) []int {
+	if len(set) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // sortedVehicleIDs returns byID's keys in ascending order, giving every
@@ -843,6 +1028,12 @@ type vehicleSession struct {
 	// cCorrupt counts detected corrupt frames, resolved once here so
 	// the per-frame noteCorrupt path never touches the registry.
 	cCorrupt *obs.Counter
+	// Stage histograms mirror the per-round vehicle spans with the exact
+	// same elapsed values, so cmd/tracereport -check-metrics can
+	// cross-check trace span sums against the metrics snapshot.
+	hTrain  *obs.Histogram
+	hEncode *obs.Histogram
+	hUpload *obs.Histogram
 
 	local  *nn.Network
 	scheme *core.Scheme
@@ -850,6 +1041,14 @@ type vehicleSession struct {
 
 	lastRound  int
 	lastUpload []float64
+
+	// trace is the session trace adopted from Setup.TraceID (or derived
+	// from the scheme seed when the fusion centre predates propagation);
+	// parentSpan is the current round's fusion-side span, the propagated
+	// parent of this round's train/encode/upload spans. Both zero with
+	// tracing off; single-goroutine like lastRound.
+	trace      uint64
+	parentSpan uint64
 }
 
 // newVehicleSession validates the config; the model and scheme are built
@@ -858,7 +1057,33 @@ func newVehicleSession(cfg ClientConfig, o *obs.Obs) (*vehicleSession, error) {
 	if len(cfg.Data) == 0 {
 		return nil, fmt.Errorf("node: vehicle %d has no local data", cfg.VehicleID)
 	}
-	return &vehicleSession{cfg: cfg, o: o, cCorrupt: o.Counter("node.client_corrupt_frames")}, nil
+	return &vehicleSession{
+		cfg:      cfg,
+		o:        o,
+		cCorrupt: o.Counter("node.client_corrupt_frames"),
+		hTrain:   o.Histogram("node.train_ns", obs.LatencyBuckets()),
+		hEncode:  o.Histogram("node.encode_ns", obs.LatencyBuckets()),
+		hUpload:  o.Histogram("node.upload_ns", obs.LatencyBuckets()),
+	}, nil
+}
+
+// emitStage records one vehicle round stage as a histogram observation
+// plus — with tracing on — a span carrying this vehicle's derived stage
+// span under the propagated round parent. Span and histogram share the
+// exact elapsed value; the -check-metrics cross-check depends on that.
+func (s *vehicleSession) emitStage(stage string, hist *obs.Histogram, round int, start, elapsed time.Duration) {
+	hist.Observe(int64(elapsed))
+	if !s.o.TraceEnabled() || s.trace == 0 {
+		return
+	}
+	ctx := obs.SpanContext{
+		Trace: s.trace,
+		Span:  obs.DeriveSpan(s.trace, stage, uint64(round), uint64(s.cfg.VehicleID)),
+	}
+	s.o.EmitSpan(stage, start, elapsed, append([]obs.Field{
+		obs.F("round", round),
+		obs.F("vehicle", s.cfg.VehicleID),
+	}, obs.CtxFields(ctx, s.parentSpan)...)...)
 }
 
 // install builds the local model and scheme from Setup. On a rejoin the
@@ -906,13 +1131,19 @@ func (s *vehicleSession) run(conn transport.Conn) error {
 	if s.cfg.ForceVersion > 0 {
 		announce = s.cfg.ForceVersion
 	}
-	if err := sendFlush(conn, &protocol.Message{Hello: &protocol.Hello{
-		Version:   announce,
-		VehicleID: id,
-	}}); err != nil {
+	traced := s.o.TraceEnabled()
+	hello := &protocol.Hello{Version: announce, VehicleID: id}
+	if traced && s.trace != 0 {
+		// Reconnecting mid-session: announce the already-adopted session
+		// trace so the fusion centre can tie the rejoin to it.
+		hello.TraceID = obs.FormatID(s.trace)
+	}
+	t0 := s.o.Now() // local clock when the hello left
+	if err := sendFlush(conn, &protocol.Message{Hello: hello}); err != nil {
 		return transientf("node: hello: %w", err)
 	}
 	var setup *protocol.Setup
+	var t1 time.Duration // local clock when Setup arrived
 	for setup == nil {
 		m, err := conn.Recv()
 		if err != nil {
@@ -932,6 +1163,7 @@ func (s *vehicleSession) run(conn transport.Conn) error {
 			return fmt.Errorf("node: expected setup, got %s", m.Kind())
 		}
 		setup = m.Setup
+		t1 = s.o.Now()
 	}
 	// Adopt the version the fusion centre negotiated for this connection.
 	// Absent (0) means a revision-2 fusion centre that predates the
@@ -946,6 +1178,30 @@ func (s *vehicleSession) run(conn transport.Conn) error {
 	transport.SetWireVersion(conn, wire)
 	if err := s.install(setup); err != nil {
 		return err
+	}
+	if traced {
+		// Adopt the session trace: from Setup when the fusion centre
+		// propagates one, else derived from the scheme seed — both sides
+		// compute the same ID, so pre-propagation peers still converge.
+		if tr := obs.ParseID(setup.TraceID); tr != 0 {
+			s.trace = tr
+		} else if s.trace == 0 {
+			s.trace = obs.TraceIDFromSeed(setup.SchemeSeed)
+		}
+		if setup.HelloNs != 0 || setup.ClockNs != 0 {
+			// Clock-offset estimation (DESIGN §15): the server clock at
+			// the RTT midpoint is (HelloNs+ClockNs)/2, our own is
+			// (t0+t1)/2; the difference maps this process's timestamps
+			// onto the fusion centre's timeline in -merge. The server-side
+			// processing gap (ClockNs−HelloNs) is excluded from the RTT.
+			offset := (setup.HelloNs+setup.ClockNs)/2 - (int64(t0)+int64(t1))/2
+			rtt := int64(t1-t0) - (setup.ClockNs - setup.HelloNs)
+			s.o.Emit("node.clock_offset",
+				obs.F("vehicle", id),
+				obs.F("offset_ns", offset),
+				obs.F("rtt_ns", rtt),
+				obs.F("trace", obs.FormatID(s.trace)))
+		}
 	}
 
 	for {
@@ -969,6 +1225,17 @@ func (s *vehicleSession) run(conn transport.Conn) error {
 			return fmt.Errorf("node: vehicle %d: unexpected message %s", id, m.Kind())
 		}
 		bc := m.Broadcast
+		if traced && s.trace != 0 {
+			// The broadcast carries the fusion round span — the parent for
+			// this round's train/encode/upload spans. A context-free
+			// broadcast (old fusion centre) falls back to the derived
+			// round span, which is the same value the server computes.
+			if p := obs.ParseID(bc.SpanID); p != 0 {
+				s.parentSpan = p
+			} else {
+				s.parentSpan = obs.DeriveSpan(s.trace, "node.round", uint64(bc.Round))
+			}
+		}
 		if bc.Round == s.lastRound && s.lastUpload != nil {
 			// Re-broadcast of a round already trained: a retransmit
 			// prompt (our upload frame arrived corrupted) or a
@@ -989,13 +1256,17 @@ func (s *vehicleSession) run(conn transport.Conn) error {
 		if err := s.scheme.BeginRound(sharedCopy); err != nil {
 			return fmt.Errorf("node: vehicle %d: %w", id, err)
 		}
+		tTrain := s.o.Now()
 		if _, err := s.local.TrainSGD(s.cfg.Data, setup.LocalRate, setup.LocalEpochs, s.rng); err != nil {
 			return fmt.Errorf("node: vehicle %d training: %w", id, err)
 		}
+		s.emitStage("node.train", s.hTrain, bc.Round, tTrain, s.o.Now()-tTrain)
+		tEncode := s.o.Now()
 		values, err := s.scheme.Upload(id, s.local)
 		if err != nil {
 			return fmt.Errorf("node: vehicle %d upload: %w", id, err)
 		}
+		s.emitStage("node.encode", s.hEncode, bc.Round, tEncode, s.o.Now()-tEncode)
 		if s.cfg.Corrupt != nil {
 			for i := range values {
 				values[i] = s.cfg.Corrupt.Corrupt(id, values[i])
@@ -1009,15 +1280,25 @@ func (s *vehicleSession) run(conn transport.Conn) error {
 }
 
 // sendUpload ships the cached upload for the given round, flushed so the
-// fusion centre's round collector sees it immediately.
+// fusion centre's round collector sees it immediately. With tracing on
+// the frame carries the session trace and the derived upload span — the
+// same ID on a retransmit resend, so the fusion-side ingest parents
+// consistently across attempts.
 func (s *vehicleSession) sendUpload(conn transport.Conn, round int) error {
-	if err := sendFlush(conn, &protocol.Message{Upload: &protocol.Upload{
+	up := &protocol.Upload{
 		Round:     round,
 		VehicleID: s.cfg.VehicleID,
 		Values:    s.lastUpload,
-	}}); err != nil {
+	}
+	if s.o.TraceEnabled() && s.trace != 0 {
+		up.TraceID = obs.FormatID(s.trace)
+		up.SpanID = obs.FormatID(obs.DeriveSpan(s.trace, "node.upload", uint64(round), uint64(s.cfg.VehicleID)))
+	}
+	tSend := s.o.Now()
+	if err := sendFlush(conn, &protocol.Message{Upload: up}); err != nil {
 		return transientf("node: vehicle %d send: %w", s.cfg.VehicleID, err)
 	}
+	s.emitStage("node.upload", s.hUpload, round, tSend, s.o.Now()-tSend)
 	return nil
 }
 

@@ -1,0 +1,205 @@
+// Package debugz is the live introspection plane: a small stdlib-only
+// net/http server that exposes a running lcofl process's observability
+// state while the session is still in flight — the metrics registry
+// (/metricz), liveness (/healthz), round-engine state (/roundz), the
+// most recent periodic heap profile (/profilez), and the standard
+// net/http/pprof handlers (/debug/pprof/).
+//
+// The server is opt-in (-debug-addr on serve/vehicle/dist) and follows
+// the obs nil-discipline: a nil *Server is a no-op on every method, so
+// command wiring can hold one unconditionally. It binds localhost-style
+// addresses chosen by the operator; it performs no authentication, so
+// the flag must never be pointed at a public interface.
+//
+// debugz is one of the two sanctioned rawgo/wallclock carve-outs beyond
+// the core concurrency packages (see cmd/lcofl-lint): the HTTP accept
+// loop is a goroutine-per-server by design, and /healthz reports a real
+// wall-clock timestamp so operators can correlate a curl with system
+// logs — neither can leak nondeterminism into traces or figures because
+// nothing here feeds them.
+package debugz
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config wires a Server to a process's observability state. Every field
+// except Addr may be nil/zero; the corresponding endpoint then serves an
+// empty-but-valid response instead of failing.
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:9090" or
+	// "127.0.0.1:0" to let the kernel pick a port (see Server.Addr).
+	Addr string
+	// Registry backs /metricz.
+	Registry *obs.Registry
+	// Sampler backs /profilez (its periodic captures are served as the
+	// latest heap profile).
+	Sampler *obs.RuntimeSampler
+	// Clock stamps /healthz uptime (nil → uptime reported as 0).
+	Clock obs.Clock
+}
+
+// Server is a running introspection endpoint. The zero of *Server (nil)
+// disables everything, matching the obs handle discipline.
+type Server struct {
+	cfg     Config
+	ln      net.Listener
+	httpSrv *http.Server
+	startAt time.Duration
+
+	// roundz holds the late-bound round-state provider (a func() any);
+	// commands install it once the node.Server exists.
+	roundz atomic.Value
+
+	mu     sync.Mutex // guards serveErr
+	closed atomic.Bool
+	// serveErr records a non-shutdown accept-loop failure. guarded by mu
+	serveErr error
+}
+
+// Start binds cfg.Addr and begins serving. The returned server is live
+// before Start returns (the listener is open), so tests and CI can curl
+// it immediately. A nil return with a nil error never happens: callers
+// get either a live server or the bind error.
+func Start(cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugz: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{cfg: cfg, ln: ln}
+	if cfg.Clock != nil {
+		s.startAt = cfg.Clock.Now()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metricz", s.handleMetricz)
+	mux.HandleFunc("/roundz", s.handleRoundz)
+	mux.HandleFunc("/profilez", s.handleProfilez)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.serve()
+	return s, nil
+}
+
+// serve runs the accept loop until Close. It is the server's single
+// long-lived goroutine; errors other than the expected shutdown signal
+// are kept for Close to report.
+func (s *Server) serve() {
+	err := s.httpSrv.Serve(s.ln)
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		s.mu.Lock()
+		s.serveErr = err
+		s.mu.Unlock()
+	}
+}
+
+// Addr returns the bound listen address (resolving ":0" to the actual
+// port), or "" on a nil server.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// SetRoundz installs the /roundz state provider — typically a closure
+// over node.Server.Status. Late binding keeps debugz free of a node
+// dependency and lets commands start the listener before the session
+// exists. Safe to call at any time, including on a nil server.
+func (s *Server) SetRoundz(fn func() any) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.roundz.Store(fn)
+}
+
+// Close shuts the listener down and reports any accept-loop failure.
+// Nil-safe and idempotent.
+func (s *Server) Close() error {
+	if s == nil || !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := s.httpSrv.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.serveErr != nil {
+		return s.serveErr
+	}
+	return err
+}
+
+// handleHealthz reports liveness, session-clock uptime, and a wall-clock
+// timestamp for correlating with system logs.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	uptime := int64(0)
+	if s.cfg.Clock != nil {
+		uptime = int64(s.cfg.Clock.Now() - s.startAt)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]any{
+		"status":      "ok",
+		"uptime_ns":   uptime,
+		"now_unix_ns": time.Now().UnixNano(),
+	})
+}
+
+// handleMetricz streams the registry snapshot in the same JSON shape the
+// -metrics flag writes at exit, so tracereport -check-metrics can read a
+// live capture unchanged.
+func (s *Server) handleMetricz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.cfg.Registry == nil {
+		_, _ = w.Write([]byte("{}\n"))
+		return
+	}
+	_ = s.cfg.Registry.WriteJSON(w)
+}
+
+// handleRoundz serves the installed round-state provider, or 404 when
+// the process has no round engine (a vehicle before SetRoundz).
+func (s *Server) handleRoundz(w http.ResponseWriter, _ *http.Request) {
+	fn, _ := s.roundz.Load().(func() any)
+	if fn == nil {
+		http.Error(w, "no round state registered", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, fn())
+}
+
+// handleProfilez serves the most recent periodic heap-profile capture
+// (RuntimeSampler.EnableProfiles), or 404 before the first capture.
+func (s *Server) handleProfilez(w http.ResponseWriter, _ *http.Request) {
+	prof, at := s.cfg.Sampler.LastProfile()
+	if prof == nil {
+		http.Error(w, "no profile captured yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Captured-At-Ns", fmt.Sprintf("%d", at))
+	_, _ = w.Write(prof)
+}
+
+// writeJSON writes v as indented JSON; an encode failure surfaces as a
+// 500 so a curl never sees a silent half-response.
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

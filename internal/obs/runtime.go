@@ -1,7 +1,10 @@
 package obs
 
 import (
+	"bytes"
 	"runtime"
+	"runtime/pprof"
+	"sync"
 	"time"
 
 	"repro/internal/parallel"
@@ -27,6 +30,12 @@ type RuntimeSampler struct {
 
 	heapAlloc, heapObjects, totalAlloc *Gauge
 	goroutines, gcNum, gcPause         *Gauge
+
+	profMu      sync.Mutex
+	captureProf bool   // guarded by profMu
+	lastProf    []byte // guarded by profMu
+	lastProfAt  int64  // guarded by profMu; sampler clock reading, ns
+	profClock   Clock  // guarded by profMu
 }
 
 // DefaultSampleInterval is the Start interval used when none is given.
@@ -59,6 +68,50 @@ func (s *RuntimeSampler) Sample() {
 	s.goroutines.Set(int64(runtime.NumGoroutine()))
 	s.gcNum.Set(int64(ms.NumGC))
 	s.gcPause.Set(int64(ms.PauseTotalNs))
+	s.captureProfile()
+}
+
+// EnableProfiles turns on periodic in-memory heap-profile capture: every
+// Sample (manual or ticker-driven) also snapshots the pprof heap profile
+// so the debugz /profilez endpoint can serve the most recent one without
+// stopping the process. The clock stamps each capture (nil → stamp 0).
+// Call before Start; captures cost one pprof serialisation per interval.
+func (s *RuntimeSampler) EnableProfiles(clock Clock) {
+	if s == nil {
+		return
+	}
+	s.profMu.Lock()
+	s.captureProf = true
+	s.profClock = clock
+	s.profMu.Unlock()
+}
+
+// LastProfile returns the most recent heap-profile capture and its clock
+// stamp, or (nil, 0) before the first capture or when disabled.
+func (s *RuntimeSampler) LastProfile() ([]byte, int64) {
+	if s == nil {
+		return nil, 0
+	}
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	return s.lastProf, s.lastProfAt
+}
+
+// captureProfile snapshots the heap profile when capture is enabled.
+func (s *RuntimeSampler) captureProfile() {
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	if !s.captureProf {
+		return
+	}
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		return // profile capture is best-effort; keep the previous one
+	}
+	s.lastProf = buf.Bytes()
+	if s.profClock != nil {
+		s.lastProfAt = int64(s.profClock.Now())
+	}
 }
 
 // Start samples every interval (<= 0 selects DefaultSampleInterval) on a

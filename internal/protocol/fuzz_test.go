@@ -56,6 +56,18 @@ func FuzzFrameCodec(f *testing.F) {
 	f.Add(encodeSeedV3(f, &Message{Broadcast: &Broadcast{Round: 2,
 		Params: []float64{math.NaN(), math.Inf(1), math.Copysign(0, -1)}}}))
 	f.Add(encodeSeedV3(f, &Message{Upload: &Upload{Round: 7, VehicleID: 1}}))
+	// v4 context-bearing binary frames (kinds 3/4), including a NaN
+	// payload so the ctx kinds' bit-exact float path is exercised.
+	f.Add(encodeSeedV3(f, &Message{Broadcast: &Broadcast{Round: 2,
+		Params:  []float64{math.NaN(), 1.5},
+		TraceID: "00000000deadbeef", SpanID: "00000000cafef00d"}}))
+	f.Add(encodeSeedV3(f, &Message{Upload: &Upload{Round: 2, VehicleID: 3,
+		Values:  []float64{-0.5},
+		TraceID: "00000000deadbeef", SpanID: "00000000cafef00d"}}))
+	// Non-canonical context rides the JSON fallback; the fuzzer mutates
+	// from here into the interesting mixed region.
+	f.Add(encodeSeedV3(f, &Message{Upload: &Upload{Round: 1, VehicleID: 1,
+		Values: []float64{2}, TraceID: "ABC", SpanID: "def"}}))
 	// Malformed shapes the decoder must reject without panicking.
 	corrupt := encodeSeed(f, variants[0])
 	corrupt[len(corrupt)-1] ^= 0xff // body flip: CRC mismatch
@@ -74,6 +86,11 @@ func FuzzFrameCodec(f *testing.F) {
 		{0xB3, 0x01, 1, 0},
 		{0xB3, 0x02, 1, 0, 0, 0, 2, 0, 0, 0},
 		{0xB3, 0x01, 1, 0, 0, 0, 9, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8},
+		// ctx kinds: truncated ctx prefix, and a zero span ID (partial
+		// context must be rejected frame-locally).
+		{0xB3, 0x03, 1, 2, 3, 4},
+		{0xB3, 0x04, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+			1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0},
 	} {
 		frame := make([]byte, 8, 8+len(body))
 		binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))

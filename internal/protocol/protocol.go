@@ -22,6 +22,17 @@
 // when the negotiated version is >= 3, and the binary marker byte cannot
 // begin a JSON value, so a mis-delivered binary frame fails cleanly in a
 // v2 decoder.
+//
+// Protocol revision 4 adds trace-context propagation (DESIGN.md §15):
+// Hello/Setup establish the session trace and exchange the handshake
+// clock readings used for offset estimation, and Broadcast/Upload carry
+// the round span context. All context fields are optional — absent with
+// tracing off, ignored by older peers (unknown JSON keys) — so the
+// tracing-off wire is byte-identical to revision 3. Bulk messages WITH
+// context use two new binary kinds (3, 4) emitted only at negotiated
+// version >= 4; at version 3 a context-bearing bulk message falls back
+// to JSON, which preserves the context for a v4 peer while a v2/v3 peer
+// simply skips the unknown keys.
 package protocol
 
 import (
@@ -36,8 +47,9 @@ import (
 
 // Version is the protocol revision carried in Hello messages. Revision 2
 // added the per-frame CRC-32 to the framing; revision 3 adds the binary
-// body encoding for Broadcast and Upload.
-const Version = 3
+// body encoding for Broadcast and Upload; revision 4 adds trace-context
+// propagation (binary kinds 3/4 and the optional JSON context fields).
+const Version = 4
 
 // ErrCorruptFrame reports a frame whose body failed its CRC-32 check. The
 // frame has been fully consumed when Read returns it, so the connection
@@ -67,6 +79,11 @@ type Hello struct {
 	Version int `json:"version"`
 	// VehicleID identifies the vehicle (assigned out of band).
 	VehicleID int `json:"vehicle_id"`
+	// TraceID is the vehicle process's own trace ID (canonical 16-digit
+	// hex, see internal/obs FormatID), recorded by the fusion centre so
+	// a merged timeline can link per-process trace files. Empty when the
+	// vehicle runs untraced.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Setup configures a vehicle at session start.
@@ -95,6 +112,19 @@ type Setup struct {
 	// which is also how a revision-2 fusion centre, ignorant of the
 	// field, is correctly interpreted.
 	WireVersion int `json:"wire_version,omitempty"`
+	// TraceID is the session trace every process joins (derived from
+	// SchemeSeed on both sides; carried explicitly so a vehicle adopts
+	// the fusion centre's trace even if derivation rules ever diverge
+	// across releases). Empty when the fusion centre runs untraced.
+	TraceID string `json:"trace_id,omitempty"`
+	// HelloNs and ClockNs are the fusion centre's clock readings (ns
+	// since its obs.Clock epoch) when the connection's Hello arrived and
+	// when this Setup was sent. With the vehicle's own send/receive
+	// stamps they give the RTT-midpoint clock-offset estimate recorded
+	// as the node.clock_offset trace event (DESIGN.md §15). Zero when
+	// the fusion centre runs untraced.
+	HelloNs int64 `json:"hello_ns,omitempty"`
+	ClockNs int64 `json:"clock_ns,omitempty"`
 }
 
 // Broadcast starts a round: the shared model parameters.
@@ -103,6 +133,11 @@ type Broadcast struct {
 	Round int `json:"round"`
 	// Params is the shared model's flat parameter vector.
 	Params []float64 `json:"params"`
+	// TraceID/SpanID carry the fusion centre's round span context so
+	// vehicle-side train/encode/upload spans can parent under it. Both
+	// canonical 16-digit hex; empty when tracing is off.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // Upload carries a vehicle's round contribution.
@@ -113,6 +148,11 @@ type Upload struct {
 	VehicleID int `json:"vehicle_id"`
 	// Values is the scheme-defined upload vector.
 	Values []float64 `json:"values"`
+	// TraceID/SpanID carry the vehicle's upload span context so the
+	// fusion centre's ingest event can parent under the send that
+	// produced it. Empty when tracing is off.
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
 }
 
 // Finished ends the session.
@@ -130,6 +170,24 @@ type Error struct {
 // Kind returns the message discriminator ("hello", "upload", …) — used
 // in errors and as the message-type label on transport telemetry.
 func (m *Message) Kind() string { return m.kind() }
+
+// TraceContext returns the trace/span context the message carries
+// ("", "" when none): round context on the bulk messages, the session
+// trace on Hello/Setup. Transport telemetry attaches it to the
+// per-message send/recv events.
+func (m *Message) TraceContext() (trace, span string) {
+	switch {
+	case m.Broadcast != nil:
+		return m.Broadcast.TraceID, m.Broadcast.SpanID
+	case m.Upload != nil:
+		return m.Upload.TraceID, m.Upload.SpanID
+	case m.Hello != nil:
+		return m.Hello.TraceID, ""
+	case m.Setup != nil:
+		return m.Setup.TraceID, ""
+	}
+	return "", ""
+}
 
 // EncodedSize returns the exact on-wire size of the message in bytes
 // (4-byte length prefix plus JSON body), or 0 when it cannot marshal.
@@ -206,19 +264,32 @@ const headerLen = 8
 // for NaN payloads that JSON cannot represent at all.
 const binaryMagic = 0xB3
 
+// Revision 4 adds context-bearing variants of the two bulk kinds
+// (DESIGN.md §15): the same layout prefixed with the trace and span IDs
+// as little-endian u64. A context kind with either ID zero is rejected —
+// partial context never rides the binary path, so every accepted frame
+// re-encodes to identical bytes.
+//
+//	broadcast+ctx: trace u64 LE, span u64 LE, round u32, count u32, floats
+//	upload+ctx:    trace u64 LE, span u64 LE, round u32, vehicle u32, count u32, floats
 const (
-	binaryKindBroadcast = 1
-	binaryKindUpload    = 2
+	binaryKindBroadcast    = 1
+	binaryKindUpload       = 2
+	binaryKindBroadcastCtx = 3
+	binaryKindUploadCtx    = 4
 )
 
 // maxBinaryValues caps the float count so a binary body respects
-// MaxMessageSize.
-const maxBinaryValues = (MaxMessageSize - 14) / 8
+// MaxMessageSize even under the largest (upload+ctx) header.
+const maxBinaryValues = (MaxMessageSize - 30) / 8
 
 // binaryEligible reports whether WriteVersion encodes m as a binary body
 // under the given negotiated version: bulk messages only, with integer
 // fields that fit the fixed-width wire layout (anything else falls back
-// to JSON, which both sides always accept).
+// to JSON, which both sides always accept). Trace context additionally
+// requires version >= 4 and a canonical, complete (trace, span) pair —
+// non-canonical IDs fall back to JSON, which round-trips any string
+// byte-for-byte instead of silently rewriting it.
 func binaryEligible(m *Message, version int) bool {
 	if version < 3 {
 		return false
@@ -226,28 +297,102 @@ func binaryEligible(m *Message, version int) bool {
 	switch {
 	case m.Broadcast != nil:
 		b := m.Broadcast
-		return fitsUint32(b.Round) && len(b.Params) <= maxBinaryValues
+		if !fitsUint32(b.Round) || len(b.Params) > maxBinaryValues {
+			return false
+		}
+		return ctxEligible(b.TraceID, b.SpanID, version)
 	case m.Upload != nil:
 		u := m.Upload
-		return fitsUint32(u.Round) && fitsUint32(u.VehicleID) && len(u.Values) <= maxBinaryValues
+		if !fitsUint32(u.Round) || !fitsUint32(u.VehicleID) || len(u.Values) > maxBinaryValues {
+			return false
+		}
+		return ctxEligible(u.TraceID, u.SpanID, version)
 	}
 	return false
+}
+
+// ctxEligible reports whether a (trace, span) pair fits a binary body at
+// the negotiated version: absent entirely (the pre-v4 kinds), or — at
+// version >= 4 — a complete pair of canonical nonzero IDs.
+func ctxEligible(trace, span string, version int) bool {
+	if trace == "" && span == "" {
+		return true
+	}
+	if version < 4 {
+		return false
+	}
+	t, okT := canonicalID(trace)
+	s, okS := canonicalID(span)
+	return okT && okS && t != 0 && s != 0
+}
+
+// canonicalID parses an ID in canonical wire form — exactly 16 lowercase
+// hex digits — and reports whether it was one.
+func canonicalID(s string) (uint64, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < 16; i++ {
+		var d uint64
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}
+
+// formatID16 renders an ID in canonical wire form (the inverse of
+// canonicalID); zero — "no context" — renders as "".
+func formatID16(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = "0123456789abcdef"[id&0xf]
+		id >>= 4
+	}
+	return string(buf[:])
 }
 
 func fitsUint32(v int) bool { return v >= 0 && int64(v) <= math.MaxUint32 }
 
 // binaryBodyLen returns the body length of a binary-eligible message.
 func binaryBodyLen(m *Message) int {
-	if m.Broadcast != nil {
-		return 10 + 8*len(m.Broadcast.Params)
+	if b := m.Broadcast; b != nil {
+		n := 10 + 8*len(b.Params)
+		if b.TraceID != "" {
+			n += 16
+		}
+		return n
 	}
-	return 14 + 8*len(m.Upload.Values)
+	u := m.Upload
+	n := 14 + 8*len(u.Values)
+	if u.TraceID != "" {
+		n += 16
+	}
+	return n
 }
 
 // appendBinary encodes a binary-eligible message into dst.
 func appendBinary(dst []byte, m *Message) []byte {
 	if b := m.Broadcast; b != nil {
-		dst = append(dst, binaryMagic, binaryKindBroadcast)
+		if b.TraceID == "" {
+			dst = append(dst, binaryMagic, binaryKindBroadcast)
+		} else {
+			trace, _ := canonicalID(b.TraceID)
+			span, _ := canonicalID(b.SpanID)
+			dst = append(dst, binaryMagic, binaryKindBroadcastCtx)
+			dst = binary.LittleEndian.AppendUint64(dst, trace)
+			dst = binary.LittleEndian.AppendUint64(dst, span)
+		}
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(b.Round))
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Params)))
 		for _, v := range b.Params {
@@ -256,7 +401,15 @@ func appendBinary(dst []byte, m *Message) []byte {
 		return dst
 	}
 	u := m.Upload
-	dst = append(dst, binaryMagic, binaryKindUpload)
+	if u.TraceID == "" {
+		dst = append(dst, binaryMagic, binaryKindUpload)
+	} else {
+		trace, _ := canonicalID(u.TraceID)
+		span, _ := canonicalID(u.SpanID)
+		dst = append(dst, binaryMagic, binaryKindUploadCtx)
+		dst = binary.LittleEndian.AppendUint64(dst, trace)
+		dst = binary.LittleEndian.AppendUint64(dst, span)
+	}
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(u.Round))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(u.VehicleID))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(u.Values)))
@@ -281,30 +434,69 @@ func parseBinary(body []byte) (*Message, error) {
 		rest = rest[4:]
 		return v
 	}
+	readU64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(rest)
+		rest = rest[8:]
+		return v
+	}
+	// readCtx consumes the trace/span prefix of a context kind. Partial
+	// or zero context is a frame-local error: only complete contexts ride
+	// the binary path (see ctxEligible), so every accepted frame
+	// re-encodes to identical bytes.
+	readCtx := func(kindName string) (trace, span uint64, err error) {
+		trace = readU64()
+		span = readU64()
+		if trace == 0 || span == 0 {
+			return 0, 0, fmt.Errorf("protocol: binary %s carries a zero trace/span ID", kindName)
+		}
+		return trace, span, nil
+	}
 	switch kind {
-	case binaryKindBroadcast:
-		if len(rest) < 8 {
+	case binaryKindBroadcast, binaryKindBroadcastCtx:
+		bc := &Broadcast{}
+		minLen := 8
+		if kind == binaryKindBroadcastCtx {
+			minLen += 16
+		}
+		if len(rest) < minLen {
 			return nil, fmt.Errorf("protocol: binary broadcast header truncated (%d bytes)", len(rest))
 		}
-		round := readU32()
+		if kind == binaryKindBroadcastCtx {
+			trace, span, err := readCtx("broadcast")
+			if err != nil {
+				return nil, err
+			}
+			bc.TraceID, bc.SpanID = formatID16(trace), formatID16(span)
+		}
+		bc.Round = int(readU32())
 		count := readU32()
 		if count > maxBinaryValues || len(rest) != 8*int(count) {
 			return nil, fmt.Errorf("protocol: binary broadcast declares %d values in %d payload bytes", count, len(rest))
 		}
-		bc := &Broadcast{Round: int(round)}
 		bc.Params = readFloats(rest, int(count))
 		return &Message{Broadcast: bc}, nil
-	case binaryKindUpload:
-		if len(rest) < 12 {
+	case binaryKindUpload, binaryKindUploadCtx:
+		up := &Upload{}
+		minLen := 12
+		if kind == binaryKindUploadCtx {
+			minLen += 16
+		}
+		if len(rest) < minLen {
 			return nil, fmt.Errorf("protocol: binary upload header truncated (%d bytes)", len(rest))
 		}
-		round := readU32()
-		vehicle := readU32()
+		if kind == binaryKindUploadCtx {
+			trace, span, err := readCtx("upload")
+			if err != nil {
+				return nil, err
+			}
+			up.TraceID, up.SpanID = formatID16(trace), formatID16(span)
+		}
+		up.Round = int(readU32())
+		up.VehicleID = int(readU32())
 		count := readU32()
 		if count > maxBinaryValues || len(rest) != 8*int(count) {
 			return nil, fmt.Errorf("protocol: binary upload declares %d values in %d payload bytes", count, len(rest))
 		}
-		up := &Upload{Round: int(round), VehicleID: int(vehicle)}
 		up.Values = readFloats(rest, int(count))
 		return &Message{Upload: up}, nil
 	}

@@ -138,12 +138,27 @@ func (c *instrumentedConn) Send(m *protocol.Message) error {
 	c.cSendMsgs.Inc()
 	c.cSendBytes.Add(bytes)
 	if c.o.TraceEnabled() {
-		c.o.Emit("transport.send",
-			obs.F("peer", c.peerLabel()),
-			obs.F("kind", m.Kind()),
-			obs.F("bytes", bytes))
+		c.emitMsg("transport.send", m, bytes)
 	}
 	return nil
+}
+
+// emitMsg records one per-message trace event, attaching the message's
+// propagated trace context when it carries one so the merged timeline
+// (cmd/tracereport -merge) can tie wire activity to round spans.
+func (c *instrumentedConn) emitMsg(event string, m *protocol.Message, bytes int64) {
+	fields := make([]obs.Field, 0, 5)
+	fields = append(fields,
+		obs.F("peer", c.peerLabel()),
+		obs.F("kind", m.Kind()),
+		obs.F("bytes", bytes))
+	if trace, span := m.TraceContext(); trace != "" {
+		fields = append(fields, obs.F("trace", trace))
+		if span != "" {
+			fields = append(fields, obs.F("span", span))
+		}
+	}
+	c.o.Emit(event, fields...)
 }
 
 // Recv implements Conn.
@@ -160,10 +175,7 @@ func (c *instrumentedConn) Recv() (*protocol.Message, error) {
 	c.cRecvMsgs.Inc()
 	c.cRecvBytes.Add(bytes)
 	if c.o.TraceEnabled() {
-		c.o.Emit("transport.recv",
-			obs.F("peer", c.peerLabel()),
-			obs.F("kind", m.Kind()),
-			obs.F("bytes", bytes))
+		c.emitMsg("transport.recv", m, bytes)
 	}
 	return m, nil
 }

@@ -207,3 +207,111 @@ func TestInstrumentConcurrentStress(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestInstrumentSetPeerRacesSend pins the relabel path specifically: a
+// sender streams messages while SetPeer flips the label concurrently.
+// Run under -race (scripts/check.sh does); beyond race-cleanliness,
+// every emitted event must carry one of the two labels — never a torn
+// or empty peer.
+func TestInstrumentSetPeerRacesSend(t *testing.T) {
+	o, _, buf := obsForTest()
+	a, b := Pipe()
+	ia := Instrument(a, o, "conn-0")
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := ia.Send(stressMsg(i)); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if _, err := b.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			label := "conn-0"
+			if i%2 == 1 {
+				label = "vehicle-9"
+			}
+			ia.(interface{ SetPeer(string) }).SetPeer(label)
+		}
+	}()
+	wg.Wait()
+	if err := o.Tracer().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if rec["ev"] != "transport.send" {
+			continue
+		}
+		events++
+		if p := rec["peer"]; p != "conn-0" && p != "vehicle-9" {
+			t.Fatalf("torn peer label %v in %v", p, rec)
+		}
+	}
+	if events != n {
+		t.Fatalf("trace has %d send events, want %d", events, n)
+	}
+}
+
+// TestInstrumentPropagatesTraceContext: messages carrying trace context
+// get it attached to their transport.send/recv events, and context-free
+// messages stay context-free (no empty trace/span keys).
+func TestInstrumentPropagatesTraceContext(t *testing.T) {
+	o, _, buf := obsForTest()
+	a, b := Pipe()
+	ia, ib := Instrument(a, o, "server"), Instrument(b, o, "vehicle-1")
+	withCtx := &protocol.Message{Broadcast: &protocol.Broadcast{
+		Round: 1, Params: []float64{1},
+		TraceID: "00000000deadbeef", SpanID: "00000000cafef00d"}}
+	without := &protocol.Message{Finished: &protocol.Finished{Rounds: 1}}
+	for _, m := range []*protocol.Message{withCtx, without} {
+		if err := ia.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ib.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.Tracer().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var ctxEvents, plainEvents int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		switch rec["kind"] {
+		case "broadcast":
+			ctxEvents++
+			if rec["trace"] != "00000000deadbeef" || rec["span"] != "00000000cafef00d" {
+				t.Fatalf("broadcast event lost its context: %v", rec)
+			}
+		case "finished":
+			plainEvents++
+			if _, has := rec["trace"]; has {
+				t.Fatalf("context-free message grew a trace field: %v", rec)
+			}
+		}
+	}
+	if ctxEvents != 2 || plainEvents != 2 {
+		t.Fatalf("saw %d ctx / %d plain events, want 2 each", ctxEvents, plainEvents)
+	}
+}
