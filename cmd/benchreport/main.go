@@ -287,6 +287,7 @@ var ratioSpecs = []struct {
 	{"batch_vs_perslot", "mode=batch", "mode=perslot"},
 	{"binary_vs_json", "enc=binary", "enc=json"},
 	{"pipelined_vs_lockstep", "RoundPipelined", "RoundLockstep"},
+	{"fleet_gather_vs_relay", "mode=gather", "mode=relay"},
 }
 
 // computeRatios derives the sibling-entry ratios present in entries.

@@ -145,6 +145,8 @@ func TestComputeRatios(t *testing.T) {
 		"BenchmarkWireCodec/params=1000/enc=binary-8   100  1000 ns/op",
 		"BenchmarkRoundPipelined-8                      10  2000 ns/op",
 		"BenchmarkRoundLockstep-8                       10  8000 ns/op",
+		"BenchmarkFleetFanIn/mode=relay-8               10  6000 ns/op",
+		"BenchmarkFleetFanIn/mode=gather-8              10  5000 ns/op",
 	}, "\n"))
 	// Minimum across pairs: slots=8 gives 3x, slots=32 gives 8x.
 	if r := rep.Ratios["batch_vs_perslot"]; r != 3 {
@@ -155,6 +157,9 @@ func TestComputeRatios(t *testing.T) {
 	}
 	if r := rep.Ratios["pipelined_vs_lockstep"]; r != 4 {
 		t.Errorf("pipelined_vs_lockstep = %g, want 4", r)
+	}
+	if r := rep.Ratios["fleet_gather_vs_relay"]; r != 1.2 {
+		t.Errorf("fleet_gather_vs_relay = %g, want 1.2", r)
 	}
 	if _, ok := rep.Ratios["nonexistent"]; ok {
 		t.Error("phantom ratio derived")

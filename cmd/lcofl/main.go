@@ -5,9 +5,10 @@
 //	lcofl run -figure fig5 [-vehicles 100] [-rounds 15] [-rows 2500] [-seed 1] [-out fig5.tsv]
 //	lcofl all [-outdir results] [flags]
 //	lcofl demo [-vehicles 40] [-malicious 0.3]
-//	lcofl serve -addr :9444 [-vehicles 20] [-rounds 10] [-seed 1]
-//	lcofl vehicle -addr host:9444 -id 3 [-malicious] [-seed 1] [-chaos SPEC]
-//	lcofl dist [-vehicles 12] [-rounds 3] [-seed 1] [-chaos SPEC]
+//	lcofl serve -addr :9444 [-vehicles 20] [-rounds 10] [-seed 1] [-sessions 3 -max-conns 40 -queue-depth 60]
+//	lcofl vehicle -addr host:9444 -id 3 [-session s1] [-malicious] [-seed 1] [-chaos SPEC]
+//	lcofl dist [-vehicles 12] [-rounds 3] [-seed 1] [-shards 2] [-chaos SPEC]
+//	lcofl soak [-sessions 3] [-vehicles 12] [-shards 2] [-tcp] [-max-conns 24] [-chaos SPEC]
 //
 // "run" regenerates one paper figure's data as TSV; "all" writes every
 // figure to a directory; "demo" walks one verified round verbosely;
@@ -67,6 +68,8 @@ func main() {
 		err = cmdVehicle(os.Args[2:])
 	case "dist":
 		err = cmdDist(os.Args[2:])
+	case "soak":
+		err = cmdSoak(os.Args[2:])
 	case "predict":
 		err = cmdPredict(os.Args[2:])
 	case "-h", "--help", "help":
@@ -92,6 +95,7 @@ commands:
   serve    run a fusion centre over TCP (-checkpoint saves the model)
   vehicle  run one vehicle over TCP (with bounded reconnect)
   dist     run the distributed session in-process, optionally under -chaos faults
+  soak     run a multi-session fleet soak in-process (pipes or TCP, optional edge relays)
   predict  load a model checkpoint and score a dataset
 `)
 }
@@ -561,10 +565,13 @@ func distributedSetup(vehicles int, seed int64) ([][]float64, *traffic.Dataset, 
 func cmdServe(args []string) (retErr error) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":9444", "listen address")
-	vehicles := fs.Int("vehicles", 20, "expected fleet size")
+	vehicles := fs.Int("vehicles", 20, "expected fleet size (per session in fleet mode)")
 	rounds := fs.Int("rounds", 10, "global rounds")
 	seed := fs.Int64("seed", 1, "shared scenario seed")
 	checkpoint := fs.String("checkpoint", "", "write the final shared model as JSON")
+	sessionsN := fs.Int("sessions", 1, "concurrent sessions behind this listener (fleet mode when > 1; session IDs s0..sN-1, vehicles join with -session)")
+	maxConns := fs.Int("max-conns", 0, "fleet mode: global connection budget, reserved in session-sized chunks (0 = unlimited)")
+	queueDepth := fs.Int("queue-depth", 0, "fleet mode: handshaked connections parked when the budget is exhausted (0 = reject with a retry hint)")
 	pipeline := addPipelineFlags(fs)
 	observe := addObsFlags(fs, true)
 	if err := fs.Parse(args); err != nil {
@@ -579,6 +586,9 @@ func cmdServe(args []string) (retErr error) {
 			retErr = cerr
 		}
 	}()
+	if *sessionsN > 1 {
+		return serveFleet(*addr, *sessionsN, *vehicles, *rounds, *maxConns, *queueDepth, *seed, pipeline, ob, dbg)
+	}
 	refX, _, testX, testY, err := distributedSetup(*vehicles, *seed)
 	if err != nil {
 		return err
@@ -740,8 +750,9 @@ func cmdVehicle(args []string) (retErr error) {
 	fs := flag.NewFlagSet("vehicle", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:9444", "fusion centre address")
 	id := fs.Int("id", 0, "vehicle ID (0..V-1)")
-	vehicles := fs.Int("vehicles", 20, "fleet size (must match the server)")
+	vehicles := fs.Int("vehicles", 20, "fleet size (must match the server; per session in fleet mode)")
 	seed := fs.Int64("seed", 1, "shared scenario seed")
+	session := fs.String("session", "", "fleet session to join (s0, s1, … as served by lcofl serve -sessions; empty = single-session)")
 	malicious := fs.Bool("malicious", false, "lie on every upload")
 	retries := fs.Int("retries", 5, "consecutive failed connection attempts before giving up")
 	dialTimeout := fs.Duration("dial-timeout", transport.DefaultDialTimeout, "per-attempt connection timeout")
@@ -763,18 +774,29 @@ func cmdVehicle(args []string) (retErr error) {
 	if err != nil {
 		return err
 	}
-	_, train, _, _, err := distributedSetup(*vehicles, *seed)
+	// In fleet mode both sides derive the session's scenario from the
+	// master seed and the session index, so a vehicle only needs the
+	// session ID to agree with the fusion centre.
+	scenarioSeed := *seed
+	if *session != "" {
+		var j int
+		if _, err := fmt.Sscanf(*session, "s%d", &j); err != nil || j < 0 {
+			return fmt.Errorf("vehicle: -session must look like s0, s1, …; got %q", *session)
+		}
+		scenarioSeed = fleetSessionSeed(*seed, j)
+	}
+	_, train, _, _, err := distributedSetup(*vehicles, scenarioSeed)
 	if err != nil {
 		return err
 	}
-	parts, err := train.PartitionIID(*vehicles, *seed+3)
+	parts, err := train.PartitionIID(*vehicles, scenarioSeed+3)
 	if err != nil {
 		return err
 	}
 	if *id < 0 || *id >= len(parts) {
 		return fmt.Errorf("vehicle: id %d outside fleet of %d", *id, len(parts))
 	}
-	cc := node.ClientConfig{VehicleID: *id, Data: parts[*id], Seed: *seed + 100 + int64(*id)}
+	cc := node.ClientConfig{VehicleID: *id, SessionID: *session, Data: parts[*id], Seed: scenarioSeed + 100 + int64(*id)}
 	if *malicious {
 		cc.Corrupt = adversary.ConstantLie{Value: 5}
 		fmt.Printf("lcofl vehicle %d: running MALICIOUSLY\n", *id)
@@ -820,6 +842,8 @@ func cmdDist(args []string) (retErr error) {
 	workers := fs.Int("workers", 0, "worker-pool size for the decode hot paths (0 = all cores)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-round upload deadline (dropped uploads surface as stragglers after this)")
 	retries := fs.Int("retries", 5, "per-vehicle consecutive failed connection attempts before giving up")
+	shards := fs.Int("shards", 0, "edge relays between the fleet and the fusion centre; vehicles are striped across them (0 = direct pipes)")
+	gatherWindow := fs.Duration("gather-window", 0, "relay gather window for partial shards (0 = default, negative = forward without gathering)")
 	pipeline := addPipelineFlags(fs)
 	buildChaos := addChaosFlag(fs)
 	observe := addObsFlags(fs, true)
@@ -884,45 +908,154 @@ func cmdDist(args []string) (retErr error) {
 	if inj != nil {
 		fmt.Printf("lcofl dist: chaos spec %q active on every vehicle-side connection\n", inj.Spec().String())
 	}
-	fmt.Printf("lcofl dist: %d vehicles, %d rounds over in-memory pipes\n", *vehicles, *rounds)
+	if *shards > 0 {
+		fmt.Printf("lcofl dist: %d vehicles, %d rounds through %d edge relays over in-memory pipes\n",
+			*vehicles, *rounds, *shards)
+	} else {
+		fmt.Printf("lcofl dist: %d vehicles, %d rounds over in-memory pipes\n", *vehicles, *rounds)
+	}
 
 	conns := make([]transport.Conn, *vehicles)
 	var fleet parallel.Group
-	for i := 0; i < *vehicles; i++ {
-		serverEnd, vehicleEnd := transport.Pipe()
-		conns[i] = transport.Instrument(serverEnd, ob, fmt.Sprintf("conn-%d", i))
+	clientFor := func(i int) node.ClientConfig {
 		cc := node.ClientConfig{VehicleID: i, Data: parts[i], Seed: *seed + 100 + int64(i)}
 		if plan != nil && plan.IsMalicious(i) {
 			cc.Corrupt = adversary.ConstantLie{Value: 5}
 		}
-		first := vehicleEnd
-		dial := func() (transport.Conn, error) {
-			if first != nil {
-				c := first
-				first = nil
+		return cc
+	}
+	var report *node.Report
+	if *shards > 0 {
+		// Aggregation tree: vehicles dial their stripe's relay, each relay
+		// gathers its shard's uploads into combined frames and forwards
+		// them over per-link upstream legs. The fusion centre accepts the
+		// initial legs, then feeds later ones (crash redials) to Rejoin.
+		ufab := transport.NewPipeFabric(2 * *vehicles)
+		rfabs := make([]*transport.PipeFabric, *shards)
+		relays := make([]*node.Relay, *shards)
+		var relayGroup, acceptLoop parallel.Group
+		defer func() {
+			// Join every spawn on the early-error paths too: closing the
+			// relays and the upstream fabric unblocks their loops, and a
+			// vehicle whose fabric died exhausts its redial budget in
+			// milliseconds. Everything here is idempotent, so the ordered
+			// success-path teardown below stays authoritative.
+			for _, r := range relays {
+				if r != nil {
+					_ = r.Close()
+				}
+			}
+			_ = ufab.Close()
+			if werr := relayGroup.Wait(); werr != nil && retErr == nil {
+				retErr = werr
+			}
+			if werr := acceptLoop.Wait(); werr != nil && retErr == nil {
+				retErr = werr
+			}
+			if werr := fleet.Wait(); werr != nil && retErr == nil {
+				retErr = werr
+			}
+		}()
+		for k := range rfabs {
+			rfabs[k] = transport.NewPipeFabric(0)
+			relay, err := node.NewRelayWith(node.RelayConfig{
+				Listener:     rfabs[k],
+				Dial:         ufab.Dial,
+				GatherWindow: *gatherWindow,
+				Obs:          ob,
+			})
+			if err != nil {
+				return err
+			}
+			relays[k] = relay
+			relayGroup.Go(relay.Serve)
+		}
+		for i := 0; i < *vehicles; i++ {
+			i := i
+			cc := clientFor(i)
+			rfab := rfabs[i%*shards]
+			dial := func() (transport.Conn, error) {
+				c, err := rfab.Dial()
+				if err != nil {
+					return nil, err
+				}
 				return chaosWrap(inj, i, c), nil
 			}
-			// Crash recovery: open a fresh pipe and hand the
-			// fusion-centre side to the running session.
-			se, ve := transport.Pipe()
-			srv.Rejoin(transport.Instrument(se, ob, fmt.Sprintf("conn-%d", i)))
-			return chaosWrap(inj, i, ve), nil
-		}
-		fleet.Go(func() error {
-			return node.RunVehicleRetry(cc, node.RetryConfig{
-				Dial:        dial,
-				MaxAttempts: *retries,
-				// Redialing a pipe is instant; keep the backoff short so
-				// a crashed vehicle rejoins within the session instead
-				// of finding it already finished.
-				BaseDelay: time.Millisecond,
-				Obs:       ob,
+			fleet.Go(func() error {
+				return node.RunVehicleRetry(cc, node.RetryConfig{
+					Dial:        dial,
+					MaxAttempts: *retries,
+					BaseDelay:   time.Millisecond,
+					Obs:         ob,
+				})
 			})
+		}
+		for i := 0; i < *vehicles; i++ {
+			c, err := ufab.Accept()
+			if err != nil {
+				return err
+			}
+			conns[i] = transport.Instrument(c, ob, fmt.Sprintf("conn-%d", i))
+		}
+		acceptLoop.Go(func() error {
+			for n := 0; ; n++ {
+				c, err := ufab.Accept()
+				if err != nil {
+					return nil // fabric closed: session over
+				}
+				srv.Rejoin(transport.Instrument(c, ob, fmt.Sprintf("rejoin-%d", n)))
+			}
 		})
-	}
-	report, err := srv.Run(conns)
-	if werr := fleet.Wait(); werr != nil && err == nil {
-		err = werr
+		report, err = srv.Run(conns)
+		if werr := fleet.Wait(); werr != nil && err == nil {
+			err = werr
+		}
+		for _, r := range relays {
+			if cerr := r.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		if werr := relayGroup.Wait(); werr != nil && err == nil {
+			err = werr
+		}
+		_ = ufab.Close()
+		if werr := acceptLoop.Wait(); werr != nil && err == nil {
+			err = werr
+		}
+	} else {
+		for i := 0; i < *vehicles; i++ {
+			serverEnd, vehicleEnd := transport.Pipe()
+			conns[i] = transport.Instrument(serverEnd, ob, fmt.Sprintf("conn-%d", i))
+			cc := clientFor(i)
+			first := vehicleEnd
+			dial := func() (transport.Conn, error) {
+				if first != nil {
+					c := first
+					first = nil
+					return chaosWrap(inj, i, c), nil
+				}
+				// Crash recovery: open a fresh pipe and hand the
+				// fusion-centre side to the running session.
+				se, ve := transport.Pipe()
+				srv.Rejoin(transport.Instrument(se, ob, fmt.Sprintf("conn-%d", i)))
+				return chaosWrap(inj, i, ve), nil
+			}
+			fleet.Go(func() error {
+				return node.RunVehicleRetry(cc, node.RetryConfig{
+					Dial:        dial,
+					MaxAttempts: *retries,
+					// Redialing a pipe is instant; keep the backoff short so
+					// a crashed vehicle rejoins within the session instead
+					// of finding it already finished.
+					BaseDelay: time.Millisecond,
+					Obs:       ob,
+				})
+			})
+		}
+		report, err = srv.Run(conns)
+		if werr := fleet.Wait(); werr != nil && err == nil {
+			err = werr
+		}
 	}
 	if err != nil {
 		return err

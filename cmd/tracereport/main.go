@@ -131,6 +131,42 @@ type recoverySummary struct {
 	ClientCorruptFrames int64 `json:"client_corrupt_frames"`
 }
 
+// fleetSummary aggregates the multi-session admission-plane events the
+// fleet front door emits (DESIGN.md §16). Every field mirrors a
+// registry counter (crossCheck pins the pairing).
+type fleetSummary struct {
+	Admitted        int64 `json:"admitted"`
+	Rejected        int64 `json:"rejected"`
+	Queued          int64 `json:"queued"`
+	SessionsStarted int64 `json:"sessions_started"`
+	SessionsDone    int64 `json:"sessions_done"`
+	HandshakeFails  int64 `json:"handshake_fails"`
+}
+
+// relaySummary aggregates the edge-relay aggregation-tree events.
+// GatheredUploads sums each relay.gather event's uploads field, matching
+// the relay.gathered_uploads counter's batched Add.
+type relaySummary struct {
+	Gathers          int64 `json:"gathers"`
+	GatheredUploads  int64 `json:"gathered_uploads"`
+	DialErrors       int64 `json:"dial_errors"`
+	CorruptForwarded int64 `json:"corrupt_forwarded"`
+}
+
+// sessionStats is one session's slice of the admission ledger, keyed by
+// the session field the fleet stamps on its events.
+type sessionStats struct {
+	Admitted int64 `json:"admitted"`
+	Queued   int64 `json:"queued"`
+	Rejected int64 `json:"rejected"`
+	// Rejoins counts the admits that re-attached a vehicle to a running
+	// session (the rejoin flag on fleet.admit).
+	Rejoins int64 `json:"rejoins"`
+	// Rounds is the completed-round count from fleet.session_done (0
+	// until the session finishes, or when it failed).
+	Rounds int64 `json:"rounds"`
+}
+
 // chaosSummary counts the faults the internal/chaos injector reported
 // having fired — the "what was done to the run" side of the ledger that
 // recoverySummary answers.
@@ -159,6 +195,10 @@ type summary struct {
 	Decode               decodeSummary   `json:"decode"`
 	Recovery             recoverySummary `json:"recovery"`
 	Chaos                chaosSummary    `json:"chaos"`
+	Fleet                fleetSummary    `json:"fleet"`
+	Relay                relaySummary    `json:"relay"`
+	// Sessions breaks the fleet admission ledger down per session ID.
+	Sessions map[string]*sessionStats `json:"sessions,omitempty"`
 	// SpanSums holds the exact total duration per span event — the raw
 	// Σ dur_ns, unkeyed by round — paired by crossCheck against the
 	// matching histogram's sum field.
@@ -185,6 +225,7 @@ func summarize(r io.Reader) (*summary, error) {
 		Stages:   map[string]*stageStats{},
 		Peers:    map[string]*peerStats{},
 		Vehicles: map[string]*vehicleStats{},
+		Sessions: map[string]*sessionStats{},
 	}
 	durs := map[string][]int64{}
 	// Spans that carry a round ID are keyed by it and summed per round, so
@@ -260,6 +301,36 @@ func summarize(r io.Reader) (*summary, error) {
 			sum.Recovery.DegradedRounds++
 		case "node.client_corrupt_frame":
 			sum.Recovery.ClientCorruptFrames++
+		case "fleet.admit":
+			sum.Fleet.Admitted++
+			ss := sum.session(str(rec, "session"))
+			ss.Admitted++
+			if rj, _ := rec["rejoin"].(bool); rj {
+				ss.Rejoins++
+			}
+		case "fleet.reject":
+			sum.Fleet.Rejected++
+			sum.session(str(rec, "session")).Rejected++
+		case "fleet.queue":
+			sum.Fleet.Queued++
+			sum.session(str(rec, "session")).Queued++
+		case "fleet.session_start":
+			sum.Fleet.SessionsStarted++
+		case "fleet.session_done":
+			sum.Fleet.SessionsDone++
+			if r, ok := num(rec, "rounds"); ok {
+				sum.session(str(rec, "session")).Rounds = r
+			}
+		case "fleet.handshake_fail":
+			sum.Fleet.HandshakeFails++
+		case "relay.gather":
+			sum.Relay.Gathers++
+			u, _ := num(rec, "uploads")
+			sum.Relay.GatheredUploads += u
+		case "relay.dial_error":
+			sum.Relay.DialErrors++
+		case "relay.corrupt_forward":
+			sum.Relay.CorruptForwarded++
 		case "chaos.drop":
 			sum.Chaos.Drops++
 		case "chaos.corrupt":
@@ -334,6 +405,15 @@ func (s *summary) peer(name string) *peerStats {
 	return p
 }
 
+func (s *summary) session(id string) *sessionStats {
+	ss := s.Sessions[id]
+	if ss == nil {
+		ss = &sessionStats{}
+		s.Sessions[id] = ss
+	}
+	return ss
+}
+
 func (s *summary) vehicle(id string) *vehicleStats {
 	v := s.Vehicles[id]
 	if v == nil {
@@ -401,6 +481,16 @@ func crossCheck(sum *summary, metricsPath string) error {
 		{"chaos.corrupts", sum.Chaos.Corrupts},
 		{"chaos.delays", sum.Chaos.Delays},
 		{"chaos.crashes", sum.Chaos.Crashes},
+		{"fleet.admitted", sum.Fleet.Admitted},
+		{"fleet.rejected", sum.Fleet.Rejected},
+		{"fleet.queued", sum.Fleet.Queued},
+		{"fleet.sessions_started", sum.Fleet.SessionsStarted},
+		{"fleet.sessions_done", sum.Fleet.SessionsDone},
+		{"fleet.handshake_fails", sum.Fleet.HandshakeFails},
+		{"relay.gathers", sum.Relay.Gathers},
+		{"relay.gathered_uploads", sum.Relay.GatheredUploads},
+		{"relay.dial_errors", sum.Relay.DialErrors},
+		{"relay.corrupt_forwarded", sum.Relay.CorruptForwarded},
 	}
 	for _, c := range checks {
 		if got := snap.Counters[c.counter]; got != c.trace {
@@ -467,6 +557,28 @@ func writeText(w io.Writer, sum *summary) error {
 		fmt.Fprintf(&b, "recovery: %d corrupt frames (%d client-side), %d retransmits, %d rejoins, %d reconnects, %d degraded rounds\n",
 			sum.Recovery.CorruptFrames, sum.Recovery.ClientCorruptFrames, sum.Recovery.Retransmits,
 			sum.Recovery.Rejoins, sum.Recovery.Reconnects, sum.Recovery.DegradedRounds)
+	}
+	if sum.Fleet != (fleetSummary{}) {
+		fmt.Fprintf(&b, "fleet: %d admitted, %d queued, %d rejected, %d handshake fails, %d/%d sessions done\n",
+			sum.Fleet.Admitted, sum.Fleet.Queued, sum.Fleet.Rejected, sum.Fleet.HandshakeFails,
+			sum.Fleet.SessionsDone, sum.Fleet.SessionsStarted)
+	}
+	if sum.Relay != (relaySummary{}) {
+		fmt.Fprintf(&b, "relay: %d gathers batching %d uploads, %d dial errors, %d corrupt frames re-signalled\n",
+			sum.Relay.Gathers, sum.Relay.GatheredUploads, sum.Relay.DialErrors, sum.Relay.CorruptForwarded)
+	}
+
+	if len(sum.Sessions) > 0 {
+		fmt.Fprintf(&b, "\nadmission by session:\n")
+		tw := tabwriter.NewWriter(&b, 2, 8, 2, ' ', 0)
+		mustFprintf(tw, "session\tadmitted\tqueued\trejected\trejoins\trounds\n")
+		for _, id := range sortedKeys(sum.Sessions) {
+			ss := sum.Sessions[id]
+			mustFprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\n", id, ss.Admitted, ss.Queued, ss.Rejected, ss.Rejoins, ss.Rounds)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
 	}
 
 	if len(sum.Stages) > 0 {

@@ -43,6 +43,18 @@ const sampleTrace = `{"ev":"experiments.run_start","t_ns":0,"variant":"l-cofl"}
 {"ev":"node.reconnect","t_ns":420,"vehicle":7,"failures":1,"delay_ns":100000000,"error":"closed"}
 {"ev":"node.degraded","t_ns":430,"round":2,"present":3,"need":8}
 {"ev":"node.client_corrupt_frame","t_ns":440,"vehicle":4}
+{"ev":"fleet.admit","t_ns":450,"session":"s0","vehicle":0,"version":5,"rejoin":false}
+{"ev":"fleet.admit","t_ns":460,"session":"s0","vehicle":1,"version":5,"rejoin":false}
+{"ev":"fleet.admit","t_ns":465,"session":"s0","vehicle":1,"version":5,"rejoin":true}
+{"ev":"fleet.queue","t_ns":470,"session":"s1","vehicle":0}
+{"ev":"fleet.reject","t_ns":480,"session":"s2","vehicle":3,"reason":"admission queue full","retry":true}
+{"ev":"fleet.handshake_fail","t_ns":485,"error":"node: hello timeout"}
+{"ev":"fleet.session_start","t_ns":490,"session":"s0","vehicles":2}
+{"ev":"fleet.session_done","t_ns":500,"session":"s0","rounds":2}
+{"ev":"relay.gather","t_ns":510,"uploads":3}
+{"ev":"relay.gather","t_ns":520,"uploads":2}
+{"ev":"relay.dial_error","t_ns":530,"error":"closed"}
+{"ev":"relay.corrupt_forward","t_ns":540,"upstream":"up-0"}
 `
 
 func TestSummarize(t *testing.T) {
@@ -50,7 +62,7 @@ func TestSummarize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sum.Events != 34 || sum.Runs != 1 || sum.FLRounds != 2 || sum.NodeRounds != 2 {
+	if sum.Events != 46 || sum.Runs != 1 || sum.FLRounds != 2 || sum.NodeRounds != 2 {
 		t.Fatalf("headline counts wrong: %+v", sum)
 	}
 	if sum.RecvErrors != 1 || sum.Stragglers != 1 {
@@ -74,6 +86,29 @@ func TestSummarize(t *testing.T) {
 	}
 	if sum.Recovery != wantRec {
 		t.Fatalf("recovery summary = %+v, want %+v", sum.Recovery, wantRec)
+	}
+	wantFleet := fleetSummary{
+		Admitted: 3, Rejected: 1, Queued: 1,
+		SessionsStarted: 1, SessionsDone: 1, HandshakeFails: 1,
+	}
+	if sum.Fleet != wantFleet {
+		t.Fatalf("fleet summary = %+v, want %+v", sum.Fleet, wantFleet)
+	}
+	wantRelay := relaySummary{Gathers: 2, GatheredUploads: 5, DialErrors: 1, CorruptForwarded: 1}
+	if sum.Relay != wantRelay {
+		t.Fatalf("relay summary = %+v, want %+v", sum.Relay, wantRelay)
+	}
+	// Per-session ledger: s0's three admits include one rejoin and its
+	// session_done stamps the completed rounds; s1 only ever queued, s2
+	// only ever bounced.
+	if s0 := sum.Sessions["s0"]; s0 == nil || *s0 != (sessionStats{Admitted: 3, Rejoins: 1, Rounds: 2}) {
+		t.Fatalf("session s0 stats wrong: %+v", sum.Sessions["s0"])
+	}
+	if s1 := sum.Sessions["s1"]; s1 == nil || *s1 != (sessionStats{Queued: 1}) {
+		t.Fatalf("session s1 stats wrong: %+v", sum.Sessions["s1"])
+	}
+	if s2 := sum.Sessions["s2"]; s2 == nil || *s2 != (sessionStats{Rejected: 1}) {
+		t.Fatalf("session s2 stats wrong: %+v", sum.Sessions["s2"])
 	}
 	d := sum.Decode
 	if d.SlotFailures != 1 || d.BWAttempts != 2 || d.BWWins != 1 ||
@@ -155,7 +190,10 @@ func TestCrossCheck(t *testing.T) {
 		"rs.batch.words":8,"rs.batch.recovered":6,"rs.batch.fallbacks":2,
 		"node.corrupt_frames":2,"node.retransmits":1,"node.rejoins":1,"node.reconnects":1,
 		"node.degraded_rounds":1,"node.client_corrupt_frames":1,
-		"chaos.drops":1,"chaos.corrupts":2,"chaos.delays":1,"chaos.crashes":1},
+		"chaos.drops":1,"chaos.corrupts":2,"chaos.delays":1,"chaos.crashes":1,
+		"fleet.admitted":3,"fleet.rejected":1,"fleet.queued":1,
+		"fleet.sessions_started":1,"fleet.sessions_done":1,"fleet.handshake_fails":1,
+		"relay.gathers":2,"relay.gathered_uploads":5,"relay.dial_errors":1,"relay.corrupt_forwarded":1},
 		"histograms":{"core.aggregate_ns":{"count":3,"sum":800},"fl.train_ns":{"count":3,"sum":2100}}}`
 	if err := crossCheck(sum, writeTemp(t, "good.json", good)); err != nil {
 		t.Fatalf("consistent snapshot rejected: %v", err)
@@ -201,6 +239,19 @@ func TestCrossCheck(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "node.early_closes") {
 		t.Fatalf("drifting early-close counter accepted: %v", err)
 	}
+	// The fleet admission ledger and the relay gather ledger are pinned
+	// the same way; gathered_uploads is a summed field, not an event
+	// count, so a drift there proves the Σ pairing is live too.
+	bad = strings.Replace(good, `"fleet.admitted":3`, `"fleet.admitted":4`, 1)
+	err = crossCheck(sum, writeTemp(t, "bad-fleet.json", bad))
+	if err == nil || !strings.Contains(err.Error(), "fleet.admitted") {
+		t.Fatalf("drifting fleet admission counter accepted: %v", err)
+	}
+	bad = strings.Replace(good, `"relay.gathered_uploads":5`, `"relay.gathered_uploads":6`, 1)
+	err = crossCheck(sum, writeTemp(t, "bad-relay.json", bad))
+	if err == nil || !strings.Contains(err.Error(), "relay.gathered_uploads") {
+		t.Fatalf("drifting relay gather counter accepted: %v", err)
+	}
 }
 
 func TestRunJSON(t *testing.T) {
@@ -230,6 +281,9 @@ func TestRunText(t *testing.T) {
 		"chaos: 1 drops, 2 corrupts, 1 delays, 1 crashes injected",
 		"recovery: 2 corrupt frames (1 client-side), 1 retransmits, 1 rejoins, 1 reconnects, 1 degraded rounds",
 		"pipeline: 2 pipelined rounds, 1 early closes, overlap ratio 0.375",
+		"fleet: 3 admitted, 1 queued, 1 rejected, 1 handshake fails, 1/1 sessions done",
+		"relay: 2 gathers batching 5 uploads, 1 dial errors, 1 corrupt frames re-signalled",
+		"admission by session",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("text output missing %q:\n%s", want, out)

@@ -343,11 +343,14 @@ func (s *Server) finish(rounds int) {
 // bulk bodies.
 const minWireVersion = 2
 
-// readHello consumes and validates a vehicle's opening hello, returning
-// the hello itself and the negotiated wire version for the connection:
-// min(our protocol.Version, the peer's announced revision). A peer older
-// than revision 2 is rejected; a newer one is clamped down to ours.
-func readHello(conn transport.Conn, vehicles int) (*protocol.Hello, int, error) {
+// recvHello consumes and version-validates a peer's opening hello,
+// returning the hello itself and the negotiated wire version for the
+// connection: min(our protocol.Version, the peer's announced revision).
+// A peer older than revision 2 is rejected; a newer one is clamped down
+// to ours. The vehicle-ID range is NOT checked here — a fleet routes the
+// hello to a session first and validates the ID against that session's
+// scheme (see readHello).
+func recvHello(conn transport.Conn) (*protocol.Hello, int, error) {
 	m, err := conn.Recv()
 	if err != nil {
 		return nil, 0, fmt.Errorf("node: hello: %w", err)
@@ -362,22 +365,35 @@ func readHello(conn transport.Conn, vehicles int) (*protocol.Hello, int, error) 
 	if ver > protocol.Version {
 		ver = protocol.Version
 	}
-	if id := m.Hello.VehicleID; id < 0 || id >= vehicles {
+	return m.Hello, ver, nil
+}
+
+// readHello is recvHello plus the single-session vehicle-ID range check.
+func readHello(conn transport.Conn, vehicles int) (*protocol.Hello, int, error) {
+	h, ver, err := recvHello(conn)
+	if err != nil {
+		return nil, 0, err
+	}
+	if id := h.VehicleID; id < 0 || id >= vehicles {
 		return nil, 0, fmt.Errorf("node: vehicle ID %d out of range", id)
 	}
-	return m.Hello, ver, nil
+	return h, ver, nil
 }
 
 // result is one event from a connection's receiver goroutine: an upload,
 // a detected corrupt frame, or a terminal receive error. conn identifies
 // the connection it came from, so errors from a connection that has
-// already been replaced by a rejoin are discarded.
+// already been replaced by a rejoin are discarded. gathered marks an
+// upload unpacked from a relay's combined Gather frame — such uploads
+// arrive on whichever shard connection the relay flushed, so the
+// conn-identity staleness check does not apply to them.
 type result struct {
 	vehicleID int
 	conn      transport.Conn
 	round     int
 	values    []float64
 	span      string // propagated upload span ID ("" when absent)
+	gathered  bool
 	corrupt   bool
 	err       error
 }
@@ -511,6 +527,22 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 					}
 					results <- result{vehicleID: id, conn: conn, err: err}
 					return
+				}
+				if m.Gather != nil {
+					// A relay combined its shard's uploads into one frame
+					// (DESIGN §16). Unpack each into the same result stream a
+					// direct upload feeds; the channel capacity argument above
+					// is unchanged because gathering redistributes uploads
+					// across connections without increasing their total.
+					for i := range m.Gather.Uploads {
+						up := &m.Gather.Uploads[i]
+						if up.VehicleID < 0 || up.VehicleID >= v {
+							results <- result{vehicleID: id, conn: conn, err: fmt.Errorf("gathered upload for out-of-range vehicle %d", up.VehicleID)}
+							return
+						}
+						results <- result{vehicleID: up.VehicleID, conn: conn, round: up.Round, values: up.Values, span: up.SpanID, gathered: true}
+					}
+					continue
 				}
 				if m.Upload == nil {
 					results <- result{vehicleID: id, conn: conn, err: fmt.Errorf("unexpected %s", m.Kind())}
@@ -723,8 +755,18 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 			st.Behind = sortedFlagged(behind)
 		})
 		deadline := time.After(s.cfg.RoundTimeout)
+		// The round closes when every outstanding upload has arrived —
+		// but if connection loss empties the outstanding set while the
+		// round is still below the decode threshold K, the window stays
+		// open until the deadline: degradation is a timeout outcome, and
+		// crashed vehicles get the full round window to rejoin (the
+		// rejoin handler re-arms outstanding) before the model is held
+		// still. Without this, a shard-wide failure — a crashed relay —
+		// would burn through every remaining round degraded in
+		// microseconds, faster than any vehicle can reconnect.
+		kThreshold := s.scheme.RecoverThreshold()
 	collect:
-		for len(outstanding) > 0 {
+		for len(outstanding) > 0 || arrived < kThreshold {
 			select {
 			case u := <-results:
 				switch {
@@ -766,8 +808,11 @@ func (s *Server) Run(conns []transport.Conn) (*Report, error) {
 				case u.round != round:
 					// Stale upload from a previous round's straggler:
 					// discard; the vehicle still owes the current round,
-					// but the arrival is proof of life for the window.
-					if byID[u.vehicleID] == u.conn && !dead[u.vehicleID] {
+					// but the arrival is proof of life for the window. A
+					// gathered upload skips the conn-identity check — the
+					// relay flushes its shard's uploads on whichever leg
+					// absorbed the burst's last frame.
+					if !dead[u.vehicleID] && (u.gathered || byID[u.vehicleID] == u.conn) {
 						noteUpload(u.vehicleID, u.round)
 					}
 				case outstanding[u.vehicleID]:
@@ -983,6 +1028,10 @@ func clamp01(v float64) float64 {
 type ClientConfig struct {
 	// VehicleID is the vehicle's identity (0..V-1).
 	VehicleID int
+	// SessionID names the FL session to join on a multi-session fleet
+	// (protocol revision 5). Empty joins the fleet's default session; a
+	// single-session fusion centre ignores it either way.
+	SessionID string
 	// Data is the private local dataset.
 	Data []nn.Sample
 	// Seed drives local SGD shuffling.
@@ -1132,7 +1181,7 @@ func (s *vehicleSession) run(conn transport.Conn) error {
 		announce = s.cfg.ForceVersion
 	}
 	traced := s.o.TraceEnabled()
-	hello := &protocol.Hello{Version: announce, VehicleID: id}
+	hello := &protocol.Hello{Version: announce, VehicleID: id, SessionID: s.cfg.SessionID}
 	if traced && s.trace != 0 {
 		// Reconnecting mid-session: announce the already-adopted session
 		// trace so the fusion centre can tie the rejoin to it.
@@ -1158,6 +1207,23 @@ func (s *vehicleSession) run(conn transport.Conn) error {
 			// centre answers the handshake with Finished instead of
 			// Setup. The session is over; terminate cleanly.
 			return nil
+		}
+		if m.Admission != nil {
+			// A fleet answered the handshake before Setup could follow
+			// (DESIGN §16). Queued: the connection budget is exhausted but
+			// we hold our place — keep waiting for Setup. Rejected with
+			// the retry hint: transient, so RunVehicleRetry backs off and
+			// redials. Rejected outright: permanent.
+			ad := m.Admission
+			switch {
+			case ad.Queued:
+				s.o.Emit("node.admission_queued", obs.F("vehicle", id))
+				continue
+			case ad.Retry:
+				return transientf("node: vehicle %d admission deferred: %s", id, ad.Reason)
+			default:
+				return fmt.Errorf("node: vehicle %d admission rejected: %s", id, ad.Reason)
+			}
 		}
 		if m.Setup == nil {
 			return fmt.Errorf("node: expected setup, got %s", m.Kind())

@@ -1,10 +1,16 @@
 package node
 
 import (
+	"bytes"
+	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/obs"
+	"repro/internal/protocol"
 	"repro/internal/transport"
 )
 
@@ -97,4 +103,399 @@ func TestDistributedSessionThroughRelay(t *testing.T) {
 	if len(report.SuspectedMalicious) != 0 {
 		t.Errorf("honest relayed session flagged %v", report.SuspectedMalicious)
 	}
+}
+
+// TestRelayGatherCombinesShard: at protocol revision 5 the relay absorbs
+// its shard's uploads into combined Gather frames, and the session's
+// final parameters stay bit-identical to the same session run with
+// direct connections — the aggregation tree re-groups frames, never
+// payloads.
+func TestRelayGatherCombinesShard(t *testing.T) {
+	const vehicles, rounds = 4, 2
+	cfgs, clients := fleetScenario(t, []string{"g"}, vehicles, rounds)
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	clk := &obs.ManualClock{}
+	o := obs.New(reg, obs.NewTracer(&buf, clk), clk)
+
+	fabUp := transport.NewPipeFabric(0)
+	fabDown := transport.NewPipeFabric(0)
+	relay, err := NewRelayWith(RelayConfig{
+		Listener: fabDown,
+		Dial:     fabUp.Dial,
+		// A full shard flushes immediately; the huge window pins every
+		// flush to the complete-shard path so the counters are exact.
+		GatherWindow: time.Hour,
+		Obs:          o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := relay.Serve(); err != nil {
+			t.Errorf("relay serve: %v", err)
+		}
+	}()
+	defer relay.Close()
+
+	srv, err := NewServer(cfgs["g"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < vehicles; i++ {
+		conn, err := fabDown.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, conn transport.Conn) {
+			defer wg.Done()
+			defer conn.Close()
+			if err := RunVehicle(conn, clients["g"][i]); err != nil {
+				t.Errorf("vehicle %d: %v", i, err)
+			}
+		}(i, conn)
+	}
+	conns := make([]transport.Conn, vehicles)
+	for i := range conns {
+		c, err := fabUp.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+	report, err := srv.Run(conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if report.Rounds != rounds {
+		t.Fatalf("rounds = %d, want %d", report.Rounds, rounds)
+	}
+	gathers := reg.Counter("relay.gathers").Value()
+	gathered := reg.Counter("relay.gathered_uploads").Value()
+	if gathers < 1 {
+		t.Fatal("relay never combined a shard burst into a Gather frame")
+	}
+	if gathered != gathers*vehicles {
+		t.Fatalf("gathered %d uploads over %d gathers, want full shards of %d", gathered, gathers, vehicles)
+	}
+
+	// Direct-connection baseline: bit-identical final parameters.
+	solo, err := NewServer(cfgs["g"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sconns []transport.Conn
+	var swg sync.WaitGroup
+	for i := 0; i < vehicles; i++ {
+		sv, vc := transport.Pipe()
+		sconns = append(sconns, sv)
+		cc := clients["g"][i]
+		swg.Add(1)
+		go func() {
+			defer swg.Done()
+			defer vc.Close()
+			if err := RunVehicle(vc, cc); err != nil {
+				t.Errorf("solo vehicle %d: %v", cc.VehicleID, err)
+			}
+		}()
+	}
+	soloReport, err := solo.Run(sconns)
+	swg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.FinalParams) != len(soloReport.FinalParams) {
+		t.Fatalf("param length %d vs direct %d", len(report.FinalParams), len(soloReport.FinalParams))
+	}
+	for i := range report.FinalParams {
+		if report.FinalParams[i] != soloReport.FinalParams[i] {
+			t.Fatalf("param %d: relayed %v vs direct %v — gathering altered the aggregate",
+				i, report.FinalParams[i], soloReport.FinalParams[i])
+		}
+	}
+}
+
+// TestRelayUpstreamDialFailureMidSession: an upstream dial failure no
+// longer kills the relay — the affected vehicles' connections close,
+// those vehicles retry directly against the fusion centre, and the
+// session completes with the relay still serving its remaining shard.
+func TestRelayUpstreamDialFailureMidSession(t *testing.T) {
+	const vehicles, rounds = 4, 2
+	cfgs, clients := fleetScenario(t, []string{"d"}, vehicles, rounds)
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	clk := &obs.ManualClock{}
+	o := obs.New(reg, obs.NewTracer(&buf, clk), clk)
+
+	fabUp := transport.NewPipeFabric(0)
+	fabDown := transport.NewPipeFabric(0)
+	var dials atomic.Int32
+	relay, err := NewRelayWith(RelayConfig{
+		Listener: fabDown,
+		Dial: func() (transport.Conn, error) {
+			if dials.Add(1) > 2 {
+				return nil, fmt.Errorf("upstream refused")
+			}
+			return fabUp.Dial()
+		},
+		Obs: o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- relay.Serve() }()
+
+	var wg sync.WaitGroup
+	for i := 0; i < vehicles; i++ {
+		cc := clients["d"][i]
+		var attempts atomic.Int32
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := RunVehicleRetry(cc, RetryConfig{
+				Dial: func() (transport.Conn, error) {
+					if attempts.Add(1) == 1 {
+						return fabDown.Dial() // first try goes through the relay
+					}
+					return fabUp.Dial() // recovery dials the fusion centre directly
+				},
+				Sleeper: &obs.ManualSleeper{},
+			})
+			if err != nil {
+				t.Errorf("vehicle %d: %v", cc.VehicleID, err)
+			}
+		}()
+	}
+	conns := make([]transport.Conn, vehicles)
+	for i := range conns {
+		c, err := fabUp.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+	srv, err := NewServer(cfgs["d"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Later arrivals (there should be none here, but a slow vehicle may
+	// re-dial) are rejoins.
+	rejoinsDone := make(chan struct{})
+	go func() {
+		defer close(rejoinsDone)
+		for {
+			c, err := fabUp.Accept()
+			if err != nil {
+				return
+			}
+			srv.Rejoin(c)
+		}
+	}()
+	report, err := srv.Run(conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if report.Rounds != rounds {
+		t.Fatalf("rounds = %d, want %d", report.Rounds, rounds)
+	}
+	if got := reg.Counter("relay.dial_errors").Value(); got != 2 {
+		t.Fatalf("relay.dial_errors = %d, want 2", got)
+	}
+	select {
+	case err := <-serveErr:
+		t.Fatalf("relay serve exited mid-session: %v", err)
+	default:
+	}
+	if err := relay.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("relay serve after close: %v", err)
+	}
+	fabUp.Close()
+	<-rejoinsDone
+}
+
+// crashAtRoundConn makes a relay upstream leg die the moment the given
+// round's broadcast arrives, simulating a relay crash at a deterministic
+// point in the session. The embedded interface deliberately drops the
+// optional faces — a crashed relay flushes nothing.
+type crashAtRoundConn struct {
+	transport.Conn
+	round int
+}
+
+func (c *crashAtRoundConn) Recv() (*protocol.Message, error) {
+	m, err := c.Conn.Recv()
+	if err == nil && m.Broadcast != nil && m.Broadcast.Round == c.round {
+		_ = c.Conn.Close()
+		return nil, fmt.Errorf("relay crashed")
+	}
+	return m, err
+}
+
+// TestRelayCrashVehiclesRecoverDirect: the relay crashes when round 2
+// begins — no vehicle can make progress through it — and every vehicle
+// behind it reconnects directly to the fusion centre through
+// RunVehicleRetry. The session still completes all its rounds.
+func TestRelayCrashVehiclesRecoverDirect(t *testing.T) {
+	const vehicles, rounds = 4, 3
+	cfgs, clients := fleetScenario(t, []string{"c"}, vehicles, rounds)
+	cfg := cfgs["c"]
+	// Generous: on a loaded -race run a short timeout can expire before
+	// the crashed shard finishes rejoining, degrading the round and
+	// completing the session with zero rejoins to count.
+	cfg.RoundTimeout = 60 * time.Second
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fabUp := transport.NewPipeFabric(0)
+	fabDown := transport.NewPipeFabric(0)
+	relay, err := NewRelay(fabDown, func() (transport.Conn, error) {
+		c, err := fabUp.Dial()
+		if err != nil {
+			return nil, err
+		}
+		return &crashAtRoundConn{Conn: c, round: 2}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = relay.Serve() }()
+
+	var wg sync.WaitGroup
+	for i := 0; i < vehicles; i++ {
+		cc := clients["c"][i]
+		var attempts atomic.Int32
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := RunVehicleRetry(cc, RetryConfig{
+				Dial: func() (transport.Conn, error) {
+					if attempts.Add(1) == 1 {
+						return fabDown.Dial()
+					}
+					return fabUp.Dial()
+				},
+				MaxAttempts: 10,
+				Sleeper:     &obs.ManualSleeper{},
+			})
+			if err != nil {
+				t.Errorf("vehicle %d: %v", cc.VehicleID, err)
+			}
+		}()
+	}
+	conns := make([]transport.Conn, vehicles)
+	for i := range conns {
+		c, err := fabUp.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+	rejoinsDone := make(chan struct{})
+	go func() {
+		defer close(rejoinsDone)
+		for {
+			c, err := fabUp.Accept()
+			if err != nil {
+				return
+			}
+			srv.Rejoin(c)
+		}
+	}()
+	report, err := srv.Run(conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if report.Rounds != rounds {
+		t.Fatalf("rounds = %d, want %d", report.Rounds, rounds)
+	}
+	if report.Rejoins < 1 {
+		t.Fatalf("rejoins = %d, want >= 1 after the relay crash", report.Rejoins)
+	}
+	if report.DegradedRounds != 0 {
+		t.Fatalf("degraded rounds = %d, want 0 (recovery, not degradation)", report.DegradedRounds)
+	}
+	if err := relay.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fabUp.Close()
+	<-rejoinsDone
+}
+
+// TestRelayCloseDrainsParkedUploads: regression for the shutdown race
+// where Relay.Close's best-effort flush could drop frames the relay had
+// already accepted. A parked (gathered but unflushed) upload must reach
+// the fusion centre before the connections are torn down.
+func TestRelayCloseDrainsParkedUploads(t *testing.T) {
+	fabUp := transport.NewPipeFabric(0)
+	fabDown := transport.NewPipeFabric(0)
+	relay, err := NewRelayWith(RelayConfig{
+		Listener:     fabDown,
+		Dial:         fabUp.Dial,
+		GatherWindow: time.Hour, // nothing flushes on its own
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = relay.Serve() }()
+
+	// Two links so one parked upload stays below the full-shard flush
+	// threshold.
+	v1, err := fabDown.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, err := fabUp.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := fabDown.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := fabUp.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	defer u2.Close()
+
+	// The fusion centre negotiates revision 5 on link 1; the relay's
+	// upstream pipe now parks uploads instead of forwarding them.
+	if err := u1.Send(&protocol.Message{Setup: &protocol.Setup{WireVersion: protocol.FleetVersion}}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := v1.Recv(); err != nil || m.Setup == nil {
+		t.Fatalf("vehicle setup = %+v, %v", m, err)
+	}
+	if err := v1.Send(&protocol.Message{Upload: &protocol.Upload{Round: 1, VehicleID: 0, Values: []float64{42}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the upload is parked in the gatherer (not forwarded, not
+	// dropped), then close the relay: the drain must put it on the wire.
+	for relay.pendingCount() == 0 {
+		runtime.Gosched()
+	}
+	if err := relay.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := u1.Recv()
+	if err != nil {
+		t.Fatalf("parked upload lost at close: %v", err)
+	}
+	if m.Upload == nil || m.Upload.Round != 1 || m.Upload.Values[0] != 42 {
+		t.Fatalf("drained frame = %+v, want the parked upload", m)
+	}
+	_ = v1.Close()
+	_ = u1.Close()
 }

@@ -60,6 +60,9 @@ type Server struct {
 	// roundz holds the late-bound round-state provider (a func() any);
 	// commands install it once the node.Server exists.
 	roundz atomic.Value
+	// sessionz holds the late-bound fleet-state provider, installed by
+	// commands running a multi-session fleet.
+	sessionz atomic.Value
 
 	mu     sync.Mutex // guards serveErr
 	closed atomic.Bool
@@ -84,6 +87,7 @@ func Start(cfg Config) (*Server, error) {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metricz", s.handleMetricz)
 	mux.HandleFunc("/roundz", s.handleRoundz)
+	mux.HandleFunc("/sessionz", s.handleSessionz)
 	mux.HandleFunc("/profilez", s.handleProfilez)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -125,6 +129,17 @@ func (s *Server) SetRoundz(fn func() any) {
 		return
 	}
 	s.roundz.Store(fn)
+}
+
+// SetSessionz installs the /sessionz state provider — typically a
+// closure over node.Fleet.Status, giving one endpoint for every
+// concurrent session's admission and engine state. Safe to call at any
+// time, including on a nil server.
+func (s *Server) SetSessionz(fn func() any) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.sessionz.Store(fn)
 }
 
 // Close shuts the listener down and reports any accept-loop failure.
@@ -175,6 +190,18 @@ func (s *Server) handleRoundz(w http.ResponseWriter, _ *http.Request) {
 	fn, _ := s.roundz.Load().(func() any)
 	if fn == nil {
 		http.Error(w, "no round state registered", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, fn())
+}
+
+// handleSessionz serves the installed fleet-state provider, or 404 when
+// the process runs no multi-session fleet.
+func (s *Server) handleSessionz(w http.ResponseWriter, _ *http.Request) {
+	fn, _ := s.sessionz.Load().(func() any)
+	if fn == nil {
+		http.Error(w, "no fleet state registered", http.StatusNotFound)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -78,6 +78,17 @@ func TestEndpoints(t *testing.T) {
 		t.Fatalf("/roundz status %d body %s", code, body)
 	}
 
+	// /sessionz 404s until a fleet provider is installed, then serves the
+	// multi-session admission snapshot.
+	if code, _ := get(t, srv, "/sessionz"); code != http.StatusNotFound {
+		t.Fatalf("/sessionz before SetSessionz: status %d, want 404", code)
+	}
+	srv.SetSessionz(func() any { return map[string]int{"admitted": 7} })
+	code, body = get(t, srv, "/sessionz")
+	if code != http.StatusOK || !strings.Contains(string(body), `"admitted": 7`) {
+		t.Fatalf("/sessionz status %d body %s", code, body)
+	}
+
 	// /profilez 404s before the first capture, then serves the snapshot.
 	if code, _ := get(t, srv, "/profilez"); code != http.StatusNotFound {
 		t.Fatalf("/profilez before capture: status %d, want 404", code)
@@ -100,6 +111,7 @@ func TestNilServerIsNoOp(t *testing.T) {
 		t.Fatal("nil Addr should be empty")
 	}
 	srv.SetRoundz(func() any { return nil })
+	srv.SetSessionz(func() any { return nil })
 	if err := srv.Close(); err != nil {
 		t.Fatalf("nil Close: %v", err)
 	}

@@ -68,6 +68,18 @@ func FuzzFrameCodec(f *testing.F) {
 	// from here into the interesting mixed region.
 	f.Add(encodeSeedV3(f, &Message{Upload: &Upload{Round: 1, VehicleID: 1,
 		Values: []float64{2}, TraceID: "ABC", SpanID: "def"}}))
+	// v5 fleet frames: a session-routed hello, an admission answer, and
+	// gathers in both encodings (binary kind 5, JSON with context).
+	f.Add(encodeSeed(f, &Message{Hello: &Hello{Version: Version, VehicleID: 1, SessionID: "s1"}}))
+	f.Add(encodeSeed(f, &Message{Admission: &Admission{Queued: true, Reason: "budget"}}))
+	f.Add(encodeSeedV3(f, &Message{Gather: &Gather{Uploads: []Upload{
+		{Round: 1, VehicleID: 0, Values: []float64{math.NaN(), 2}},
+		{Round: 1, VehicleID: 5},
+	}}}))
+	f.Add(encodeSeedV3(f, &Message{Gather: &Gather{Uploads: []Upload{
+		{Round: 2, VehicleID: 3, Values: []float64{1},
+			TraceID: "00000000deadbeef", SpanID: "00000000cafef00d"},
+	}}}))
 	// Malformed shapes the decoder must reject without panicking.
 	corrupt := encodeSeed(f, variants[0])
 	corrupt[len(corrupt)-1] ^= 0xff // body flip: CRC mismatch
@@ -91,6 +103,12 @@ func FuzzFrameCodec(f *testing.F) {
 		{0xB3, 0x03, 1, 2, 3, 4},
 		{0xB3, 0x04, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
 			1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0},
+		// gather kind: bare header, zero count, over-counted entries,
+		// and a truncated inner upload.
+		{0xB3, 0x05},
+		{0xB3, 0x05, 0, 0, 0, 0},
+		{0xB3, 0x05, 9, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0},
+		{0xB3, 0x05, 1, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 1, 2},
 	} {
 		frame := make([]byte, 8, 8+len(body))
 		binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))

@@ -33,6 +33,16 @@
 // version >= 4; at version 3 a context-bearing bulk message falls back
 // to JSON, which preserves the context for a v4 peer while a v2/v3 peer
 // simply skips the unknown keys.
+//
+// Protocol revision 5 is the fleet revision (DESIGN.md §16): Hello gains
+// an optional session ID so one listener can route connections to many
+// concurrent FL sessions, Admission lets a fleet answer a handshake with
+// an explicit queue/reject decision before any Setup exists, and Gather
+// lets an edge relay combine its shard's uploads into one upstream frame
+// (binary kind 5 for context-free payloads). All three degrade liberally:
+// a v<=4 peer never receives Admission or Gather (rejections fall back to
+// Error, gathering stays off on its legs) and its Hello simply lacks a
+// session ID, which routes it to the fleet's default session.
 package protocol
 
 import (
@@ -48,8 +58,16 @@ import (
 // Version is the protocol revision carried in Hello messages. Revision 2
 // added the per-frame CRC-32 to the framing; revision 3 adds the binary
 // body encoding for Broadcast and Upload; revision 4 adds trace-context
-// propagation (binary kinds 3/4 and the optional JSON context fields).
-const Version = 4
+// propagation (binary kinds 3/4 and the optional JSON context fields);
+// revision 5 adds the fleet messages (session routing, Admission,
+// Gather).
+const Version = 5
+
+// FleetVersion is the first revision that understands the fleet
+// messages: Hello.SessionID routing, Admission handshake answers, and
+// relay Gather frames. Senders gate all three on the peer's negotiated
+// version being at least this.
+const FleetVersion = 5
 
 // ErrCorruptFrame reports a frame whose body failed its CRC-32 check. The
 // frame has been fully consumed when Read returns it, so the connection
@@ -69,6 +87,8 @@ type Message struct {
 	Setup     *Setup     `json:"setup,omitempty"`
 	Broadcast *Broadcast `json:"broadcast,omitempty"`
 	Upload    *Upload    `json:"upload,omitempty"`
+	Gather    *Gather    `json:"gather,omitempty"`
+	Admission *Admission `json:"admission,omitempty"`
 	Finished  *Finished  `json:"finished,omitempty"`
 	Error     *Error     `json:"error,omitempty"`
 }
@@ -84,6 +104,11 @@ type Hello struct {
 	// a merged timeline can link per-process trace files. Empty when the
 	// vehicle runs untraced.
 	TraceID string `json:"trace_id,omitempty"`
+	// SessionID names the FL session this connection joins on a
+	// multi-session fleet (revision 5). Empty — including every hello
+	// from a v<=4 build, which has no such field — selects the fleet's
+	// default session; a single-session fusion centre ignores it.
+	SessionID string `json:"session_id,omitempty"`
 }
 
 // Setup configures a vehicle at session start.
@@ -155,6 +180,37 @@ type Upload struct {
 	SpanID  string `json:"span_id,omitempty"`
 }
 
+// Gather is an edge relay's combined upstream frame (revision 5): the
+// uploads of several vehicles in the relay's shard, gathered into one
+// frame so the fusion centre pays one read per shard burst instead of
+// one per vehicle. Each inner upload is byte-equivalent to the frame the
+// vehicle sent — round, sender and trace context included — so the
+// fusion centre processes a gathered upload exactly like a direct one.
+// Relays only emit Gather on connections whose negotiated version is
+// >= FleetVersion; on older legs they stay transparent pipes.
+type Gather struct {
+	// Uploads holds the combined shard contributions, in the order the
+	// relay absorbed them.
+	Uploads []Upload `json:"uploads"`
+}
+
+// Admission answers a Hello on a fleet-scale fusion centre (revision 5)
+// when Setup cannot follow immediately: the connection was queued behind
+// the fleet's connection budget, or rejected outright. Acceptance is
+// implied by Setup itself, so an admitted vehicle never waits on an
+// extra frame. A v<=4 peer never sees Admission — rejections fall back
+// to the Error message it already understands.
+type Admission struct {
+	// Queued reports the connection is parked in the fleet's admission
+	// queue; the vehicle should keep waiting for Setup.
+	Queued bool `json:"queued,omitempty"`
+	// Reason describes a rejection (or the queueing) in human terms.
+	Reason string `json:"reason,omitempty"`
+	// Retry hints that a rejection is temporary — the fleet was full —
+	// and a later reconnect may be admitted.
+	Retry bool `json:"retry,omitempty"`
+}
+
 // Finished ends the session.
 type Finished struct {
 	// Rounds is the number of completed rounds.
@@ -221,6 +277,10 @@ func (m *Message) kind() string {
 		return "broadcast"
 	case m.Upload != nil:
 		return "upload"
+	case m.Gather != nil:
+		return "gather"
+	case m.Admission != nil:
+		return "admission"
 	case m.Finished != nil:
 		return "finished"
 	case m.Error != nil:
@@ -234,7 +294,8 @@ func (m *Message) Validate() error {
 	count := 0
 	for _, set := range []bool{
 		m.Hello != nil, m.Setup != nil, m.Broadcast != nil,
-		m.Upload != nil, m.Finished != nil, m.Error != nil,
+		m.Upload != nil, m.Gather != nil, m.Admission != nil,
+		m.Finished != nil, m.Error != nil,
 	} {
 		if set {
 			count++
@@ -272,11 +333,19 @@ const binaryMagic = 0xB3
 //
 //	broadcast+ctx: trace u64 LE, span u64 LE, round u32, count u32, floats
 //	upload+ctx:    trace u64 LE, span u64 LE, round u32, vehicle u32, count u32, floats
+//
+// Revision 5 adds the gather kind: a shard's context-free uploads packed
+// back to back. Context-bearing gathers fall back to JSON — the traced
+// path is diagnostic, not hot — so the binary layout stays flat:
+//
+//	gather: count u32, then per upload: round u32, vehicle u32, n u32,
+//	        n x 8-byte LE float64 bits
 const (
 	binaryKindBroadcast    = 1
 	binaryKindUpload       = 2
 	binaryKindBroadcastCtx = 3
 	binaryKindUploadCtx    = 4
+	binaryKindGather       = 5
 )
 
 // maxBinaryValues caps the float count so a binary body respects
@@ -307,6 +376,27 @@ func binaryEligible(m *Message, version int) bool {
 			return false
 		}
 		return ctxEligible(u.TraceID, u.SpanID, version)
+	case m.Gather != nil:
+		if version < FleetVersion || len(m.Gather.Uploads) == 0 {
+			return false
+		}
+		size := 6 // magic, kind, count u32
+		for i := range m.Gather.Uploads {
+			u := &m.Gather.Uploads[i]
+			// Any trace context sends the whole gather to JSON: the
+			// binary layout has no per-upload context slot.
+			if u.TraceID != "" || u.SpanID != "" {
+				return false
+			}
+			if !fitsUint32(u.Round) || !fitsUint32(u.VehicleID) {
+				return false
+			}
+			size += 12 + 8*len(u.Values)
+			if size > MaxMessageSize {
+				return false
+			}
+		}
+		return true
 	}
 	return false
 }
@@ -373,6 +463,13 @@ func binaryBodyLen(m *Message) int {
 		}
 		return n
 	}
+	if g := m.Gather; g != nil {
+		n := 6
+		for i := range g.Uploads {
+			n += 12 + 8*len(g.Uploads[i].Values)
+		}
+		return n
+	}
 	u := m.Upload
 	n := 14 + 8*len(u.Values)
 	if u.TraceID != "" {
@@ -397,6 +494,20 @@ func appendBinary(dst []byte, m *Message) []byte {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Params)))
 		for _, v := range b.Params {
 			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+		return dst
+	}
+	if g := m.Gather; g != nil {
+		dst = append(dst, binaryMagic, binaryKindGather)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(g.Uploads)))
+		for i := range g.Uploads {
+			u := &g.Uploads[i]
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(u.Round))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(u.VehicleID))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(u.Values)))
+			for _, v := range u.Values {
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+			}
 		}
 		return dst
 	}
@@ -499,6 +610,34 @@ func parseBinary(body []byte) (*Message, error) {
 		}
 		up.Values = readFloats(rest, int(count))
 		return &Message{Upload: up}, nil
+	case binaryKindGather:
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("protocol: binary gather header truncated (%d bytes)", len(rest))
+		}
+		count := readU32()
+		if count == 0 || count > MaxMessageSize/12 {
+			return nil, fmt.Errorf("protocol: binary gather declares %d uploads", count)
+		}
+		g := &Gather{Uploads: make([]Upload, 0, count)}
+		for i := uint32(0); i < count; i++ {
+			if len(rest) < 12 {
+				return nil, fmt.Errorf("protocol: binary gather upload %d truncated (%d bytes)", i, len(rest))
+			}
+			var u Upload
+			u.Round = int(readU32())
+			u.VehicleID = int(readU32())
+			n := readU32()
+			if n > maxBinaryValues || len(rest) < 8*int(n) {
+				return nil, fmt.Errorf("protocol: binary gather upload %d declares %d values in %d payload bytes", i, n, len(rest))
+			}
+			u.Values = readFloats(rest, int(n))
+			rest = rest[8*int(n):]
+			g.Uploads = append(g.Uploads, u)
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("protocol: binary gather leaves %d trailing bytes", len(rest))
+		}
+		return &Message{Gather: g}, nil
 	}
 	return nil, fmt.Errorf("protocol: unknown binary message kind %d", kind)
 }

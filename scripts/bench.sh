@@ -30,6 +30,17 @@
 #                            the >=1.5x round-latency floor; the floor is
 #                            sleep-driven, so it holds on any core count.
 #
+#   BENCH_fleet.json       — the fleet fan-in suite (DESIGN.md §16):
+#                            BenchmarkFleetFanIn session latency with
+#                            direct legs (mode=flat), a relay tree that
+#                            forwards frame-by-frame (mode=relay), and the
+#                            same tree with upload gathering (mode=gather).
+#                            benchreport derives fleet_gather_vs_relay and
+#                            enforces that gathering stays within 30% of
+#                            plain relaying (full runs only; 1x quick
+#                            timings are too noisy for a latency-parity
+#                            verdict).
+#
 #   BENCH_multicore.json   — (--matrix only) the speedup matrix: the
 #                            workers sweeps, the batch-decode suite and the
 #                            wire codec re-run at GOMAXPROCS 1/2/4 (capped
@@ -76,6 +87,7 @@ out="${BENCH_OUT:-BENCH_parallel.json}"
 batch_out="${BENCH_BATCH_OUT:-BENCH_batchdecode.json}"
 obs_out="${BENCH_OBS_OUT:-BENCH_obs.json}"
 pipe_out="${BENCH_PIPELINE_OUT:-BENCH_pipeline.json}"
+fleet_out="${BENCH_FLEET_OUT:-BENCH_fleet.json}"
 matrix_out="${BENCH_MATRIX_OUT:-BENCH_multicore.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -169,3 +181,25 @@ fi
 go run ./cmd/benchreport -out "$pipe_out" \
     -min-ratio pipelined_vs_lockstep=1.5 \
     "${pipe_compare_args[@]}" < "$raw"
+
+echo "== go test -bench fleet fan-in suite -benchtime $benchtime"
+go test -run NONE -bench 'FleetFanIn' -benchtime "$benchtime" ./internal/node | tee "$raw"
+
+# Gathering must stay within 30% of plain relaying (the window releases
+# with the shard's last upload, so parity is the expectation). The floor
+# is a wall-clock verdict, so --quick's single-iteration noise disables
+# it, mirroring the matrix speedup gate.
+fleet_ratio_args=(-min-ratio fleet_gather_vs_relay=0.7)
+if [[ "$quick" == 1 ]]; then
+    echo "== quick mode: fleet gather-parity gate disabled (1x timings are noise)"
+    fleet_ratio_args=()
+fi
+fleet_compare_args=()
+if [[ -f "$fleet_out" ]]; then
+    echo "== benchreport -> $fleet_out (regression gate vs previous, max +${max_regress})"
+    fleet_compare_args=(-compare "$fleet_out" -max-regress "$max_regress")
+else
+    echo "== benchreport -> $fleet_out (no baseline yet)"
+fi
+go run ./cmd/benchreport -out "$fleet_out" \
+    "${fleet_ratio_args[@]}" "${fleet_compare_args[@]}" < "$raw"
